@@ -1,0 +1,48 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark module regenerates one figure (or tuning table) of the paper
+on the synthetic AT&T-like corpus and prints the reproduced series so the
+numbers are visible in the pytest output alongside the pytest-benchmark
+timings.
+
+Scaling knobs (environment variables):
+
+``REPRO_BENCH_GRAPHS_PER_GROUP``
+    Graphs per vertex-count group (default 3).  The paper uses the full
+    corpus (~67 per group); raising this brings the reproduction closer to
+    the paper at a proportional cost in wall-clock time.
+``REPRO_BENCH_ANTS`` / ``REPRO_BENCH_TOURS``
+    Colony size and tour count for the Ant Colony entries (default 10/10,
+    the paper's configuration).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.aco.params import ACOParams
+from repro.datasets.corpus import att_like_corpus
+
+GRAPHS_PER_GROUP = int(os.environ.get("REPRO_BENCH_GRAPHS_PER_GROUP", "3"))
+N_ANTS = int(os.environ.get("REPRO_BENCH_ANTS", "10"))
+N_TOURS = int(os.environ.get("REPRO_BENCH_TOURS", "10"))
+
+
+@pytest.fixture(scope="session")
+def bench_corpus():
+    """The corpus subset shared by all figure benchmarks."""
+    return att_like_corpus(graphs_per_group=GRAPHS_PER_GROUP)
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    """A smaller subset for the parameter sweeps (which multiply the work)."""
+    return att_like_corpus(graphs_per_group=1, vertex_counts=(20, 40, 60))
+
+
+@pytest.fixture(scope="session")
+def aco_params():
+    """The paper's adopted ACO configuration (α=1, β=3, 10 tours)."""
+    return ACOParams(alpha=1.0, beta=3.0, n_ants=N_ANTS, n_tours=N_TOURS, seed=0)

@@ -1,0 +1,59 @@
+"""Helpers for asserting the *shape* of reproduced figures.
+
+The reproduction contract is qualitative: we do not expect the absolute
+numbers of the paper (different corpus, different implementation language),
+but the orderings the paper's text highlights — who wins, who is close to
+whom — should hold for the group-averaged series.  These helpers express
+those statements about ``{vertex_count: value}`` series.
+"""
+
+from __future__ import annotations
+
+from statistics import fmean
+from typing import Mapping
+
+__all__ = ["series_mean", "assert_dominates", "assert_close", "print_series"]
+
+
+def series_mean(series: Mapping[int, float]) -> float:
+    """Mean of a vertex-count → value series."""
+    return fmean(series.values())
+
+
+def assert_dominates(
+    better: Mapping[int, float],
+    worse: Mapping[int, float],
+    *,
+    slack: float = 0.05,
+    label: str = "",
+) -> None:
+    """Assert that *better* is, on average, no larger than *worse* (with slack).
+
+    *slack* is a fraction of the worse series' mean, absorbing the noise of a
+    reduced corpus.
+    """
+    b, w = series_mean(better), series_mean(worse)
+    assert b <= w * (1.0 + slack), (
+        f"{label}: expected mean {b:.2f} <= {w:.2f} (+{slack:.0%} slack)"
+    )
+
+
+def assert_close(
+    a: Mapping[int, float],
+    b: Mapping[int, float],
+    *,
+    rel_tol: float = 0.25,
+    label: str = "",
+) -> None:
+    """Assert that two series have means within *rel_tol* of each other."""
+    ma, mb = series_mean(a), series_mean(b)
+    denom = max(abs(mb), 1e-9)
+    assert abs(ma - mb) / denom <= rel_tol, (
+        f"{label}: means {ma:.2f} and {mb:.2f} differ by more than {rel_tol:.0%}"
+    )
+
+
+def print_series(title: str, text: str) -> None:
+    """Print a reproduced table with a separating banner (visible with ``pytest -s``)."""
+    print(f"\n=== {title} ===")
+    print(text)

@@ -1,0 +1,57 @@
+"""Micro-benchmarks of the individual layering algorithms.
+
+These are conventional pytest-benchmark measurements (multiple rounds) of
+each algorithm on a single 100-vertex corpus graph — the per-algorithm cost
+that the running-time panels of Figures 8 and 9 aggregate over the corpus.
+They also serve as a regression guard for the library's own performance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aco.layering_aco import aco_layering
+from repro.aco.params import ACOParams
+from repro.datasets.corpus import att_like_corpus
+from repro.layering.longest_path import longest_path_layering
+from repro.layering.minwidth import minwidth_layering_sweep
+from repro.layering.network_simplex import minimum_dummy_layering
+from repro.layering.promote import promote_layering
+
+
+@pytest.fixture(scope="module")
+def graph100():
+    return att_like_corpus(graphs_per_group=1, vertex_counts=(100,))[0].graph
+
+
+def test_runtime_lpl(benchmark, graph100):
+    layering = benchmark(longest_path_layering, graph100)
+    layering.validate(graph100)
+
+
+def test_runtime_lpl_plus_pl(benchmark, graph100):
+    layering = benchmark(lambda g: promote_layering(g, longest_path_layering(g)), graph100)
+    layering.validate(graph100)
+
+
+def test_runtime_minwidth(benchmark, graph100):
+    layering = benchmark(minwidth_layering_sweep, graph100)
+    layering.validate(graph100)
+
+
+def test_runtime_minwidth_plus_pl(benchmark, graph100):
+    layering = benchmark(lambda g: promote_layering(g, minwidth_layering_sweep(g)), graph100)
+    layering.validate(graph100)
+
+
+def test_runtime_min_dummy(benchmark, graph100):
+    layering = benchmark(minimum_dummy_layering, graph100)
+    layering.validate(graph100)
+
+
+def test_runtime_ant_colony(benchmark, graph100):
+    params = ACOParams(n_ants=10, n_tours=10, seed=0)
+    layering = benchmark.pedantic(
+        lambda: aco_layering(graph100, params), rounds=3, iterations=1
+    )
+    layering.validate(graph100)

@@ -1,0 +1,32 @@
+"""Figure 4 — width of the Ant Colony layering compared with LPL and LPL+PL.
+
+Paper claims reproduced here (Section VII):
+
+* the ACO layering is no wider than the LPL layering (dummy vertices
+  included), and
+* it matches the width of LPL combined with the Promote Layering heuristic;
+* excluding dummy vertices the ACO width is at most the LPL width as well.
+"""
+
+from __future__ import annotations
+
+from benchmarks.shape import assert_close, assert_dominates, print_series
+from repro.experiments.figures import figure4
+from repro.experiments.reporting import format_figure
+
+
+def test_fig4_width_vs_lpl(benchmark, bench_corpus, aco_params):
+    fig = benchmark.pedantic(
+        lambda: figure4(corpus=bench_corpus, aco_params=aco_params),
+        rounds=1,
+        iterations=1,
+    )
+    print_series("Figure 4", format_figure(fig))
+
+    incl = fig.panel("width_including_dummies").series
+    excl = fig.panel("width_excluding_dummies").series
+
+    # ACO narrower than (or equal to) LPL, and close to LPL+PL.
+    assert_dominates(incl["AntColony"], incl["LPL"], label="fig4 width incl. dummies vs LPL")
+    assert_close(incl["AntColony"], incl["LPL+PL"], rel_tol=0.25, label="fig4 ACO vs LPL+PL")
+    assert_dominates(excl["AntColony"], excl["LPL"], label="fig4 width excl. dummies vs LPL")

@@ -1,0 +1,33 @@
+"""Figure 5 — width of the Ant Colony layering compared with MinWidth and MinWidth+PL.
+
+Paper claims reproduced here (Section VII):
+
+* with dummy vertices counted, MinWidth+PL is the best, the Ant Colony
+  follows closely, and both beat MinWidth run on its own;
+* without dummy vertices, MinWidth is the clear winner.
+"""
+
+from __future__ import annotations
+
+from benchmarks.shape import assert_dominates, print_series
+from repro.experiments.figures import figure5
+from repro.experiments.reporting import format_figure
+
+
+def test_fig5_width_vs_minwidth(benchmark, bench_corpus, aco_params):
+    fig = benchmark.pedantic(
+        lambda: figure5(corpus=bench_corpus, aco_params=aco_params),
+        rounds=1,
+        iterations=1,
+    )
+    print_series("Figure 5", format_figure(fig))
+
+    incl = fig.panel("width_including_dummies").series
+    excl = fig.panel("width_excluding_dummies").series
+
+    # Including dummies: MinWidth+PL <= AntColony <= MinWidth (on average).
+    assert_dominates(incl["MinWidth+PL"], incl["AntColony"], label="fig5 MinWidth+PL best")
+    assert_dominates(incl["AntColony"], incl["MinWidth"], label="fig5 ACO beats raw MinWidth")
+    # Excluding dummies: MinWidth is the clear winner.
+    assert_dominates(excl["MinWidth"], excl["AntColony"], label="fig5 MinWidth narrowest (real)")
+    assert_dominates(excl["MinWidth"], excl["MinWidth+PL"], label="fig5 MinWidth narrowest (real)")

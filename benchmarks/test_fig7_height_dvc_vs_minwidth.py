@@ -1,0 +1,32 @@
+"""Figure 7 — height and dummy-vertex count of the Ant Colony vs MinWidth and MinWidth+PL.
+
+Paper claims reproduced here (Section VII):
+
+* MinWidth trades height for width: its layerings are far taller than the
+  Ant Colony's;
+* the Ant Colony produces far fewer dummy vertices than MinWidth (whose
+  narrow layers force long edges) and fewer than MinWidth+PL as well.
+"""
+
+from __future__ import annotations
+
+from benchmarks.shape import assert_dominates, print_series
+from repro.experiments.figures import figure7
+from repro.experiments.reporting import format_figure
+
+
+def test_fig7_height_dvc_vs_minwidth(benchmark, bench_corpus, aco_params):
+    fig = benchmark.pedantic(
+        lambda: figure7(corpus=bench_corpus, aco_params=aco_params),
+        rounds=1,
+        iterations=1,
+    )
+    print_series("Figure 7", format_figure(fig))
+
+    height = fig.panel("height").series
+    dvc = fig.panel("dummy_vertex_count").series
+
+    assert_dominates(height["AntColony"], height["MinWidth"], label="fig7 MinWidth is much taller")
+    assert_dominates(height["AntColony"], height["MinWidth+PL"], label="fig7 ACO shorter than MinWidth+PL")
+    assert_dominates(dvc["AntColony"], dvc["MinWidth"], label="fig7 ACO far fewer dummies than MinWidth")
+    assert_dominates(dvc["AntColony"], dvc["MinWidth+PL"], label="fig7 ACO fewer dummies than MinWidth+PL")

@@ -1,0 +1,33 @@
+"""Figure 8 — edge density and running time of the Ant Colony vs LPL and LPL+PL.
+
+Paper claims reproduced here (Section VII):
+
+* the maximum edge density of the Ant Colony layerings is no worse than
+  LPL's (the paper reports it better than both LPL and LPL+PL);
+* LPL (and LPL+PL) run much faster than the Ant Colony — the running-time
+  ordering is reproduced even though the absolute numbers are Python, not
+  LEDA/C++.
+"""
+
+from __future__ import annotations
+
+from benchmarks.shape import assert_dominates, print_series
+from repro.experiments.figures import figure8
+from repro.experiments.reporting import format_figure
+
+
+def test_fig8_density_runtime_vs_lpl(benchmark, bench_corpus, aco_params):
+    fig = benchmark.pedantic(
+        lambda: figure8(corpus=bench_corpus, aco_params=aco_params),
+        rounds=1,
+        iterations=1,
+    )
+    print_series("Figure 8", format_figure(fig))
+
+    density = fig.panel("edge_density").series
+    runtime = fig.panel("running_time").series
+
+    assert_dominates(density["AntColony"], density["LPL"], label="fig8 ACO density <= LPL")
+    # Running time ordering: LPL fastest, the Ant Colony slowest.
+    assert_dominates(runtime["LPL"], runtime["LPL+PL"], label="fig8 LPL fastest")
+    assert_dominates(runtime["LPL+PL"], runtime["AntColony"], label="fig8 ACO slowest")

@@ -1,0 +1,40 @@
+"""Figure 9 — edge density and running time of the Ant Colony vs MinWidth and MinWidth+PL.
+
+Paper claims reproduced here (Section VII):
+
+* MinWidth and MinWidth+PL achieve lower maximum edge density than the Ant
+  Colony only by growing much taller; the Ant Colony stays within a small
+  factor;
+* MinWidth runs faster than the Ant Colony; the Ant Colony's running time is
+  of the same order as MinWidth+PL's rather than orders of magnitude worse.
+"""
+
+from __future__ import annotations
+
+from benchmarks.shape import assert_dominates, print_series, series_mean
+from repro.experiments.figures import figure9
+from repro.experiments.reporting import format_figure
+
+
+def test_fig9_density_runtime_vs_minwidth(benchmark, bench_corpus, aco_params):
+    fig = benchmark.pedantic(
+        lambda: figure9(corpus=bench_corpus, aco_params=aco_params),
+        rounds=1,
+        iterations=1,
+    )
+    print_series("Figure 9", format_figure(fig))
+
+    density = fig.panel("edge_density").series
+    runtime = fig.panel("running_time").series
+
+    # MinWidth-family layerings trade height for lower per-gap density; the
+    # ACO should stay within a small factor of them.
+    assert series_mean(density["AntColony"]) <= 3.0 * series_mean(density["MinWidth+PL"]), (
+        "fig9: ACO edge density should stay within a small factor of MinWidth+PL"
+    )
+    assert_dominates(runtime["MinWidth"], runtime["AntColony"], label="fig9 MinWidth faster than ACO")
+    # The ACO is the slowest algorithm but stays within roughly an order of
+    # magnitude of MinWidth+PL (pure-Python colony vs. pure-Python heuristic).
+    assert series_mean(runtime["AntColony"]) <= 50.0 * max(
+        series_mean(runtime["MinWidth+PL"]), 1e-6
+    ), "fig9: ACO running time should stay within ~an order of magnitude of MinWidth+PL"

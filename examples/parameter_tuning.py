@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Reproduce the parameter-tuning study of Section VIII on a small corpus.
+
+Run with::
+
+    python examples/parameter_tuning.py [--full]
+
+Two sweeps are performed, mirroring the paper:
+
+* the pheromone/heuristic exponents α and β (paper: best at (3, 5), adopted
+  (1, 3) for speed);
+* the dummy-vertex width ``nd_width`` (paper: best at 1.1, adopted 1.0).
+
+By default a coarse grid keeps the runtime to a couple of minutes; pass
+``--full`` for the paper's complete grids.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.aco.params import ACOParams
+from repro.datasets import att_like_corpus
+from repro.experiments.reporting import format_sweep
+from repro.experiments.tuning import alpha_beta_sweep, nd_width_sweep
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    corpus = att_like_corpus(graphs_per_group=1, vertex_counts=(20, 40, 60))
+    base = ACOParams(n_ants=10, n_tours=10, seed=0)
+
+    alphas = (1, 2, 3, 4, 5) if full else (1, 3, 5)
+    betas = (1, 2, 3, 4, 5) if full else (1, 3, 5)
+    print(f"alpha/beta sweep over {len(alphas) * len(betas)} settings "
+          f"on {len(corpus)} graphs ...")
+    ab = alpha_beta_sweep(corpus, alphas=alphas, betas=betas, base_params=base)
+    print(format_sweep(ab))
+    best_a, best_b = ab.best().setting
+    print(f"best setting: alpha={best_a:g}, beta={best_b:g} "
+          f"(paper: best (3, 5), adopted (1, 3))\n")
+
+    nd_widths = tuple(round(0.1 * i, 1) for i in range(1, 13)) if full else (0.1, 0.4, 0.7, 1.0, 1.2)
+    print(f"nd_width sweep over {len(nd_widths)} settings ...")
+    nd = nd_width_sweep(corpus, nd_widths=nd_widths, base_params=base)
+    print(format_sweep(nd))
+    print(f"best nd_width: {nd.best().setting[0]:g} (paper: best 1.1, adopted 1.0)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Regenerate every evaluation figure of the paper as plain-text tables.
+
+Run with::
+
+    python examples/reproduce_figures.py [graphs_per_group]
+
+For each of Figures 4–9 the script runs the relevant algorithms over the
+synthetic AT&T-like corpus (``graphs_per_group`` graphs per vertex-count
+group; the paper's full corpus has ~67) and prints the group-mean series that
+the corresponding figure plots.  This is the script the benchmark harness
+mirrors; see EXPERIMENTS.md for a paper-vs-measured discussion of every
+figure.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.aco.params import ACOParams
+from repro.datasets import att_like_corpus
+from repro.experiments.figures import FIGURES
+from repro.experiments.reporting import format_figure
+
+
+def main() -> None:
+    graphs_per_group = int(sys.argv[1]) if len(sys.argv) > 1 else 2
+    corpus = att_like_corpus(graphs_per_group=graphs_per_group)
+    params = ACOParams(alpha=1.0, beta=3.0, n_ants=10, n_tours=10, seed=0)
+    print(
+        f"corpus: {len(corpus)} graphs ({graphs_per_group} per group x 19 groups); "
+        f"ACO params: alpha={params.alpha:g} beta={params.beta:g} "
+        f"{params.n_ants} ants x {params.n_tours} tours"
+    )
+
+    for figure_id, build in FIGURES.items():
+        start = time.perf_counter()
+        figure = build(corpus=corpus, aco_params=params)
+        elapsed = time.perf_counter() - start
+        print(f"\n{'=' * 70}")
+        print(format_figure(figure))
+        print(f"({figure_id} regenerated in {elapsed:.1f}s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` also works on
+environments whose pip/setuptools/wheel combination cannot build PEP 660
+editable wheels (e.g. offline machines without the ``wheel`` package).
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

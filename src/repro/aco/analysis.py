@@ -1,0 +1,155 @@
+"""Analysis utilities for the stochastic behaviour of the ACO layering algorithm.
+
+A metaheuristic is characterised not by a single run but by its behaviour
+across seeds and tours.  This module provides the small statistical toolkit a
+user of the library needs to answer the usual questions:
+
+* *Is the colony still improving?*  — :func:`convergence_curve` /
+  :func:`tours_to_convergence`;
+* *How much does it gain over the deterministic baseline?* —
+  :func:`improvement_over_baseline`;
+* *How noisy is it across seeds?* — :func:`run_statistics`.
+
+All functions operate on the public driver
+(:func:`repro.aco.layering_aco.aco_layering_detailed`), so they measure
+exactly what a caller of the library gets.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.aco.layering_aco import AcoLayeringResult, aco_layering_detailed
+from repro.aco.params import ACOParams
+from repro.graph.digraph import DiGraph
+from repro.layering.base import Layering
+from repro.layering.longest_path import longest_path_layering
+from repro.layering.metrics import evaluate_layering
+from repro.utils.exceptions import ValidationError
+
+__all__ = [
+    "convergence_curve",
+    "tours_to_convergence",
+    "ImprovementReport",
+    "improvement_over_baseline",
+    "RunStatistics",
+    "run_statistics",
+]
+
+
+def convergence_curve(result: AcoLayeringResult) -> list[float]:
+    """Best objective seen up to and including each tour (a non-decreasing series)."""
+    best_so_far = 0.0
+    curve: list[float] = []
+    for record in result.colony.history:
+        best_so_far = max(best_so_far, record.best_objective)
+        curve.append(best_so_far)
+    return curve
+
+
+def tours_to_convergence(result: AcoLayeringResult, *, rel_tol: float = 1e-9) -> int:
+    """The first tour after which the running best objective stops improving.
+
+    Returns the 1-based tour index of the last strict improvement (1 if the
+    first tour was never beaten, 0 if the run had no tours).
+    """
+    curve = convergence_curve(result)
+    if not curve:
+        return 0
+    last_improvement = 1
+    for i in range(1, len(curve)):
+        if curve[i] > curve[i - 1] * (1.0 + rel_tol):
+            last_improvement = i + 1
+    return last_improvement
+
+
+@dataclass(frozen=True)
+class ImprovementReport:
+    """Relative change of every paper metric of the ACO result versus a baseline.
+
+    Ratios are ``aco / baseline`` (1.0 = unchanged, < 1.0 = the ACO value is
+    smaller).  ``objective_gain`` is ``aco_objective − baseline_objective``
+    (positive = better, because the objective is maximised).
+    """
+
+    baseline_name: str
+    width_ratio: float
+    width_excl_ratio: float
+    height_ratio: float
+    dummy_ratio: float
+    edge_density_ratio: float
+    objective_gain: float
+
+
+def _ratio(a: float, b: float) -> float:
+    return a / b if b else (0.0 if a == 0 else float("inf"))
+
+
+def improvement_over_baseline(
+    graph: DiGraph,
+    params: ACOParams | None = None,
+    *,
+    baseline: Callable[[DiGraph], Layering] = longest_path_layering,
+    baseline_name: str = "LPL",
+) -> ImprovementReport:
+    """Run the ACO once and compare its metrics against a baseline algorithm."""
+    params = params if params is not None else ACOParams()
+    aco = aco_layering_detailed(graph, params)
+    base_layering = baseline(graph)
+    base = evaluate_layering(graph, base_layering, nd_width=params.nd_width)
+    ours = aco.metrics
+    return ImprovementReport(
+        baseline_name=baseline_name,
+        width_ratio=_ratio(ours.width_including_dummies, base.width_including_dummies),
+        width_excl_ratio=_ratio(ours.width_excluding_dummies, base.width_excluding_dummies),
+        height_ratio=_ratio(ours.height, base.height),
+        dummy_ratio=_ratio(ours.dummy_vertex_count, max(base.dummy_vertex_count, 1)),
+        edge_density_ratio=_ratio(ours.edge_density, max(base.edge_density, 1)),
+        objective_gain=ours.objective - base.objective,
+    )
+
+
+@dataclass(frozen=True)
+class RunStatistics:
+    """Distribution of the objective over repeated runs with different seeds."""
+
+    n_runs: int
+    mean: float
+    std: float
+    best: float
+    worst: float
+    mean_tours_to_convergence: float
+
+    @property
+    def spread(self) -> float:
+        """Best-minus-worst objective range."""
+        return self.best - self.worst
+
+
+def run_statistics(
+    graph: DiGraph,
+    params: ACOParams | None = None,
+    *,
+    n_runs: int = 5,
+    base_seed: int = 0,
+) -> RunStatistics:
+    """Run the colony *n_runs* times with consecutive seeds and summarise the objectives."""
+    if n_runs < 1:
+        raise ValidationError(f"n_runs must be >= 1, got {n_runs}")
+    params = params if params is not None else ACOParams()
+    objectives: list[float] = []
+    convergence: list[int] = []
+    for i in range(n_runs):
+        result = aco_layering_detailed(graph, params.replace(seed=base_seed + i))
+        objectives.append(result.metrics.objective)
+        convergence.append(tours_to_convergence(result))
+    return RunStatistics(
+        n_runs=n_runs,
+        mean=statistics.fmean(objectives),
+        std=statistics.pstdev(objectives) if n_runs > 1 else 0.0,
+        best=max(objectives),
+        worst=min(objectives),
+        mean_tours_to_convergence=statistics.fmean(convergence),
+    )

@@ -1,0 +1,153 @@
+"""A single ant: one stochastic constructive walk over the construction graph.
+
+An ant starts from the tour's base layering (the stretched LPL layering on the
+first tour, the previous tour-best layering afterwards), visits the vertices
+in a uniformly random order, and re-assigns each visited vertex to a layer
+from its current layer span using the random-proportional rule
+
+    p(v, l)  =  τ[v, l]^α · η[v, l]^β  /  Σ_{l' ∈ span(v)} τ[v, l']^α · η[v, l']^β
+
+with η[v, l] = 1 / W(l), where W(l) is the dummy-inclusive width layer ``l``
+would have with ``v`` on it.  The paper's implementation assigns the vertex to
+the layer with the **highest** probability (``selection="argmax"``); classical
+roulette-wheel sampling is available as ``selection="roulette"`` for the
+ablation study.  After every assignment the ant updates its private copy of
+the layer widths (Algorithm 5) so the heuristic stays consistent with the
+partial solution, exactly as required by the dynamic-heuristic formulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.aco.heuristic import AssignmentScore, LayerWidths, evaluate_with_widths
+from repro.aco.params import ACOParams
+from repro.aco.pheromone import PheromoneMatrix
+from repro.aco.problem import LayeringProblem
+
+__all__ = ["Ant", "AntSolution"]
+
+
+@dataclass
+class AntSolution:
+    """The outcome of one ant walk.
+
+    Attributes
+    ----------
+    assignment:
+        Layer index of every vertex (in the stretched layer numbering).
+    score:
+        Objective, height, dummy-inclusive width and dummy count of the
+        compacted layering.
+    ant_id:
+        Identifier of the ant that produced the solution (stable within a
+        colony; ``-1`` marks the colony's seed layering).
+    """
+
+    assignment: np.ndarray
+    score: AssignmentScore
+    ant_id: int
+
+    @property
+    def objective(self) -> float:
+        """Shortcut for ``score.objective`` (the value the colony maximises)."""
+        return self.score.objective
+
+
+class Ant:
+    """A computational agent that builds one layering per tour."""
+
+    __slots__ = ("ant_id", "problem", "params")
+
+    def __init__(self, ant_id: int, problem: LayeringProblem, params: ACOParams) -> None:
+        self.ant_id = ant_id
+        self.problem = problem
+        self.params = params
+
+    # ------------------------------------------------------------------ #
+    # construction step
+    # ------------------------------------------------------------------ #
+
+    def choose_layer(
+        self,
+        v: int,
+        lo: int,
+        hi: int,
+        current: int,
+        widths: LayerWidths,
+        pheromone: PheromoneMatrix,
+        rng: np.random.Generator,
+    ) -> int:
+        """Pick a layer for vertex *v* from its span ``[lo, hi]``.
+
+        Implements the random-proportional rule; degenerate cases (all scores
+        zero, a single-layer span) fall back to sensible choices.
+        """
+        if lo == hi:
+            return lo
+        params = self.params
+        tau = pheromone.trail(v, lo, hi)
+        eta = widths.eta(v, lo, hi, current, params.eta_epsilon)
+        scores = np.power(tau, params.alpha) * np.power(eta, params.beta)
+        total = scores.sum()
+        if not np.isfinite(total) or total <= 0.0:
+            # All trails/heuristics degenerate — fall back to a uniform choice.
+            return lo + int(rng.integers(0, hi - lo + 1))
+        # Pseudo-random proportional rule: exploit (argmax) with probability
+        # q0, otherwise sample from the random-proportional distribution.
+        # The paper's rule is the q0 = 1 special case.
+        q0 = params.exploitation_probability
+        if q0 >= 1.0 or (q0 > 0.0 and rng.random() < q0):
+            return lo + int(np.argmax(scores))
+        probabilities = scores / total
+        return lo + int(rng.choice(hi - lo + 1, p=probabilities))
+
+    # ------------------------------------------------------------------ #
+    # the walk
+    # ------------------------------------------------------------------ #
+
+    def perform_walk(
+        self,
+        base_assignment: np.ndarray,
+        base_widths: LayerWidths,
+        pheromone: PheromoneMatrix,
+        rng: np.random.Generator,
+    ) -> AntSolution:
+        """Build one complete layering starting from the tour's base layering.
+
+        Parameters
+        ----------
+        base_assignment:
+            Layer of every vertex at the start of the tour; not modified.
+        base_widths:
+            Layer widths matching *base_assignment*; not modified (the ant
+            works on its own copy, emulating the parallel work environment of
+            the colony).
+        pheromone:
+            The shared pheromone matrix (read-only during the walk).
+        rng:
+            Random generator driving the vertex order and any sampling.
+        """
+        problem = self.problem
+        assignment = base_assignment.copy()
+        widths = base_widths.copy()
+
+        if self.params.vertex_order == "bfs":
+            order = problem.random_bfs_order(rng)
+        elif self.params.vertex_order == "topological":
+            order = problem.random_topological_order(rng)
+        else:
+            order = problem.random_order(rng)
+        for v in order:
+            v = int(v)
+            lo, hi = problem.layer_span(assignment, v)
+            current = int(assignment[v])
+            new = self.choose_layer(v, lo, hi, current, widths, pheromone, rng)
+            if new != current:
+                widths.apply_move(v, current, new, assignment)
+                assignment[v] = new
+
+        score = evaluate_with_widths(problem, assignment, widths)
+        return AntSolution(assignment=assignment, score=score, ant_id=self.ant_id)

@@ -1,0 +1,287 @@
+"""Dynamic heuristic information: per-layer widths and the η values derived from them.
+
+The heuristic information of the paper is ``η[v, l] = 1 / W(l)`` where
+``W(l)`` is the *current* width of layer ``l`` including dummy vertices.  It
+is dynamic: every time an ant moves a vertex, the widths of every layer
+between the old and new position change (Algorithm 5 of the paper), so the
+ant carries its own :class:`LayerWidths` instance and updates it incrementally
+after each construction step.
+
+Working in the stretched layer space introduces one subtlety that the width
+bookkeeping has to respect: a stretched layer that holds **no real vertex**
+will be deleted by the final empty-layer-removal step, and the dummy vertices
+that sit on it disappear with it.  :class:`LayerWidths` therefore tracks the
+real-vertex width and the edge-crossing count of every layer separately, so
+
+* the width a candidate layer *would* have if the vertex joined it (the
+  quantity whose reciprocal is the heuristic value η), and
+* the objective ``f = 1 / (H + W)`` of the compacted layering
+
+can both be computed exactly and incrementally, and the value the ants
+optimise is the very number reported by
+:func:`repro.layering.metrics.evaluate_layering` at the end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.aco.problem import LayeringProblem
+from repro.utils.exceptions import ValidationError
+
+__all__ = [
+    "LayerWidths",
+    "AssignmentScore",
+    "evaluate_assignment",
+    "evaluate_with_widths",
+]
+
+
+class LayerWidths:
+    """Per-layer width bookkeeping for one (stretched) layer assignment.
+
+    For every layer ``l`` (1-based; entry 0 unused) the instance tracks:
+
+    ``real[l]``
+        Sum of the drawing widths of the real vertices currently on ``l``.
+    ``crossing[l]``
+        Number of edges ``(u, v)`` with ``assignment[u] > l > assignment[v]``
+        — each contributes one dummy vertex of width ``nd_width`` if layer
+        ``l`` survives compaction.
+    ``occupancy[l]``
+        Number of real vertices on ``l`` (used to know which layers are
+        non-empty, i.e. which layers the final layering will keep).
+
+    :meth:`apply_move` implements the incremental update of Algorithm 5;
+    :meth:`from_assignment` rebuilds everything from scratch and is used by
+    tests to verify the incremental updates never drift.
+    """
+
+    __slots__ = ("problem", "real", "crossing", "occupancy")
+
+    def __init__(
+        self,
+        problem: LayeringProblem,
+        real: np.ndarray,
+        crossing: np.ndarray,
+        occupancy: np.ndarray,
+    ) -> None:
+        self.problem = problem
+        self.real = real
+        self.crossing = crossing
+        self.occupancy = occupancy
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_assignment(cls, problem: LayeringProblem, assignment: np.ndarray) -> "LayerWidths":
+        """Compute all per-layer quantities for *assignment* from scratch."""
+        n_cols = problem.n_layers + 1
+        real = np.zeros(n_cols, dtype=np.float64)
+        crossing = np.zeros(n_cols, dtype=np.int64)
+        occupancy = np.zeros(n_cols, dtype=np.int64)
+        np.add.at(real, assignment, problem.widths)
+        np.add.at(occupancy, assignment, 1)
+        for v in range(problem.n_vertices):
+            lv = int(assignment[v])
+            for w in problem.succ[v]:
+                lw = int(assignment[w])
+                if lv - lw > 1:
+                    crossing[lw + 1 : lv] += 1
+        return cls(problem, real, crossing, occupancy)
+
+    def copy(self) -> "LayerWidths":
+        """Independent copy sharing the same problem instance."""
+        return LayerWidths(
+            self.problem, self.real.copy(), self.crossing.copy(), self.occupancy.copy()
+        )
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def width_of(self, layer: int) -> float:
+        """Dummy-inclusive width of one layer under the current assignment."""
+        return float(self.real[layer] + self.problem.nd_width * self.crossing[layer])
+
+    def totals(self) -> np.ndarray:
+        """Dummy-inclusive width of every layer (index 0 unused)."""
+        return self.real + self.problem.nd_width * self.crossing
+
+    def eta(self, v: int, lo: int, hi: int, current: int, epsilon: float) -> np.ndarray:
+        """Heuristic values for vertex *v* over the inclusive layer range ``[lo, hi]``.
+
+        η of a candidate layer is the reciprocal of the width that layer would
+        have with *v* on it: its current real width plus its crossing dummies
+        plus the width of *v* itself (for every layer except the one *v*
+        already occupies, whose width already includes *v*).  The *epsilon*
+        floor guards against degenerate zero widths.
+        """
+        if epsilon <= 0:
+            raise ValidationError(f"epsilon must be positive, got {epsilon}")
+        p = self.problem
+        widths = (
+            self.real[lo : hi + 1]
+            + p.nd_width * self.crossing[lo : hi + 1]
+            + p.widths[v]
+        )
+        if lo <= current <= hi:
+            widths = widths.copy()
+            widths[current - lo] -= p.widths[v]
+        return 1.0 / np.maximum(widths, epsilon)
+
+    def n_nonempty_layers(self) -> int:
+        """Number of layers holding at least one real vertex (the compacted height)."""
+        return int(np.count_nonzero(self.occupancy[1:]))
+
+    def max_compacted_width(self) -> float:
+        """Maximum dummy-inclusive width over the non-empty layers.
+
+        This equals the width of the compacted layering: removing an empty
+        layer removes its dummies but leaves the crossing counts of every
+        kept layer unchanged.
+        """
+        mask = self.occupancy[1:] > 0
+        if not mask.any():
+            return 0.0
+        totals = self.real[1:] + self.problem.nd_width * self.crossing[1:]
+        return float(totals[mask].max())
+
+    # ------------------------------------------------------------------ #
+    # incremental update (Algorithm 5)
+    # ------------------------------------------------------------------ #
+
+    def apply_move(self, v: int, current_layer: int, new_layer: int, assignment: np.ndarray) -> None:
+        """Update the per-layer quantities for moving vertex *v* between layers.
+
+        *assignment* must still hold the **old** layer of *v*; the caller is
+        responsible for writing the new layer into the assignment afterwards.
+        The update assumes *new_layer* lies inside the layer span of *v*
+        (every successor strictly below both layers, every predecessor
+        strictly above), which is guaranteed when the move was produced by the
+        random-proportional rule over the span.
+        """
+        if current_layer == new_layer:
+            return
+        p = self.problem
+        self.real[current_layer] -= p.widths[v]
+        self.real[new_layer] += p.widths[v]
+        self.occupancy[current_layer] -= 1
+        self.occupancy[new_layer] += 1
+        outdeg = int(p.out_degree[v])
+        indeg = int(p.in_degree[v])
+        if new_layer > current_layer:
+            # Moving up: outgoing edges (to successors below) now additionally
+            # cross [current, new); incoming edges no longer cross (current, new].
+            if outdeg:
+                self.crossing[current_layer:new_layer] += outdeg
+            if indeg:
+                self.crossing[current_layer + 1 : new_layer + 1] -= indeg
+        else:
+            # Moving down: incoming edges (from predecessors above) now
+            # additionally cross (new, current]; outgoing edges no longer
+            # cross [new, current).
+            if indeg:
+                self.crossing[new_layer + 1 : current_layer + 1] += indeg
+            if outdeg:
+                self.crossing[new_layer:current_layer] -= outdeg
+
+
+@dataclass(frozen=True)
+class AssignmentScore:
+    """Objective value ``f = 1 / (H + W)`` of an assignment plus its components.
+
+    ``height`` and ``width_including_dummies`` refer to the compacted
+    layering (empty layers removed), i.e. exactly the quantities reported by
+    the paper's evaluation.
+    """
+
+    objective: float
+    height: int
+    width_including_dummies: float
+    dummy_vertex_count: int
+
+
+def _dummy_count(problem: LayeringProblem, compact: np.ndarray) -> int:
+    """Dummy-vertex count of a compacted assignment (sum of span − 1 over edges)."""
+    dummies = 0
+    for v in range(problem.n_vertices):
+        lv = int(compact[v])
+        for w in problem.succ[v]:
+            span = lv - int(compact[w])
+            if span > 1:
+                dummies += span - 1
+    return dummies
+
+
+def evaluate_assignment(problem: LayeringProblem, assignment: np.ndarray) -> AssignmentScore:
+    """Score an assignment from scratch, compacting empty layers first.
+
+    This is the reference implementation used by tests; the ants use
+    :func:`evaluate_with_widths`, which produces identical numbers from their
+    incrementally-maintained :class:`LayerWidths`.
+    """
+    used = np.unique(assignment)
+    rank_of = {int(layer): r + 1 for r, layer in enumerate(used)}
+    height = len(used)
+    compact = np.array([rank_of[int(layer)] for layer in assignment], dtype=np.int64)
+
+    widths = np.zeros(height + 1, dtype=np.float64)
+    np.add.at(widths, compact, problem.widths)
+    dummies = 0
+    for v in range(problem.n_vertices):
+        lv = int(compact[v])
+        for w in problem.succ[v]:
+            lw = int(compact[w])
+            span = lv - lw
+            if span > 1:
+                dummies += span - 1
+                if problem.nd_width > 0:
+                    widths[lw + 1 : lv] += problem.nd_width
+    width_incl = float(widths[1:].max()) if height else 0.0
+    denom = height + width_incl
+    return AssignmentScore(
+        objective=1.0 / denom if denom > 0 else 0.0,
+        height=height,
+        width_including_dummies=width_incl,
+        dummy_vertex_count=dummies,
+    )
+
+
+def evaluate_with_widths(
+    problem: LayeringProblem,
+    assignment: np.ndarray,
+    widths: LayerWidths,
+) -> AssignmentScore:
+    """Score an assignment using the ant's maintained :class:`LayerWidths`.
+
+    Returns the same values as :func:`evaluate_assignment` but in
+    ``O(n_layers + |E|)`` without rebuilding any per-layer data.
+    """
+    height = widths.n_nonempty_layers()
+    width_incl = widths.max_compacted_width()
+    dummies = 0
+    for v in range(problem.n_vertices):
+        lv = int(assignment[v])
+        for w in problem.succ[v]:
+            span = lv - int(assignment[w])
+            if span > 1:
+                dummies += span - 1
+    # Spans measured in the stretched space over-count layers that will be
+    # compacted away; correct by re-ranking only when dummies were seen.
+    if dummies:
+        used = np.unique(assignment)
+        rank_of = {int(layer): r + 1 for r, layer in enumerate(used)}
+        compact = np.array([rank_of[int(layer)] for layer in assignment], dtype=np.int64)
+        dummies = _dummy_count(problem, compact)
+    denom = height + width_incl
+    return AssignmentScore(
+        objective=1.0 / denom if denom > 0 else 0.0,
+        height=height,
+        width_including_dummies=width_incl,
+        dummy_vertex_count=dummies,
+    )

@@ -1,0 +1,63 @@
+"""The pheromone matrix τ.
+
+``τ[v, l]`` expresses the colony's learned desirability of assigning vertex
+``v`` to layer ``l`` (the paper chooses this pairing over the alternative of
+learning a vertex order).  The matrix is initialised uniformly to ``τ0``,
+evaporates by a factor ``(1 − ρ)`` at the end of every tour, and receives a
+deposit from the tour-best ant on exactly the (vertex, layer) couplings of its
+layering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.exceptions import ValidationError
+
+__all__ = ["PheromoneMatrix"]
+
+
+class PheromoneMatrix:
+    """Dense (n_vertices × n_layers) pheromone store with 1-based layer indexing.
+
+    Internally the array has ``n_layers + 1`` columns so that layer ``l`` maps
+    to column ``l`` directly; column 0 is unused and kept at zero.
+    """
+
+    __slots__ = ("n_vertices", "n_layers", "values")
+
+    def __init__(self, n_vertices: int, n_layers: int, tau0: float) -> None:
+        if n_vertices < 1 or n_layers < 1:
+            raise ValidationError(
+                f"pheromone matrix needs positive dimensions, got {n_vertices}x{n_layers}"
+            )
+        if tau0 <= 0:
+            raise ValidationError(f"tau0 must be positive, got {tau0}")
+        self.n_vertices = n_vertices
+        self.n_layers = n_layers
+        self.values = np.full((n_vertices, n_layers + 1), tau0, dtype=np.float64)
+        self.values[:, 0] = 0.0
+
+    def trail(self, v: int, lo: int, hi: int) -> np.ndarray:
+        """Pheromone values of vertex *v* over the inclusive layer range ``[lo, hi]``."""
+        return self.values[v, lo : hi + 1]
+
+    def evaporate(self, rho: float, tau_min: float = 0.0) -> None:
+        """Multiply every trail by ``(1 − rho)`` and clamp from below at *tau_min*."""
+        if not 0.0 <= rho <= 1.0:
+            raise ValidationError(f"rho must be in [0, 1], got {rho}")
+        self.values[:, 1:] *= 1.0 - rho
+        if tau_min > 0.0:
+            np.maximum(self.values[:, 1:], tau_min, out=self.values[:, 1:])
+
+    def deposit(self, assignment: np.ndarray, amount: float) -> None:
+        """Add *amount* of pheromone on every (vertex, assigned-layer) coupling."""
+        if amount < 0:
+            raise ValidationError(f"deposit amount must be >= 0, got {amount}")
+        self.values[np.arange(self.n_vertices), assignment] += amount
+
+    def copy(self) -> "PheromoneMatrix":
+        """Independent copy (used by tests and by the parallel colonies)."""
+        out = PheromoneMatrix(self.n_vertices, self.n_layers, tau0=1.0)
+        out.values = self.values.copy()
+        return out

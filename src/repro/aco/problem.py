@@ -1,0 +1,220 @@
+"""Index-based problem representation shared by ants, colony and heuristics.
+
+The ants touch the graph structure millions of times per run, so the public
+:class:`~repro.graph.digraph.DiGraph` (hashable vertices, dictionaries) is
+converted once into a :class:`LayeringProblem` — flat integer indices, NumPy
+arrays for widths/degrees, Python lists of integer neighbour lists.  The
+conversion also performs the initialisation phase of the paper's Algorithm 3:
+LPL layering followed by stretching to ``|V|`` layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph, Vertex
+from repro.graph.validation import require_dag, require_nonempty
+from repro.layering.base import Layering
+from repro.layering.longest_path import longest_path_layering
+from repro.layering.stretch import stretch_above_below, stretch_between
+from repro.utils.exceptions import ValidationError
+
+__all__ = ["LayeringProblem"]
+
+
+@dataclass
+class LayeringProblem:
+    """Flat, index-based view of one DAG-layering instance.
+
+    Attributes
+    ----------
+    graph:
+        The original graph (kept for converting results back to vertex labels).
+    vertices:
+        Vertex labels in index order (``vertices[i]`` is the label of index ``i``).
+    n_vertices, n_layers:
+        Problem dimensions; ``n_layers`` is the stretched layer count
+        (``|V|`` with the paper's stretching strategy).
+    succ, pred:
+        Integer adjacency lists (successors / predecessors per vertex index).
+    out_degree, in_degree:
+        Degree arrays (``int64``).
+    widths:
+        Real-vertex drawing widths (``float64``).
+    nd_width:
+        Dummy-vertex width used in all width computations.
+    initial_assignment:
+        The stretched LPL layering as an integer array (layer of vertex ``i``),
+        the starting point of the first tour.
+    lpl_height:
+        Height of the un-stretched LPL layering (useful for reporting).
+    """
+
+    graph: DiGraph
+    vertices: list[Vertex]
+    n_vertices: int
+    n_layers: int
+    succ: list[list[int]]
+    pred: list[list[int]]
+    out_degree: np.ndarray
+    in_degree: np.ndarray
+    widths: np.ndarray
+    nd_width: float
+    initial_assignment: np.ndarray
+    lpl_height: int
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph: DiGraph,
+        *,
+        nd_width: float = 1.0,
+        stretch_strategy: str = "between",
+        n_layers: int | None = None,
+    ) -> "LayeringProblem":
+        """Build a problem instance: LPL, stretch, then index everything.
+
+        Parameters
+        ----------
+        graph: the DAG to layer.
+        nd_width: dummy-vertex width.
+        stretch_strategy: ``"between"`` (paper, Fig. 2), ``"above"``,
+            ``"below"`` or ``"split"`` (Fig. 1 variants, for ablations).
+        n_layers: total layer count after stretching; defaults to ``|V|``
+            as in the paper.
+        """
+        require_nonempty(graph)
+        require_dag(graph)
+        if nd_width < 0:
+            raise ValidationError(f"nd_width must be >= 0, got {nd_width}")
+
+        lpl = longest_path_layering(graph)
+        target = graph.n_vertices if n_layers is None else n_layers
+        if target < lpl.height:
+            raise ValidationError(
+                f"n_layers={target} is below the minimum height {lpl.height}"
+            )
+        if stretch_strategy == "between":
+            stretched, total_layers = stretch_between(lpl, target)
+        elif stretch_strategy in {"above", "below", "split"}:
+            stretched, total_layers = stretch_above_below(lpl, target, mode=stretch_strategy)
+        else:
+            raise ValidationError(
+                "stretch_strategy must be 'between', 'above', 'below' or 'split', "
+                f"got {stretch_strategy!r}"
+            )
+
+        vertices = list(graph.vertices())
+        index = {v: i for i, v in enumerate(vertices)}
+        n = len(vertices)
+        succ = [[index[w] for w in graph.successors(v)] for v in vertices]
+        pred = [[index[u] for u in graph.predecessors(v)] for v in vertices]
+        out_degree = np.array([len(s) for s in succ], dtype=np.int64)
+        in_degree = np.array([len(p) for p in pred], dtype=np.int64)
+        widths = np.array([graph.vertex_width(v) for v in vertices], dtype=np.float64)
+        initial = np.array([stretched.layer_of(v) for v in vertices], dtype=np.int64)
+
+        return cls(
+            graph=graph,
+            vertices=vertices,
+            n_vertices=n,
+            n_layers=total_layers,
+            succ=succ,
+            pred=pred,
+            out_degree=out_degree,
+            in_degree=in_degree,
+            widths=widths,
+            nd_width=float(nd_width),
+            initial_assignment=initial,
+            lpl_height=lpl.height,
+        )
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+
+    def layer_span(self, assignment: np.ndarray, v: int) -> tuple[int, int]:
+        """Inclusive feasible layer range of vertex index *v* under *assignment*."""
+        lo = 1
+        hi = self.n_layers
+        for w in self.succ[v]:
+            lw = assignment[w]
+            if lw + 1 > lo:
+                lo = lw + 1
+        for u in self.pred[v]:
+            lu = assignment[u]
+            if lu - 1 < hi:
+                hi = lu - 1
+        return int(lo), int(hi)
+
+    def random_order(self, rng: np.random.Generator) -> np.ndarray:
+        """A uniformly random visiting order of the vertex indices."""
+        return rng.permutation(self.n_vertices)
+
+    def random_bfs_order(self, rng: np.random.Generator) -> np.ndarray:
+        """A breadth-first visiting order from a random start vertex.
+
+        The BFS treats edges as undirected (successors and predecessors are
+        both explored) and restarts from a random unvisited vertex whenever a
+        connected component is exhausted — the "linear order of the vertices"
+        alternative to random choice that the paper mentions for the ants'
+        walks.
+        """
+        visited = np.zeros(self.n_vertices, dtype=bool)
+        order: list[int] = []
+        remaining = list(rng.permutation(self.n_vertices))
+        from collections import deque
+
+        queue: deque[int] = deque()
+        while len(order) < self.n_vertices:
+            while remaining and visited[remaining[-1]]:
+                remaining.pop()
+            if not queue:
+                start = int(remaining.pop())
+                visited[start] = True
+                queue.append(start)
+                order.append(start)
+            while queue:
+                v = queue.popleft()
+                neighbours = list(self.succ[v]) + list(self.pred[v])
+                for w in rng.permutation(len(neighbours)):
+                    u = neighbours[int(w)]
+                    if not visited[u]:
+                        visited[u] = True
+                        order.append(u)
+                        queue.append(u)
+        return np.array(order, dtype=np.int64)
+
+    def random_topological_order(self, rng: np.random.Generator) -> np.ndarray:
+        """A random topological order (sources first, random tie-breaking)."""
+        in_deg = self.in_degree.copy()
+        available = [v for v in range(self.n_vertices) if in_deg[v] == 0]
+        order: list[int] = []
+        while available:
+            idx = int(rng.integers(0, len(available)))
+            v = available.pop(idx)
+            order.append(v)
+            for w in self.succ[v]:
+                in_deg[w] -= 1
+                if in_deg[w] == 0:
+                    available.append(w)
+        return np.array(order, dtype=np.int64)
+
+    def assignment_to_layering(self, assignment: np.ndarray, *, normalize: bool = True) -> Layering:
+        """Convert an integer layer array back into a label-keyed :class:`Layering`."""
+        layering = Layering(
+            {self.vertices[i]: int(assignment[i]) for i in range(self.n_vertices)}
+        )
+        return layering.normalized() if normalize else layering
+
+    def layering_to_assignment(self, layering: Layering) -> np.ndarray:
+        """Convert a label-keyed layering into the integer array form used internally."""
+        return np.array(
+            [layering.layer_of(v) for v in self.vertices], dtype=np.int64
+        )

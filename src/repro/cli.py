@@ -1,0 +1,245 @@
+"""Command-line interface.
+
+Installed as the ``repro-dag`` console script (also reachable via
+``python -m repro``).  Sub-commands:
+
+``layer``
+    Layer a graph file with any algorithm in the library and print the
+    paper's quality metrics (optionally writing the layer assignment to JSON).
+``draw``
+    Run the full Sugiyama pipeline on a graph file and render the drawing as
+    ASCII and/or SVG.
+``compare``
+    Run the paper's five-algorithm comparison over a corpus sample and print
+    one table per metric.
+``figures``
+    Regenerate one or all of the paper's evaluation figures (Fig. 4–9).
+``corpus``
+    Materialise the synthetic AT&T-like corpus to a directory of JSON graph
+    files (for inspection or for use by external tools).
+
+Graph files may be in the library's edge-list format (``.edgelist``, see
+:func:`repro.graph.io.write_edgelist`) or JSON (``.json``,
+:func:`repro.graph.io.write_json`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.aco.params import ACOParams
+from repro.datasets.corpus import GROUP_VERTEX_COUNTS, att_like_corpus
+from repro.experiments.figures import FIGURES
+from repro.experiments.reporting import format_comparison, format_figure
+from repro.experiments.runner import default_algorithms, run_comparison
+from repro.graph.digraph import DiGraph
+from repro.graph.io import read_edgelist, read_json, write_json
+from repro.layering.metrics import evaluate_layering
+from repro.sugiyama.pipeline import LAYERING_METHODS, sugiyama_layout
+from repro.sugiyama.render import render_ascii, render_svg
+from repro.utils.exceptions import ReproError
+
+__all__ = ["main", "build_parser"]
+
+_CLI_METRICS = (
+    "height",
+    "width_including_dummies",
+    "width_excluding_dummies",
+    "dummy_vertex_count",
+    "edge_density",
+    "running_time",
+)
+
+
+# --------------------------------------------------------------------------- #
+# helpers
+# --------------------------------------------------------------------------- #
+
+
+def _load_graph(path: str) -> DiGraph:
+    file_path = Path(path)
+    if not file_path.exists():
+        raise ReproError(f"graph file not found: {path}")
+    if file_path.suffix == ".json":
+        return read_json(file_path)
+    return read_edgelist(file_path)
+
+
+def _aco_params(args: argparse.Namespace) -> ACOParams:
+    return ACOParams(
+        alpha=args.alpha,
+        beta=args.beta,
+        n_ants=args.ants,
+        n_tours=args.tours,
+        nd_width=args.nd_width,
+        seed=args.seed,
+    )
+
+
+def _layering_method(name: str, params: ACOParams):
+    if name == "aco":
+        from repro.aco.layering_aco import aco_layering
+
+        return lambda g: aco_layering(g, params)
+    return LAYERING_METHODS[name]
+
+
+def _add_aco_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--alpha", type=float, default=1.0, help="pheromone exponent (default 1)")
+    parser.add_argument("--beta", type=float, default=3.0, help="heuristic exponent (default 3)")
+    parser.add_argument("--ants", type=int, default=10, help="colony size (default 10)")
+    parser.add_argument("--tours", type=int, default=10, help="number of tours (default 10)")
+    parser.add_argument("--nd-width", type=float, default=1.0, help="dummy vertex width (default 1)")
+    parser.add_argument("--seed", type=int, default=0, help="random seed (default 0)")
+
+
+# --------------------------------------------------------------------------- #
+# sub-commands
+# --------------------------------------------------------------------------- #
+
+
+def _cmd_layer(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    params = _aco_params(args)
+    method = _layering_method(args.method, params)
+    layering = method(graph)
+    metrics = evaluate_layering(graph, layering, nd_width=args.nd_width)
+    print(f"graph: {graph.n_vertices} vertices, {graph.n_edges} edges")
+    print(f"method: {args.method}")
+    for key, value in metrics.as_dict().items():
+        print(f"  {key}: {value}")
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps({str(v): layer for v, layer in layering.items()}, indent=2),
+            encoding="utf-8",
+        )
+        print(f"layer assignment written to {args.output}")
+    return 0
+
+
+def _cmd_draw(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    params = _aco_params(args)
+    method = _layering_method(args.method, params)
+    drawing = sugiyama_layout(graph, layering_method=method, nd_width=max(args.nd_width, 1e-6))
+    print(
+        f"height={drawing.height} width={drawing.width:.2f} "
+        f"crossings={drawing.crossings} reversed_edges={len(drawing.reversed_edges)}"
+    )
+    if not args.no_ascii:
+        print(render_ascii(drawing, columns=args.columns))
+    if args.svg:
+        render_svg(drawing, args.svg)
+        print(f"SVG written to {args.svg}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    vertex_counts = (
+        tuple(args.vertex_counts) if args.vertex_counts else GROUP_VERTEX_COUNTS
+    )
+    corpus = att_like_corpus(
+        graphs_per_group=args.graphs_per_group, vertex_counts=vertex_counts
+    )
+    params = _aco_params(args)
+    algorithms = default_algorithms(aco_params=params, include_aco=not args.no_aco)
+    print(f"corpus: {len(corpus)} graphs over groups {sorted(set(vertex_counts))}")
+    comparison = run_comparison(corpus, algorithms, nd_width=args.nd_width)
+    for metric in _CLI_METRICS:
+        print()
+        print(format_comparison(comparison, metric))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    wanted = list(FIGURES) if args.figure == "all" else [args.figure]
+    params = _aco_params(args)
+    corpus = att_like_corpus(graphs_per_group=args.graphs_per_group)
+    for figure_id in wanted:
+        figure = FIGURES[figure_id](corpus=corpus, aco_params=params, nd_width=args.nd_width)
+        print()
+        print(format_figure(figure))
+    return 0
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    out_dir = Path(args.output_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    count = 0
+    for entry in att_like_corpus(graphs_per_group=args.graphs_per_group):
+        write_json(entry.graph, out_dir / f"{entry.name}.json")
+        count += 1
+    print(f"{count} graphs written to {out_dir}")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# parser / entry point
+# --------------------------------------------------------------------------- #
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-dag",
+        description="Ant Colony Optimization for the DAG Layering Problem (IPPS 2007 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    method_names = sorted(set(LAYERING_METHODS) | {"aco"})
+
+    p_layer = sub.add_parser("layer", help="layer a graph file and print its metrics")
+    p_layer.add_argument("graph", help="graph file (.edgelist or .json)")
+    p_layer.add_argument("--method", choices=method_names, default="aco")
+    p_layer.add_argument("--output", help="write the layer assignment to this JSON file")
+    _add_aco_options(p_layer)
+    p_layer.set_defaults(func=_cmd_layer)
+
+    p_draw = sub.add_parser("draw", help="run the Sugiyama pipeline and render the drawing")
+    p_draw.add_argument("graph", help="graph file (.edgelist or .json)")
+    p_draw.add_argument("--method", choices=method_names, default="aco")
+    p_draw.add_argument("--svg", help="write an SVG rendering to this path")
+    p_draw.add_argument("--no-ascii", action="store_true", help="skip the ASCII rendering")
+    p_draw.add_argument("--columns", type=int, default=100, help="ASCII rendering width")
+    _add_aco_options(p_draw)
+    p_draw.set_defaults(func=_cmd_draw)
+
+    p_compare = sub.add_parser("compare", help="run the five-algorithm comparison on the corpus")
+    p_compare.add_argument("--graphs-per-group", type=int, default=2)
+    p_compare.add_argument(
+        "--vertex-counts", type=int, nargs="*", help="vertex-count groups (default: all 19)"
+    )
+    p_compare.add_argument("--no-aco", action="store_true", help="baselines only")
+    _add_aco_options(p_compare)
+    p_compare.set_defaults(func=_cmd_compare)
+
+    p_figures = sub.add_parser("figures", help="regenerate the paper's evaluation figures")
+    p_figures.add_argument("--figure", choices=sorted(FIGURES) + ["all"], default="all")
+    p_figures.add_argument("--graphs-per-group", type=int, default=2)
+    _add_aco_options(p_figures)
+    p_figures.set_defaults(func=_cmd_figures)
+
+    p_corpus = sub.add_parser("corpus", help="write the synthetic corpus to a directory")
+    p_corpus.add_argument("output_dir")
+    p_corpus.add_argument("--graphs-per-group", type=int, default=1)
+    p_corpus.set_defaults(func=_cmd_corpus)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Benchmark corpora.
+
+The paper evaluates on 1277 AT&T graphs (graphdrawing.org), grouped into 19
+vertex-count classes from 10 to 100 in steps of 5.  That corpus is not
+redistributable, so :mod:`repro.datasets.corpus` builds a deterministic
+synthetic stand-in with the same group structure and matching sparsity
+(see DESIGN.md, "Substitutions").
+"""
+
+from repro.datasets.corpus import (
+    CORPUS_SEED,
+    GROUP_VERTEX_COUNTS,
+    TOTAL_GRAPHS,
+    CorpusGraph,
+    att_like_corpus,
+    corpus_group_counts,
+    iter_att_like_corpus,
+)
+
+__all__ = [
+    "CORPUS_SEED",
+    "GROUP_VERTEX_COUNTS",
+    "TOTAL_GRAPHS",
+    "CorpusGraph",
+    "corpus_group_counts",
+    "att_like_corpus",
+    "iter_att_like_corpus",
+]

@@ -1,0 +1,61 @@
+"""Experiment harness: regenerate every figure of the paper's evaluation.
+
+* :mod:`repro.experiments.runner` — run any set of layering algorithms over a
+  corpus and aggregate the paper's metrics per vertex-count group;
+* :mod:`repro.experiments.figures` — one function per figure (Fig. 4–9),
+  returning the plotted series as plain data;
+* :mod:`repro.experiments.tuning` — the α/β and ``nd_width`` sweeps of
+  Section VIII;
+* :mod:`repro.experiments.reporting` — plain-text table rendering used by the
+  benchmarks and the examples.
+"""
+
+from repro.experiments.figures import (
+    FIGURES,
+    FigureData,
+    FigurePanel,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+)
+from repro.experiments.runner import (
+    AlgorithmResult,
+    ComparisonResult,
+    default_algorithms,
+    run_comparison,
+    run_on_graph,
+)
+from repro.experiments.reporting import format_comparison, format_figure, format_series_table
+from repro.experiments.tuning import (
+    SweepResult,
+    alpha_beta_sweep,
+    best_sweep_setting,
+    nd_width_sweep,
+)
+
+__all__ = [
+    "AlgorithmResult",
+    "ComparisonResult",
+    "default_algorithms",
+    "run_on_graph",
+    "run_comparison",
+    "FigureData",
+    "FigurePanel",
+    "FIGURES",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "SweepResult",
+    "alpha_beta_sweep",
+    "nd_width_sweep",
+    "best_sweep_setting",
+    "format_series_table",
+    "format_comparison",
+    "format_figure",
+]

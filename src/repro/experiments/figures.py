@@ -1,0 +1,254 @@
+"""One function per evaluation figure of the paper (Fig. 4 – Fig. 9).
+
+Each ``figureN`` function runs the relevant algorithm subset over a corpus and
+returns a :class:`FigureData` value: a list of panels, each holding the series
+(vertex count → group mean) that the corresponding sub-plot of the paper
+shows.  The benchmark modules under ``benchmarks/`` call these functions, and
+``repro.experiments.reporting.format_figure`` renders them as text tables.
+
+Figure → content map (paper Section VII):
+
+========  ==================================================================
+Fig. 4    Width incl./excl. dummies — AntColony vs LPL vs LPL+PL
+Fig. 5    Width incl./excl. dummies — AntColony vs MinWidth vs MinWidth+PL
+Fig. 6    Height and dummy-vertex count — AntColony vs LPL vs LPL+PL
+Fig. 7    Height and dummy-vertex count — AntColony vs MinWidth vs MinWidth+PL
+Fig. 8    Edge density and running time — AntColony vs LPL vs LPL+PL
+Fig. 9    Edge density and running time — AntColony vs MinWidth vs MinWidth+PL
+========  ==================================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.aco.params import ACOParams
+from repro.datasets.corpus import CorpusGraph, att_like_corpus
+from repro.experiments.runner import ComparisonResult, default_algorithms, run_comparison
+
+__all__ = [
+    "FigurePanel",
+    "FigureData",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "FIGURES",
+]
+
+#: Algorithm subsets used by the two figure families.
+LPL_FAMILY = ("LPL", "LPL+PL", "AntColony")
+MINWIDTH_FAMILY = ("MinWidth", "MinWidth+PL", "AntColony")
+
+
+@dataclass(frozen=True)
+class FigurePanel:
+    """One sub-plot: a metric plus one series per algorithm."""
+
+    metric: str
+    ylabel: str
+    series: dict[str, dict[int, float]]
+
+
+@dataclass(frozen=True)
+class FigureData:
+    """A reproduced figure: identifier, caption and its panels."""
+
+    figure_id: str
+    title: str
+    panels: tuple[FigurePanel, ...]
+
+    def panel(self, metric: str) -> FigurePanel:
+        """Look up a panel by metric name."""
+        for p in self.panels:
+            if p.metric == metric:
+                return p
+        raise KeyError(f"figure {self.figure_id} has no panel for metric {metric!r}")
+
+
+def _default_corpus(graphs_per_group: int | None) -> list[CorpusGraph]:
+    return att_like_corpus(graphs_per_group=graphs_per_group)
+
+
+def _comparison(
+    corpus: Sequence[CorpusGraph] | None,
+    graphs_per_group: int | None,
+    algorithm_names: Sequence[str],
+    aco_params: ACOParams | None,
+    nd_width: float,
+) -> ComparisonResult:
+    entries = list(corpus) if corpus is not None else _default_corpus(graphs_per_group)
+    algorithms = default_algorithms(aco_params=aco_params)
+    selected = {name: algorithms[name] for name in algorithm_names}
+    return run_comparison(entries, selected, nd_width=nd_width)
+
+
+def _two_panel_figure(
+    figure_id: str,
+    title: str,
+    metrics: tuple[tuple[str, str], tuple[str, str]],
+    algorithm_names: Sequence[str],
+    *,
+    corpus: Sequence[CorpusGraph] | None,
+    graphs_per_group: int | None,
+    aco_params: ACOParams | None,
+    nd_width: float,
+) -> FigureData:
+    comparison = _comparison(corpus, graphs_per_group, algorithm_names, aco_params, nd_width)
+    panels = tuple(
+        FigurePanel(metric=metric, ylabel=ylabel, series=comparison.all_series(metric))
+        for metric, ylabel in metrics
+    )
+    return FigureData(figure_id=figure_id, title=title, panels=panels)
+
+
+def figure4(
+    *,
+    corpus: Sequence[CorpusGraph] | None = None,
+    graphs_per_group: int | None = 4,
+    aco_params: ACOParams | None = None,
+    nd_width: float = 1.0,
+) -> FigureData:
+    """Fig. 4: layering width of AntColony vs LPL and LPL+PL (incl. and excl. dummies)."""
+    return _two_panel_figure(
+        "fig4",
+        "Width of Ant Colony layering compared with LPL and LPL with PL",
+        (
+            ("width_including_dummies", "Width (including dummy vertices)"),
+            ("width_excluding_dummies", "Width (excluding dummy vertices)"),
+        ),
+        LPL_FAMILY,
+        corpus=corpus,
+        graphs_per_group=graphs_per_group,
+        aco_params=aco_params,
+        nd_width=nd_width,
+    )
+
+
+def figure5(
+    *,
+    corpus: Sequence[CorpusGraph] | None = None,
+    graphs_per_group: int | None = 4,
+    aco_params: ACOParams | None = None,
+    nd_width: float = 1.0,
+) -> FigureData:
+    """Fig. 5: layering width of AntColony vs MinWidth and MinWidth+PL."""
+    return _two_panel_figure(
+        "fig5",
+        "Width of Ant Colony layering compared with MinWidth and MinWidth with PL",
+        (
+            ("width_including_dummies", "Width (including dummy vertices)"),
+            ("width_excluding_dummies", "Width (excluding dummy vertices)"),
+        ),
+        MINWIDTH_FAMILY,
+        corpus=corpus,
+        graphs_per_group=graphs_per_group,
+        aco_params=aco_params,
+        nd_width=nd_width,
+    )
+
+
+def figure6(
+    *,
+    corpus: Sequence[CorpusGraph] | None = None,
+    graphs_per_group: int | None = 4,
+    aco_params: ACOParams | None = None,
+    nd_width: float = 1.0,
+) -> FigureData:
+    """Fig. 6: height and dummy-vertex count of AntColony vs LPL and LPL+PL."""
+    return _two_panel_figure(
+        "fig6",
+        "Height and DVC of Ant Colony layering compared with LPL and LPL with PL",
+        (
+            ("height", "Height (number of layers)"),
+            ("dummy_vertex_count", "Number of dummy vertices"),
+        ),
+        LPL_FAMILY,
+        corpus=corpus,
+        graphs_per_group=graphs_per_group,
+        aco_params=aco_params,
+        nd_width=nd_width,
+    )
+
+
+def figure7(
+    *,
+    corpus: Sequence[CorpusGraph] | None = None,
+    graphs_per_group: int | None = 4,
+    aco_params: ACOParams | None = None,
+    nd_width: float = 1.0,
+) -> FigureData:
+    """Fig. 7: height and dummy-vertex count of AntColony vs MinWidth and MinWidth+PL."""
+    return _two_panel_figure(
+        "fig7",
+        "Height and DVC of Ant Colony layering compared with MinWidth and MinWidth with PL",
+        (
+            ("height", "Height (number of layers)"),
+            ("dummy_vertex_count", "Number of dummy vertices"),
+        ),
+        MINWIDTH_FAMILY,
+        corpus=corpus,
+        graphs_per_group=graphs_per_group,
+        aco_params=aco_params,
+        nd_width=nd_width,
+    )
+
+
+def figure8(
+    *,
+    corpus: Sequence[CorpusGraph] | None = None,
+    graphs_per_group: int | None = 4,
+    aco_params: ACOParams | None = None,
+    nd_width: float = 1.0,
+) -> FigureData:
+    """Fig. 8: edge density and running time of AntColony vs LPL and LPL+PL."""
+    return _two_panel_figure(
+        "fig8",
+        "Edge density and running time of Ant Colony layering compared with LPL and LPL with PL",
+        (
+            ("edge_density", "Edge density"),
+            ("running_time", "Running time (seconds)"),
+        ),
+        LPL_FAMILY,
+        corpus=corpus,
+        graphs_per_group=graphs_per_group,
+        aco_params=aco_params,
+        nd_width=nd_width,
+    )
+
+
+def figure9(
+    *,
+    corpus: Sequence[CorpusGraph] | None = None,
+    graphs_per_group: int | None = 4,
+    aco_params: ACOParams | None = None,
+    nd_width: float = 1.0,
+) -> FigureData:
+    """Fig. 9: edge density and running time of AntColony vs MinWidth and MinWidth+PL."""
+    return _two_panel_figure(
+        "fig9",
+        "Edge density and running time of Ant Colony layering compared with MinWidth and MinWidth with PL",
+        (
+            ("edge_density", "Edge density"),
+            ("running_time", "Running time (seconds)"),
+        ),
+        MINWIDTH_FAMILY,
+        corpus=corpus,
+        graphs_per_group=graphs_per_group,
+        aco_params=aco_params,
+        nd_width=nd_width,
+    )
+
+
+#: Registry of all reproduced figures, keyed by figure id.
+FIGURES: dict[str, Callable[..., FigureData]] = {
+    "fig4": figure4,
+    "fig5": figure5,
+    "fig6": figure6,
+    "fig7": figure7,
+    "fig8": figure8,
+    "fig9": figure9,
+}

@@ -1,0 +1,93 @@
+"""Plain-text rendering of experiment results.
+
+Everything the harness produces (figure series, comparison runs, tuning
+sweeps) can be rendered as aligned text tables — the closest offline
+equivalent of the paper's plots, and what the benchmark modules print so the
+reproduced "rows/series" are visible in the pytest-benchmark output.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.experiments.figures import FigureData
+from repro.experiments.runner import ComparisonResult
+from repro.experiments.tuning import SweepResult
+
+__all__ = ["format_series_table", "format_figure", "format_comparison", "format_sweep"]
+
+
+def format_series_table(
+    series: Mapping[str, Mapping[int, float]],
+    *,
+    value_header: str = "value",
+    precision: int = 2,
+) -> str:
+    """Render ``{algorithm: {vertex_count: value}}`` as an aligned text table."""
+    algorithms = list(series)
+    vertex_counts = sorted({vc for s in series.values() for vc in s})
+    header = ["n"] + algorithms
+    rows = [header]
+    for vc in vertex_counts:
+        row = [str(vc)]
+        for alg in algorithms:
+            value = series[alg].get(vc)
+            row.append("-" if value is None else f"{value:.{precision}f}")
+        rows.append(row)
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+    lines = [f"({value_header})"]
+    for i, row in enumerate(rows):
+        lines.append("  ".join(cell.rjust(widths[j]) for j, cell in enumerate(row)))
+        if i == 0:
+            lines.append("  ".join("-" * widths[j] for j in range(len(header))))
+    return "\n".join(lines)
+
+
+def format_figure(figure: FigureData, *, precision: int = 2) -> str:
+    """Render every panel of a reproduced figure as text tables."""
+    blocks = [f"{figure.figure_id.upper()}: {figure.title}"]
+    for panel in figure.panels:
+        blocks.append(
+            format_series_table(panel.series, value_header=panel.ylabel, precision=precision)
+        )
+    return "\n\n".join(blocks)
+
+
+def format_comparison(
+    comparison: ComparisonResult, metric: str, *, precision: int = 2
+) -> str:
+    """Render one metric of a comparison run as a text table."""
+    return format_series_table(
+        comparison.all_series(metric), value_header=metric, precision=precision
+    )
+
+
+def format_sweep(sweep: SweepResult, *, precision: int = 4) -> str:
+    """Render a parameter sweep: one row per setting, best marked with ``*``."""
+    best = sweep.best().setting
+    header = list(sweep.parameter_names) + [
+        "mean_objective",
+        "mean_width_incl",
+        "mean_height",
+        "mean_runtime_s",
+        "",
+    ]
+    rows = [header]
+    for point in sweep.points:
+        rows.append(
+            [
+                *(f"{x:g}" for x in point.setting),
+                f"{point.mean_objective:.{precision}f}",
+                f"{point.mean_width_including_dummies:.2f}",
+                f"{point.mean_height:.2f}",
+                f"{point.mean_running_time:.4f}",
+                "*" if point.setting == best else "",
+            ]
+        )
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+    lines = []
+    for i, row in enumerate(rows):
+        lines.append("  ".join(cell.rjust(widths[j]) for j, cell in enumerate(row)))
+        if i == 0:
+            lines.append("  ".join("-" * widths[j] for j in range(len(header))))
+    return "\n".join(lines)

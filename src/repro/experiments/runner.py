@@ -1,0 +1,200 @@
+"""Run layering algorithms over a corpus and aggregate the paper's metrics.
+
+The evaluation of the paper compares five algorithms — LPL, LPL+PL, MinWidth,
+MinWidth+PL and the Ant Colony — on five criteria, averaged per vertex-count
+group.  :func:`run_comparison` does exactly that for any algorithm set and any
+corpus, recording the per-graph metrics and wall-clock running times and
+exposing group means through :class:`ComparisonResult`, which is the data
+source for every figure module and benchmark.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.aco.layering_aco import aco_layering
+from repro.aco.params import ACOParams
+from repro.datasets.corpus import CorpusGraph
+from repro.graph.digraph import DiGraph
+from repro.layering.base import Layering
+from repro.layering.longest_path import longest_path_layering
+from repro.layering.metrics import LayeringMetrics, evaluate_layering
+from repro.layering.minwidth import minwidth_layering_sweep
+from repro.layering.promote import promote_layering
+from repro.utils.exceptions import ValidationError
+
+__all__ = [
+    "LayeringAlgorithm",
+    "AlgorithmResult",
+    "ComparisonResult",
+    "default_algorithms",
+    "run_on_graph",
+    "run_comparison",
+]
+
+LayeringAlgorithm = Callable[[DiGraph], Layering]
+
+#: Metric names understood by :meth:`ComparisonResult.series`.
+METRIC_NAMES = (
+    "height",
+    "width_including_dummies",
+    "width_excluding_dummies",
+    "dummy_vertex_count",
+    "edge_density",
+    "running_time",
+    "objective",
+)
+
+
+def default_algorithms(
+    *,
+    aco_params: ACOParams | None = None,
+    include_aco: bool = True,
+) -> dict[str, LayeringAlgorithm]:
+    """The five algorithms of the paper's evaluation, keyed by display name.
+
+    Parameters
+    ----------
+    aco_params:
+        Parameters for the Ant Colony entry; defaults to the paper's adopted
+        configuration (α=1, β=3, 10 tours) with a fixed seed.
+    include_aco:
+        Set to ``False`` to get only the four baselines (handy for quick
+        tests of the harness itself).
+    """
+    params = aco_params if aco_params is not None else ACOParams(seed=0)
+    algorithms: dict[str, LayeringAlgorithm] = {
+        "LPL": longest_path_layering,
+        "LPL+PL": lambda g: promote_layering(g, longest_path_layering(g)),
+        "MinWidth": minwidth_layering_sweep,
+        "MinWidth+PL": lambda g: promote_layering(g, minwidth_layering_sweep(g)),
+    }
+    if include_aco:
+        algorithms["AntColony"] = lambda g: aco_layering(g, params)
+    return algorithms
+
+
+@dataclass(frozen=True)
+class AlgorithmResult:
+    """One algorithm applied to one corpus graph."""
+
+    algorithm: str
+    graph_name: str
+    vertex_count: int
+    metrics: LayeringMetrics
+    running_time: float
+
+    def value(self, metric: str) -> float:
+        """Look up a metric by name (``running_time`` included)."""
+        if metric == "running_time":
+            return self.running_time
+        try:
+            return float(getattr(self.metrics, metric))
+        except AttributeError:
+            raise ValidationError(
+                f"unknown metric {metric!r}; choose from {METRIC_NAMES}"
+            ) from None
+
+
+@dataclass
+class ComparisonResult:
+    """All per-graph results of a comparison run, with group-mean accessors."""
+
+    results: list[AlgorithmResult] = field(default_factory=list)
+    nd_width: float = 1.0
+
+    @property
+    def algorithms(self) -> list[str]:
+        """Algorithm names present, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for r in self.results:
+            seen.setdefault(r.algorithm, None)
+        return list(seen)
+
+    @property
+    def vertex_counts(self) -> list[int]:
+        """Sorted vertex-count groups present in the results."""
+        return sorted({r.vertex_count for r in self.results})
+
+    def group_mean(self, algorithm: str, vertex_count: int, metric: str) -> float:
+        """Mean of *metric* for *algorithm* over all graphs of one group."""
+        values = [
+            r.value(metric)
+            for r in self.results
+            if r.algorithm == algorithm and r.vertex_count == vertex_count
+        ]
+        if not values:
+            raise ValidationError(
+                f"no results for algorithm={algorithm!r}, vertex_count={vertex_count}"
+            )
+        return statistics.fmean(values)
+
+    def series(self, algorithm: str, metric: str) -> dict[int, float]:
+        """``vertex_count -> group mean`` series for one algorithm and metric."""
+        return {
+            vc: self.group_mean(algorithm, vc, metric) for vc in self.vertex_counts
+        }
+
+    def all_series(self, metric: str) -> dict[str, dict[int, float]]:
+        """Series for every algorithm, keyed by algorithm name."""
+        return {alg: self.series(alg, metric) for alg in self.algorithms}
+
+
+def run_on_graph(
+    algorithm_name: str,
+    algorithm: LayeringAlgorithm,
+    graph: DiGraph,
+    *,
+    graph_name: str = "",
+    vertex_count: int | None = None,
+    nd_width: float = 1.0,
+) -> AlgorithmResult:
+    """Apply one algorithm to one graph, timing it and computing all metrics."""
+    start = time.perf_counter()
+    layering = algorithm(graph)
+    elapsed = time.perf_counter() - start
+    metrics = evaluate_layering(graph, layering, nd_width=nd_width)
+    return AlgorithmResult(
+        algorithm=algorithm_name,
+        graph_name=graph_name or f"graph-n{graph.n_vertices}",
+        vertex_count=vertex_count if vertex_count is not None else graph.n_vertices,
+        metrics=metrics,
+        running_time=elapsed,
+    )
+
+
+def run_comparison(
+    corpus: Iterable[CorpusGraph] | Sequence[CorpusGraph],
+    algorithms: Mapping[str, LayeringAlgorithm] | None = None,
+    *,
+    nd_width: float = 1.0,
+) -> ComparisonResult:
+    """Run every algorithm on every corpus graph and collect the results.
+
+    Parameters
+    ----------
+    corpus: corpus entries (e.g. from :func:`repro.datasets.att_like_corpus`).
+    algorithms: name → ``graph -> Layering`` mapping; defaults to the paper's
+        five algorithms.
+    nd_width: dummy-vertex width used by the metrics.
+    """
+    algs = dict(algorithms) if algorithms is not None else default_algorithms()
+    if not algs:
+        raise ValidationError("at least one algorithm is required")
+    comparison = ComparisonResult(nd_width=nd_width)
+    for entry in corpus:
+        for name, algorithm in algs.items():
+            comparison.results.append(
+                run_on_graph(
+                    name,
+                    algorithm,
+                    entry.graph,
+                    graph_name=entry.name,
+                    vertex_count=entry.vertex_count,
+                    nd_width=nd_width,
+                )
+            )
+    return comparison

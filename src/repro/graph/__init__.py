@@ -1,0 +1,91 @@
+"""Directed-graph substrate used by every layering algorithm in the library.
+
+The central class is :class:`repro.graph.digraph.DiGraph`, a small
+insertion-ordered adjacency-list digraph with per-vertex drawing attributes
+(width, label).  It is deliberately independent of :mod:`networkx` — the
+layering and ACO code paths only ever touch this class — but conversion
+helpers are provided in :mod:`repro.graph.io` so users can move graphs in and
+out of the wider Python graph ecosystem.
+
+Submodules
+----------
+``digraph``
+    The :class:`DiGraph` container itself.
+``acyclicity``
+    Topological sorting, cycle detection and greedy feedback-arc-set cycle
+    removal (the "step 0" of the Sugiyama framework).
+``generators``
+    Random and structured DAG generators, including the sparse generator used
+    to build the synthetic AT&T-like benchmark corpus.
+``transforms``
+    Structural transforms: reverse, condensation, transitive closure and
+    reduction, induced subgraphs, relabeling.
+``io``
+    Plain-text and JSON serialisation plus networkx interop.
+``validation``
+    Invariant checks shared by tests and algorithms.
+"""
+
+from repro.graph.acyclicity import (
+    feedback_arc_set,
+    find_cycle,
+    is_acyclic,
+    make_acyclic,
+    topological_sort,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    att_like_dag,
+    gnp_dag,
+    layered_random_dag,
+    longest_path_dag,
+    random_binary_tree_dag,
+    random_tree_dag,
+    series_parallel_dag,
+)
+from repro.graph.io import (
+    from_networkx,
+    read_edgelist,
+    to_networkx,
+    write_dot,
+    write_edgelist,
+)
+from repro.graph.transforms import (
+    condensation,
+    induced_subgraph,
+    relabel,
+    reverse,
+    transitive_closure,
+    transitive_reduction,
+)
+
+__all__ = [
+    "DiGraph",
+    # acyclicity
+    "topological_sort",
+    "is_acyclic",
+    "find_cycle",
+    "feedback_arc_set",
+    "make_acyclic",
+    # generators
+    "gnp_dag",
+    "layered_random_dag",
+    "random_tree_dag",
+    "random_binary_tree_dag",
+    "series_parallel_dag",
+    "longest_path_dag",
+    "att_like_dag",
+    # io
+    "to_networkx",
+    "from_networkx",
+    "read_edgelist",
+    "write_edgelist",
+    "write_dot",
+    # transforms
+    "reverse",
+    "condensation",
+    "transitive_closure",
+    "transitive_reduction",
+    "induced_subgraph",
+    "relabel",
+]

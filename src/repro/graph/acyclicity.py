@@ -1,0 +1,202 @@
+"""Acyclicity tools: topological sorting, cycle detection and cycle removal.
+
+The layering algorithms in this library require a DAG.  Real inputs are often
+general digraphs, so the Sugiyama framework prepends a *cycle removal* step
+that reverses a small set of edges (a feedback arc set) to make the graph
+acyclic.  This module provides:
+
+* :func:`topological_sort` — Kahn's algorithm, raising :class:`CycleError`
+  with a witness cycle when the graph is cyclic;
+* :func:`is_acyclic` / :func:`find_cycle` — cheap cycle queries;
+* :func:`feedback_arc_set` — the Eades–Lin–Smyth greedy heuristic, which
+  guarantees at most ``|E|/2 - |V|/6`` reversed edges;
+* :func:`make_acyclic` — apply the heuristic and return the acyclified graph
+  together with the list of reversed edges so drawings can restore the
+  original arrowheads.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from repro.graph.digraph import DiGraph, Vertex
+from repro.utils.exceptions import CycleError
+
+__all__ = [
+    "topological_sort",
+    "is_acyclic",
+    "find_cycle",
+    "feedback_arc_set",
+    "make_acyclic",
+    "longest_path_lengths",
+]
+
+
+def topological_sort(graph: DiGraph) -> list[Vertex]:
+    """Return the vertices of *graph* in a topological order (Kahn's algorithm).
+
+    Ties are broken by insertion order, so the result is deterministic for a
+    given construction sequence.
+
+    Raises
+    ------
+    CycleError
+        If the graph contains a directed cycle; the exception carries a
+        witness cycle.
+    """
+    in_deg = {v: graph.in_degree(v) for v in graph.vertices()}
+    queue: deque[Vertex] = deque(v for v in graph.vertices() if in_deg[v] == 0)
+    order: list[Vertex] = []
+    while queue:
+        v = queue.popleft()
+        order.append(v)
+        for w in graph.successors(v):
+            in_deg[w] -= 1
+            if in_deg[w] == 0:
+                queue.append(w)
+    if len(order) != graph.n_vertices:
+        cycle = find_cycle(graph)
+        raise CycleError("graph contains a directed cycle", cycle=cycle)
+    return order
+
+
+def is_acyclic(graph: DiGraph) -> bool:
+    """Return ``True`` when *graph* contains no directed cycle."""
+    try:
+        topological_sort(graph)
+        return True
+    except CycleError:
+        return False
+
+
+def find_cycle(graph: DiGraph) -> list[Vertex] | None:
+    """Return one directed cycle as a vertex list, or ``None`` if acyclic.
+
+    The returned list ``[v0, ..., vk]`` satisfies: every consecutive pair is
+    an edge of the graph and ``(vk, v0)`` is also an edge.
+    """
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {v: WHITE for v in graph.vertices()}
+    parent: dict[Vertex, Vertex | None] = {}
+
+    for root in graph.vertices():
+        if colour[root] != WHITE:
+            continue
+        # Iterative DFS keeping an explicit stack of (vertex, iterator).
+        stack: list[tuple[Vertex, list[Vertex], int]] = [(root, graph.successors(root), 0)]
+        colour[root] = GREY
+        parent[root] = None
+        while stack:
+            v, succs, idx = stack[-1]
+            if idx < len(succs):
+                stack[-1] = (v, succs, idx + 1)
+                w = succs[idx]
+                if colour[w] == WHITE:
+                    colour[w] = GREY
+                    parent[w] = v
+                    stack.append((w, graph.successors(w), 0))
+                elif colour[w] == GREY:
+                    # Found a back edge v -> w: walk parents from v back to w.
+                    cycle = [v]
+                    cur = v
+                    while cur != w:
+                        cur = parent[cur]  # type: ignore[assignment]
+                        cycle.append(cur)
+                    cycle.reverse()
+                    return cycle
+            else:
+                colour[v] = BLACK
+                stack.pop()
+    return None
+
+
+def feedback_arc_set(graph: DiGraph) -> list[tuple[Vertex, Vertex]]:
+    """Greedy Eades–Lin–Smyth feedback arc set.
+
+    Builds a vertex sequence ``s1 + reversed(s2)`` by repeatedly peeling sinks
+    (appended to ``s2``), sources (appended to ``s1``) and, when neither
+    exists, the vertex maximising ``outdeg - indeg``.  Every edge that points
+    backwards with respect to the resulting sequence is returned; reversing
+    (or deleting) those edges makes the graph acyclic.
+
+    The result is empty exactly when the graph is already a DAG.
+    """
+    work = graph.copy()
+    s1: list[Vertex] = []
+    s2: list[Vertex] = []
+    while work.n_vertices:
+        progressed = True
+        while progressed:
+            progressed = False
+            for v in list(work.vertices()):
+                if work.out_degree(v) == 0:
+                    s2.append(v)
+                    work.remove_vertex(v)
+                    progressed = True
+            for v in list(work.vertices()):
+                if v in work and work.in_degree(v) == 0:
+                    s1.append(v)
+                    work.remove_vertex(v)
+                    progressed = True
+        if work.n_vertices:
+            v = max(work.vertices(), key=lambda u: work.out_degree(u) - work.in_degree(u))
+            s1.append(v)
+            work.remove_vertex(v)
+    sequence: Sequence[Vertex] = s1 + list(reversed(s2))
+    position = {v: i for i, v in enumerate(sequence)}
+    return [(u, v) for u, v in graph.edges() if position[u] > position[v]]
+
+
+def make_acyclic(graph: DiGraph) -> tuple[DiGraph, list[tuple[Vertex, Vertex]]]:
+    """Return an acyclic copy of *graph* plus the list of edges that were reversed.
+
+    Edges in the feedback arc set are reversed (not deleted); an edge whose
+    reversal already exists is dropped instead to keep the result simple.
+    The second element of the returned tuple lists the *original* orientation
+    of every reversed edge so callers can restore arrowheads after drawing.
+    """
+    fas = feedback_arc_set(graph)
+    if not fas:
+        return graph.copy(), []
+    fas_set = set(fas)
+    result = DiGraph(allow_self_loops=graph.allow_self_loops)
+    for v in graph.vertices():
+        result.add_vertex(v, width=graph.vertex_width(v), label=graph.vertex_label(v))
+    reversed_edges: list[tuple[Vertex, Vertex]] = []
+    for u, v in graph.edges():
+        if (u, v) in fas_set:
+            if not graph.has_edge(v, u) and not result.has_edge(v, u):
+                result.add_edge(v, u)
+            reversed_edges.append((u, v))
+        else:
+            result.add_edge(u, v)
+    return result, reversed_edges
+
+
+def longest_path_lengths(graph: DiGraph, *, from_sinks: bool = True) -> dict[Vertex, int]:
+    """Length (in edges) of the longest path from each vertex to a sink.
+
+    With ``from_sinks=False`` the longest path *from a source to the vertex*
+    is computed instead.  Both variants run in linear time over a topological
+    order and underpin the Longest-Path Layering algorithm and the layering
+    validity checks.
+
+    Raises
+    ------
+    CycleError
+        If the graph is cyclic.
+    """
+    order = topological_sort(graph)
+    dist = {v: 0 for v in graph.vertices()}
+    if from_sinks:
+        for v in reversed(order):
+            for w in graph.successors(v):
+                if dist[w] + 1 > dist[v]:
+                    dist[v] = dist[w] + 1
+    else:
+        for v in order:
+            for u in graph.predecessors(v):
+                if dist[u] + 1 > dist[v]:
+                    dist[v] = dist[u] + 1
+    return dist

@@ -1,0 +1,317 @@
+"""An insertion-ordered adjacency-list directed graph with drawing attributes.
+
+The DAG layering problem cares about two per-vertex attributes beyond the
+structure of the graph: the *width* of the rectangle enclosing the vertex
+(paper, Section II: "the width of a vertex is the width of the rectangle
+enclosing the vertex"; vertices with no label default to width one) and an
+optional human-readable *label*.  :class:`DiGraph` stores both and exposes the
+neighbourhood queries (``predecessors``/``successors``/degrees) that the
+layering algorithms in :mod:`repro.layering` and the ants in :mod:`repro.aco`
+issue millions of times, so the representation is kept to plain dictionaries
+of insertion-ordered sets for predictable, allocation-free iteration.
+
+Vertices may be any hashable object.  Iteration order over vertices and edges
+is insertion order, which keeps every algorithm in the library deterministic
+for a given construction sequence and seed.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Mapping
+
+from repro.utils.exceptions import GraphError
+
+Vertex = Hashable
+
+__all__ = ["DiGraph", "Vertex"]
+
+DEFAULT_VERTEX_WIDTH = 1.0
+
+
+class DiGraph:
+    """A simple directed graph (no parallel edges, no self-loops by default).
+
+    Parameters
+    ----------
+    vertices:
+        Optional iterable of vertices to add up front.
+    edges:
+        Optional iterable of ``(u, v)`` pairs.  Endpoints not already present
+        are added automatically with default attributes.
+    allow_self_loops:
+        When ``False`` (the default, and the only mode meaningful for DAG
+        layering) adding an edge ``(v, v)`` raises :class:`GraphError`.
+
+    Examples
+    --------
+    >>> g = DiGraph(edges=[("a", "b"), ("b", "c")])
+    >>> sorted(g.vertices())
+    ['a', 'b', 'c']
+    >>> g.out_degree("a"), g.in_degree("c")
+    (1, 1)
+    """
+
+    __slots__ = ("_succ", "_pred", "_width", "_label", "allow_self_loops")
+
+    def __init__(
+        self,
+        vertices: Iterable[Vertex] | None = None,
+        edges: Iterable[tuple[Vertex, Vertex]] | None = None,
+        *,
+        allow_self_loops: bool = False,
+    ) -> None:
+        # vertex -> dict used as an ordered set of neighbours
+        self._succ: dict[Vertex, dict[Vertex, None]] = {}
+        self._pred: dict[Vertex, dict[Vertex, None]] = {}
+        self._width: dict[Vertex, float] = {}
+        self._label: dict[Vertex, str | None] = {}
+        self.allow_self_loops = allow_self_loops
+        if vertices is not None:
+            for v in vertices:
+                self.add_vertex(v)
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # ------------------------------------------------------------------ #
+    # construction / mutation
+    # ------------------------------------------------------------------ #
+
+    def add_vertex(
+        self,
+        v: Vertex,
+        *,
+        width: float = DEFAULT_VERTEX_WIDTH,
+        label: str | None = None,
+    ) -> None:
+        """Add vertex *v*; updating attributes if it already exists.
+
+        ``width`` must be strictly positive — a zero-width real vertex would
+        make the layering width metric degenerate.
+        """
+        if width <= 0:
+            raise GraphError(f"vertex width must be positive, got {width!r} for {v!r}")
+        if v not in self._succ:
+            self._succ[v] = {}
+            self._pred[v] = {}
+        self._width[v] = float(width)
+        self._label[v] = label
+
+    def add_vertices(self, vs: Iterable[Vertex]) -> None:
+        """Add every vertex in *vs* with default attributes."""
+        for v in vs:
+            if v not in self._succ:
+                self.add_vertex(v)
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        """Add the directed edge ``u -> v`` (adding missing endpoints).
+
+        Adding an existing edge is a silent no-op; self-loops raise unless
+        the graph was created with ``allow_self_loops=True``.
+        """
+        if u == v and not self.allow_self_loops:
+            raise GraphError(f"self-loop {u!r}->{v!r} not allowed")
+        if u not in self._succ:
+            self.add_vertex(u)
+        if v not in self._succ:
+            self.add_vertex(v)
+        self._succ[u][v] = None
+        self._pred[v][u] = None
+
+    def add_edges(self, edges: Iterable[tuple[Vertex, Vertex]]) -> None:
+        """Add every edge in *edges*."""
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Remove the edge ``u -> v``; raise :class:`GraphError` if absent."""
+        if not self.has_edge(u, v):
+            raise GraphError(f"edge {u!r}->{v!r} not in graph")
+        del self._succ[u][v]
+        del self._pred[v][u]
+
+    def remove_vertex(self, v: Vertex) -> None:
+        """Remove vertex *v* and every incident edge."""
+        if v not in self._succ:
+            raise GraphError(f"vertex {v!r} not in graph")
+        for w in list(self._succ[v]):
+            del self._pred[w][v]
+        for u in list(self._pred[v]):
+            del self._succ[u][v]
+        del self._succ[v]
+        del self._pred[v]
+        del self._width[v]
+        del self._label[v]
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def has_vertex(self, v: Vertex) -> bool:
+        """Return ``True`` if *v* is a vertex of the graph."""
+        return v in self._succ
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Return ``True`` if ``u -> v`` is an edge of the graph."""
+        return u in self._succ and v in self._succ[u]
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over vertices in insertion order."""
+        return iter(self._succ)
+
+    def edges(self) -> Iterator[tuple[Vertex, Vertex]]:
+        """Iterate over edges ``(u, v)`` grouped by source, in insertion order."""
+        for u, nbrs in self._succ.items():
+            for v in nbrs:
+                yield (u, v)
+
+    @property
+    def n_vertices(self) -> int:
+        """Number of vertices."""
+        return len(self._succ)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of edges."""
+        return sum(len(nbrs) for nbrs in self._succ.values())
+
+    def successors(self, v: Vertex) -> list[Vertex]:
+        """Immediate successors of *v* (the set ``N+(v)`` of the paper)."""
+        self._check_vertex(v)
+        return list(self._succ[v])
+
+    def predecessors(self, v: Vertex) -> list[Vertex]:
+        """Immediate predecessors of *v* (the set ``N-(v)`` of the paper)."""
+        self._check_vertex(v)
+        return list(self._pred[v])
+
+    def out_degree(self, v: Vertex) -> int:
+        """Number of outgoing edges of *v*."""
+        self._check_vertex(v)
+        return len(self._succ[v])
+
+    def in_degree(self, v: Vertex) -> int:
+        """Number of incoming edges of *v*."""
+        self._check_vertex(v)
+        return len(self._pred[v])
+
+    def degree(self, v: Vertex) -> int:
+        """Total degree (in + out) of *v*."""
+        return self.in_degree(v) + self.out_degree(v)
+
+    def sources(self) -> list[Vertex]:
+        """Vertices with no incoming edges."""
+        return [v for v in self._succ if not self._pred[v]]
+
+    def sinks(self) -> list[Vertex]:
+        """Vertices with no outgoing edges."""
+        return [v for v in self._succ if not self._succ[v]]
+
+    def isolated_vertices(self) -> list[Vertex]:
+        """Vertices with neither incoming nor outgoing edges."""
+        return [v for v in self._succ if not self._succ[v] and not self._pred[v]]
+
+    # ------------------------------------------------------------------ #
+    # attributes
+    # ------------------------------------------------------------------ #
+
+    def vertex_width(self, v: Vertex) -> float:
+        """Drawing width of vertex *v* (defaults to 1.0)."""
+        self._check_vertex(v)
+        return self._width[v]
+
+    def set_vertex_width(self, v: Vertex, width: float) -> None:
+        """Set the drawing width of vertex *v* (must be positive)."""
+        self._check_vertex(v)
+        if width <= 0:
+            raise GraphError(f"vertex width must be positive, got {width!r} for {v!r}")
+        self._width[v] = float(width)
+
+    def vertex_widths(self) -> Mapping[Vertex, float]:
+        """A read-only view of the vertex-width mapping."""
+        return dict(self._width)
+
+    def vertex_label(self, v: Vertex) -> str | None:
+        """Label of vertex *v* (``None`` if unset)."""
+        self._check_vertex(v)
+        return self._label[v]
+
+    def set_vertex_label(self, v: Vertex, label: str | None) -> None:
+        """Set the label of vertex *v*."""
+        self._check_vertex(v)
+        self._label[v] = label
+
+    def total_vertex_width(self) -> float:
+        """Sum of all real-vertex widths (an upper bound on any layer's real width)."""
+        return sum(self._width.values())
+
+    # ------------------------------------------------------------------ #
+    # derived graphs
+    # ------------------------------------------------------------------ #
+
+    def copy(self) -> "DiGraph":
+        """Return an independent deep copy (attributes included)."""
+        g = DiGraph(allow_self_loops=self.allow_self_loops)
+        for v in self._succ:
+            g.add_vertex(v, width=self._width[v], label=self._label[v])
+        for u, v in self.edges():
+            g.add_edge(u, v)
+        return g
+
+    def reverse(self) -> "DiGraph":
+        """Return a copy with every edge direction flipped."""
+        g = DiGraph(allow_self_loops=self.allow_self_loops)
+        for v in self._succ:
+            g.add_vertex(v, width=self._width[v], label=self._label[v])
+        for u, v in self.edges():
+            g.add_edge(v, u)
+        return g
+
+    def subgraph(self, keep: Iterable[Vertex]) -> "DiGraph":
+        """Return the subgraph induced by the vertices in *keep*."""
+        keep_set = set(keep)
+        missing = keep_set - set(self._succ)
+        if missing:
+            raise GraphError(f"vertices not in graph: {sorted(map(repr, missing))}")
+        g = DiGraph(allow_self_loops=self.allow_self_loops)
+        for v in self._succ:
+            if v in keep_set:
+                g.add_vertex(v, width=self._width[v], label=self._label[v])
+        for u, v in self.edges():
+            if u in keep_set and v in keep_set:
+                g.add_edge(u, v)
+        return g
+
+    # ------------------------------------------------------------------ #
+    # dunder / misc
+    # ------------------------------------------------------------------ #
+
+    def _check_vertex(self, v: Vertex) -> None:
+        if v not in self._succ:
+            raise GraphError(f"vertex {v!r} not in graph")
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._succ)
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same vertex set, edge set, widths and labels."""
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        return (
+            set(self._succ) == set(other._succ)
+            and set(self.edges()) == set(other.edges())
+            and self._width == other._width
+            and self._label == other._label
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(n_vertices={self.n_vertices}, "
+            f"n_edges={self.n_edges})"
+        )

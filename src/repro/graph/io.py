@@ -1,0 +1,193 @@
+"""Graph serialisation and interoperability helpers.
+
+Formats
+-------
+* **edge list** — one ``u v`` pair per line, ``#``-prefixed comments, plus an
+  optional header block carrying vertex attributes.  This is the format used
+  to snapshot corpus graphs on disk.
+* **JSON** — a dictionary with explicit vertex/edge/attribute lists; round
+  trips every attribute.
+* **DOT** — write-only, for eyeballing graphs in Graphviz.
+* **networkx** — conversion in both directions (``width``/``label`` become
+  node attributes) so the wider ecosystem of generators and analysis tools is
+  one call away.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import networkx as nx
+
+from repro.graph.digraph import DEFAULT_VERTEX_WIDTH, DiGraph
+from repro.utils.exceptions import GraphError
+
+__all__ = [
+    "to_networkx",
+    "from_networkx",
+    "write_edgelist",
+    "read_edgelist",
+    "to_json_dict",
+    "from_json_dict",
+    "write_json",
+    "read_json",
+    "write_dot",
+]
+
+
+# --------------------------------------------------------------------------- #
+# networkx interop
+# --------------------------------------------------------------------------- #
+
+
+def to_networkx(graph: DiGraph) -> nx.DiGraph:
+    """Convert to :class:`networkx.DiGraph`, carrying ``width`` and ``label`` node attrs."""
+    g = nx.DiGraph()
+    for v in graph.vertices():
+        g.add_node(v, width=graph.vertex_width(v), label=graph.vertex_label(v))
+    g.add_edges_from(graph.edges())
+    return g
+
+
+def from_networkx(g: nx.DiGraph) -> DiGraph:
+    """Convert from :class:`networkx.DiGraph` (or ``MultiDiGraph``; parallel edges collapse).
+
+    Node attributes ``width`` and ``label`` are honoured when present.
+    """
+    if not g.is_directed():
+        raise GraphError("from_networkx expects a directed networkx graph")
+    out = DiGraph()
+    for v, data in g.nodes(data=True):
+        out.add_vertex(
+            v,
+            width=float(data.get("width", DEFAULT_VERTEX_WIDTH)),
+            label=data.get("label"),
+        )
+    for u, v in g.edges():
+        if u == v:
+            continue
+        if not out.has_edge(u, v):
+            out.add_edge(u, v)
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# edge-list format
+# --------------------------------------------------------------------------- #
+
+
+def write_edgelist(graph: DiGraph, path: str | Path) -> None:
+    """Write *graph* as a plain-text edge list with a vertex-attribute header.
+
+    Format::
+
+        # repro edgelist v1
+        V <vertex> <width> <label-or-`-`>
+        ...
+        E <u> <v>
+        ...
+
+    Vertex names are written with ``str()``; reading back therefore yields
+    string vertex ids (documented behaviour, matching common edge-list tools).
+    """
+    path = Path(path)
+    lines = ["# repro edgelist v1"]
+    for v in graph.vertices():
+        label = graph.vertex_label(v)
+        lines.append(f"V {v} {graph.vertex_width(v)} {label if label is not None else '-'}")
+    for u, v in graph.edges():
+        lines.append(f"E {u} {v}")
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def read_edgelist(path: str | Path) -> DiGraph:
+    """Read a graph written by :func:`write_edgelist` (vertex ids become strings)."""
+    path = Path(path)
+    g = DiGraph()
+    for lineno, raw in enumerate(path.read_text(encoding="utf-8").splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if parts[0] == "V":
+            if len(parts) < 3:
+                raise GraphError(f"{path}:{lineno}: malformed vertex line {raw!r}")
+            label = None if len(parts) < 4 or parts[3] == "-" else parts[3]
+            g.add_vertex(parts[1], width=float(parts[2]), label=label)
+        elif parts[0] == "E":
+            if len(parts) != 3:
+                raise GraphError(f"{path}:{lineno}: malformed edge line {raw!r}")
+            g.add_edge(parts[1], parts[2])
+        else:
+            raise GraphError(f"{path}:{lineno}: unknown record type {parts[0]!r}")
+    return g
+
+
+# --------------------------------------------------------------------------- #
+# JSON format
+# --------------------------------------------------------------------------- #
+
+
+def to_json_dict(graph: DiGraph) -> dict[str, Any]:
+    """Return a JSON-serialisable dictionary representation of *graph*."""
+    return {
+        "format": "repro-digraph",
+        "version": 1,
+        "vertices": [
+            {"id": v, "width": graph.vertex_width(v), "label": graph.vertex_label(v)}
+            for v in graph.vertices()
+        ],
+        "edges": [[u, v] for u, v in graph.edges()],
+    }
+
+
+def from_json_dict(data: dict[str, Any]) -> DiGraph:
+    """Rebuild a graph from :func:`to_json_dict` output."""
+    if data.get("format") != "repro-digraph":
+        raise GraphError(f"not a repro-digraph JSON document: format={data.get('format')!r}")
+    g = DiGraph()
+    for rec in data["vertices"]:
+        vid = rec["id"]
+        # JSON keys round-trip lists to lists; vertex ids must stay hashable.
+        if isinstance(vid, list):
+            vid = tuple(vid)
+        g.add_vertex(vid, width=float(rec.get("width", DEFAULT_VERTEX_WIDTH)), label=rec.get("label"))
+    for u, v in data["edges"]:
+        if isinstance(u, list):
+            u = tuple(u)
+        if isinstance(v, list):
+            v = tuple(v)
+        g.add_edge(u, v)
+    return g
+
+
+def write_json(graph: DiGraph, path: str | Path) -> None:
+    """Serialise *graph* to a JSON file."""
+    Path(path).write_text(json.dumps(to_json_dict(graph), indent=2), encoding="utf-8")
+
+
+def read_json(path: str | Path) -> DiGraph:
+    """Load a graph from a JSON file produced by :func:`write_json`."""
+    return from_json_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+# --------------------------------------------------------------------------- #
+# DOT (write-only)
+# --------------------------------------------------------------------------- #
+
+
+def write_dot(graph: DiGraph, path: str | Path, *, name: str = "G") -> None:
+    """Write a Graphviz DOT representation (labels and widths become attributes)."""
+    lines = [f"digraph {name} {{"]
+    for v in graph.vertices():
+        label = graph.vertex_label(v)
+        attrs = [f'width="{graph.vertex_width(v)}"']
+        if label is not None:
+            attrs.append(f'label="{label}"')
+        lines.append(f'  "{v}" [{", ".join(attrs)}];')
+    for u, v in graph.edges():
+        lines.append(f'  "{u}" -> "{v}";')
+    lines.append("}")
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")

@@ -1,0 +1,198 @@
+"""Structural graph transforms used by tests, generators and the pipeline.
+
+None of these are on the hot path of the ACO algorithm; they exist so the
+library is usable as a general DAG toolkit (condensation of a cyclic input,
+transitive reduction before drawing, relabeling to integer ids for compact
+storage, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Mapping
+
+from repro.graph.acyclicity import topological_sort
+from repro.graph.digraph import DiGraph, Vertex
+from repro.utils.exceptions import GraphError
+
+__all__ = [
+    "reverse",
+    "relabel",
+    "to_integer_labels",
+    "induced_subgraph",
+    "strongly_connected_components",
+    "condensation",
+    "transitive_closure",
+    "transitive_reduction",
+    "union",
+]
+
+
+def reverse(graph: DiGraph) -> DiGraph:
+    """Return a copy of *graph* with all edges reversed (alias of ``graph.reverse()``)."""
+    return graph.reverse()
+
+
+def relabel(graph: DiGraph, mapping: Mapping[Vertex, Hashable] | Callable[[Vertex], Hashable]) -> DiGraph:
+    """Return a copy of *graph* with vertices renamed through *mapping*.
+
+    *mapping* may be a dict-like (missing keys keep their old name) or a
+    callable applied to every vertex.  The mapping must be injective on the
+    vertex set, otherwise a :class:`GraphError` is raised.
+    """
+    if callable(mapping) and not isinstance(mapping, Mapping):
+        name = {v: mapping(v) for v in graph.vertices()}
+    else:
+        name = {v: mapping.get(v, v) for v in graph.vertices()}  # type: ignore[union-attr]
+    if len(set(name.values())) != len(name):
+        raise GraphError("relabel mapping is not injective on the vertex set")
+    out = DiGraph(allow_self_loops=graph.allow_self_loops)
+    for v in graph.vertices():
+        out.add_vertex(name[v], width=graph.vertex_width(v), label=graph.vertex_label(v))
+    for u, v in graph.edges():
+        out.add_edge(name[u], name[v])
+    return out
+
+
+def to_integer_labels(graph: DiGraph) -> tuple[DiGraph, dict[Vertex, int]]:
+    """Relabel vertices to ``0..n-1`` in insertion order; also return the mapping."""
+    mapping = {v: i for i, v in enumerate(graph.vertices())}
+    return relabel(graph, mapping), mapping
+
+
+def induced_subgraph(graph: DiGraph, keep: Iterable[Vertex]) -> DiGraph:
+    """Subgraph induced by *keep* (alias of ``graph.subgraph``)."""
+    return graph.subgraph(keep)
+
+
+def strongly_connected_components(graph: DiGraph) -> list[list[Vertex]]:
+    """Tarjan's algorithm (iterative) returning SCCs in reverse topological order."""
+    index: dict[Vertex, int] = {}
+    lowlink: dict[Vertex, int] = {}
+    on_stack: set[Vertex] = set()
+    stack: list[Vertex] = []
+    components: list[list[Vertex]] = []
+    counter = 0
+
+    for root in graph.vertices():
+        if root in index:
+            continue
+        work: list[tuple[Vertex, int]] = [(root, 0)]
+        while work:
+            v, pi = work[-1]
+            if pi == 0:
+                index[v] = lowlink[v] = counter
+                counter += 1
+                stack.append(v)
+                on_stack.add(v)
+            advanced = False
+            succs = graph.successors(v)
+            while pi < len(succs):
+                w = succs[pi]
+                pi += 1
+                if w not in index:
+                    work[-1] = (v, pi)
+                    work.append((w, 0))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    lowlink[v] = min(lowlink[v], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[v])
+            if lowlink[v] == index[v]:
+                comp: list[Vertex] = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.append(w)
+                    if w == v:
+                        break
+                components.append(comp)
+    return components
+
+
+def condensation(graph: DiGraph) -> tuple[DiGraph, dict[Vertex, int]]:
+    """Contract every strongly connected component to a single vertex.
+
+    Returns the condensation DAG (vertices ``0..k-1``, one per SCC, width equal
+    to the sum of member widths) and a mapping from original vertex to its
+    component id.  The condensation of any digraph is acyclic, so this is the
+    standard way to feed a cyclic input to the layering algorithms without
+    reversing edges.
+    """
+    comps = strongly_connected_components(graph)
+    comp_id: dict[Vertex, int] = {}
+    for i, comp in enumerate(comps):
+        for v in comp:
+            comp_id[v] = i
+    dag = DiGraph()
+    for i, comp in enumerate(comps):
+        width = sum(graph.vertex_width(v) for v in comp)
+        dag.add_vertex(i, width=width, label="+".join(str(v) for v in comp))
+    for u, v in graph.edges():
+        cu, cv = comp_id[u], comp_id[v]
+        if cu != cv and not dag.has_edge(cu, cv):
+            dag.add_edge(cu, cv)
+    return dag, comp_id
+
+
+def transitive_closure(graph: DiGraph) -> DiGraph:
+    """Return the transitive closure of a DAG (edge ``u->v`` iff a path exists)."""
+    order = topological_sort(graph)
+    reach: dict[Vertex, set[Vertex]] = {v: set() for v in graph.vertices()}
+    for v in reversed(order):
+        for w in graph.successors(v):
+            reach[v].add(w)
+            reach[v] |= reach[w]
+    closure = DiGraph()
+    for v in graph.vertices():
+        closure.add_vertex(v, width=graph.vertex_width(v), label=graph.vertex_label(v))
+    for v, targets in reach.items():
+        for w in targets:
+            closure.add_edge(v, w)
+    return closure
+
+
+def transitive_reduction(graph: DiGraph) -> DiGraph:
+    """Return the transitive reduction of a DAG.
+
+    The reduction keeps edge ``u -> v`` only when there is no other path from
+    ``u`` to ``v``.  For a DAG the reduction is unique.
+    """
+    order = topological_sort(graph)
+    position = {v: i for i, v in enumerate(order)}
+    # descendants[v]: vertices reachable from v via paths of length >= 1
+    descendants: dict[Vertex, set[Vertex]] = {v: set() for v in graph.vertices()}
+    reduced_edges: list[tuple[Vertex, Vertex]] = []
+    for v in reversed(order):
+        succs = sorted(graph.successors(v), key=lambda w: position[w])
+        kept: list[Vertex] = []
+        reach_from_kept: set[Vertex] = set()
+        for w in succs:
+            if w in reach_from_kept:
+                continue  # w reachable through an already-kept successor
+            kept.append(w)
+            reach_from_kept.add(w)
+            reach_from_kept |= descendants[w]
+        for w in kept:
+            reduced_edges.append((v, w))
+        descendants[v] = reach_from_kept
+    reduction = DiGraph()
+    for v in graph.vertices():
+        reduction.add_vertex(v, width=graph.vertex_width(v), label=graph.vertex_label(v))
+    reduction.add_edges(reduced_edges)
+    return reduction
+
+
+def union(a: DiGraph, b: DiGraph) -> DiGraph:
+    """Disjoint-aware union: vertices/edges of both graphs (attributes from *b* win on clashes)."""
+    out = a.copy()
+    for v in b.vertices():
+        out.add_vertex(v, width=b.vertex_width(v), label=b.vertex_label(v))
+    for u, v in b.edges():
+        if not out.has_edge(u, v):
+            out.add_edge(u, v)
+    return out

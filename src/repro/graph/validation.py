@@ -1,0 +1,52 @@
+"""Structural invariant checks shared by tests and algorithm entry points.
+
+The checks raise :class:`repro.utils.exceptions.ValidationError` (for bad
+parameters) or :class:`GraphError`/:class:`CycleError` (for structural
+problems) with actionable messages; the ``require_*`` helpers are meant to be
+called at the top of public algorithm functions so user errors surface early
+rather than as index errors deep inside a heuristic.
+"""
+
+from __future__ import annotations
+
+from repro.graph.acyclicity import find_cycle, is_acyclic
+from repro.graph.digraph import DiGraph
+from repro.utils.exceptions import CycleError, GraphError
+
+__all__ = [
+    "require_dag",
+    "require_nonempty",
+    "check_consistency",
+]
+
+
+def require_nonempty(graph: DiGraph) -> None:
+    """Raise :class:`GraphError` when *graph* has no vertices."""
+    if graph.n_vertices == 0:
+        raise GraphError("operation requires a graph with at least one vertex")
+
+
+def require_dag(graph: DiGraph) -> None:
+    """Raise :class:`CycleError` (with a witness cycle) when *graph* is cyclic."""
+    if not is_acyclic(graph):
+        raise CycleError(
+            "operation requires an acyclic graph; "
+            "use repro.graph.make_acyclic or repro.graph.condensation first",
+            cycle=find_cycle(graph),
+        )
+
+
+def check_consistency(graph: DiGraph) -> None:
+    """Verify the internal successor/predecessor mirrors agree.
+
+    This is an internal-integrity check used by property-based tests after
+    random mutation sequences; it raises :class:`GraphError` on any mismatch.
+    """
+    succ_edges = {(u, v) for u in graph.vertices() for v in graph.successors(u)}
+    pred_edges = {(u, v) for v in graph.vertices() for u in graph.predecessors(v)}
+    if succ_edges != pred_edges:
+        missing = succ_edges.symmetric_difference(pred_edges)
+        raise GraphError(f"successor/predecessor adjacency mismatch on edges: {sorted(map(repr, missing))}")
+    for u, v in succ_edges:
+        if not graph.has_vertex(u) or not graph.has_vertex(v):
+            raise GraphError(f"edge {(u, v)!r} references a vertex missing from the vertex set")

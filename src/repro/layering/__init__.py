@@ -1,0 +1,68 @@
+"""Layering algorithms and layering-quality metrics.
+
+A *layering* of a DAG ``G = (V, E)`` is a partition of ``V`` into layers
+``L1 .. Lh`` such that for every edge ``(u, v)`` the source sits on a strictly
+higher layer than the target (paper, Section II).  This package contains:
+
+* the :class:`~repro.layering.base.Layering` value type plus validity checks;
+* the quality metrics the paper evaluates (width with and without dummy
+  vertices, height, dummy-vertex count, edge density) in
+  :mod:`repro.layering.metrics`;
+* dummy-vertex insertion (proper layering) in :mod:`repro.layering.dummy`;
+* the layer-span machinery and the LPL-stretching step that the ACO algorithm
+  builds on (:mod:`repro.layering.span`, :mod:`repro.layering.stretch`);
+* the four baseline algorithms of the paper — Longest-Path Layering, MinWidth,
+  and both combined with Promote Layering — plus two extra baselines
+  referenced by the paper (Coffman–Graham and a network-simplex-equivalent
+  exact minimum-dummy layering).
+"""
+
+from repro.layering.base import Layering
+from repro.layering.coffman_graham import coffman_graham_layering
+from repro.layering.dummy import DummyVertex, make_proper
+from repro.layering.longest_path import longest_path_layering
+from repro.layering.metrics import (
+    LayeringMetrics,
+    dummy_vertex_count,
+    edge_density,
+    edge_density_normalized,
+    evaluate_layering,
+    layer_widths,
+    layering_height,
+    width_excluding_dummies,
+    width_including_dummies,
+)
+from repro.layering.minwidth import minwidth_layering, minwidth_layering_sweep
+from repro.layering.network_simplex import minimum_dummy_layering
+from repro.layering.promote import promote_layering, promotion_round
+from repro.layering.span import all_layer_spans, layer_span
+from repro.layering.stretch import stretch_above_below, stretch_between
+
+__all__ = [
+    "Layering",
+    "DummyVertex",
+    "make_proper",
+    # metrics
+    "LayeringMetrics",
+    "evaluate_layering",
+    "layer_widths",
+    "layering_height",
+    "width_including_dummies",
+    "width_excluding_dummies",
+    "dummy_vertex_count",
+    "edge_density",
+    "edge_density_normalized",
+    # algorithms
+    "longest_path_layering",
+    "minwidth_layering",
+    "minwidth_layering_sweep",
+    "promote_layering",
+    "promotion_round",
+    "coffman_graham_layering",
+    "minimum_dummy_layering",
+    # span / stretching
+    "layer_span",
+    "all_layer_spans",
+    "stretch_between",
+    "stretch_above_below",
+]

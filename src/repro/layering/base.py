@@ -1,0 +1,203 @@
+"""The :class:`Layering` value type.
+
+A layering assigns every vertex of a DAG an integer layer ``>= 1``.  Layers
+are numbered **bottom-up**, exactly as in the paper's Preliminaries: for every
+edge ``(u, v)`` the source must satisfy ``layer(u) > layer(v)`` (all edges
+point downwards when layer 1 is drawn at the bottom).
+
+The class is a thin immutable-ish wrapper over a ``dict`` that adds the
+operations every algorithm needs: height, per-layer vertex lists,
+normalisation (dropping empty layers), validity checking against a graph, and
+edge spans.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.graph.digraph import DiGraph, Vertex
+from repro.utils.exceptions import LayeringError
+
+__all__ = ["Layering"]
+
+
+class Layering:
+    """An assignment of vertices to integer layers (1-based, bottom-up).
+
+    Parameters
+    ----------
+    assignment:
+        Mapping from vertex to layer number.  Layer numbers must be integers
+        ``>= 1``; they need not be contiguous (use :meth:`normalized` to
+        compact them).
+
+    Examples
+    --------
+    >>> lay = Layering({"a": 2, "b": 1})
+    >>> lay.height
+    2
+    >>> lay.vertices_on(1)
+    ['b']
+    """
+
+    __slots__ = ("_assignment",)
+
+    def __init__(self, assignment: Mapping[Vertex, int]) -> None:
+        cleaned: dict[Vertex, int] = {}
+        for v, layer in assignment.items():
+            layer_int = int(layer)
+            if layer_int != layer or layer_int < 1:
+                raise LayeringError(
+                    f"layer of vertex {v!r} must be an integer >= 1, got {layer!r}"
+                )
+            cleaned[v] = layer_int
+        self._assignment = cleaned
+
+    # ------------------------------------------------------------------ #
+    # basic access
+    # ------------------------------------------------------------------ #
+
+    def layer_of(self, v: Vertex) -> int:
+        """Layer number of vertex *v*."""
+        try:
+            return self._assignment[v]
+        except KeyError:
+            raise LayeringError(f"vertex {v!r} has no layer assignment") from None
+
+    def __getitem__(self, v: Vertex) -> int:
+        return self.layer_of(v)
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._assignment
+
+    def __len__(self) -> int:
+        return len(self._assignment)
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._assignment)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Layering):
+            return self._assignment == other._assignment
+        if isinstance(other, Mapping):
+            return self._assignment == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"Layering(n_vertices={len(self)}, height={self.height})"
+
+    def items(self) -> Iterator[tuple[Vertex, int]]:
+        """Iterate over ``(vertex, layer)`` pairs."""
+        return iter(self._assignment.items())
+
+    def to_dict(self) -> dict[Vertex, int]:
+        """Return a plain mutable copy of the assignment."""
+        return dict(self._assignment)
+
+    # ------------------------------------------------------------------ #
+    # derived structure
+    # ------------------------------------------------------------------ #
+
+    @property
+    def height(self) -> int:
+        """Number of layers used: the highest assigned layer number.
+
+        For a normalised layering this equals the number of non-empty layers,
+        which is the paper's definition of layering height.
+        """
+        if not self._assignment:
+            return 0
+        return max(self._assignment.values())
+
+    @property
+    def min_layer(self) -> int:
+        """Lowest assigned layer number (1 for a normalised layering)."""
+        if not self._assignment:
+            return 0
+        return min(self._assignment.values())
+
+    def used_layers(self) -> list[int]:
+        """Sorted list of distinct layer numbers that hold at least one vertex."""
+        return sorted(set(self._assignment.values()))
+
+    def layers(self) -> dict[int, list[Vertex]]:
+        """Mapping ``layer -> [vertices]`` covering layers ``1..height`` (possibly empty lists)."""
+        out: dict[int, list[Vertex]] = {i: [] for i in range(1, self.height + 1)}
+        for v, layer in self._assignment.items():
+            out[layer].append(v)
+        return out
+
+    def vertices_on(self, layer: int) -> list[Vertex]:
+        """Vertices assigned to the given layer (in insertion order)."""
+        return [v for v, lay in self._assignment.items() if lay == layer]
+
+    def edge_span(self, u: Vertex, v: Vertex) -> int:
+        """Span of the edge ``(u, v)``: ``layer(u) - layer(v)`` (paper, Section II)."""
+        return self.layer_of(u) - self.layer_of(v)
+
+    # ------------------------------------------------------------------ #
+    # transformations
+    # ------------------------------------------------------------------ #
+
+    def copy(self) -> "Layering":
+        """Independent copy."""
+        return Layering(self._assignment)
+
+    def normalized(self) -> "Layering":
+        """Compact the layering: drop empty layers and renumber from 1 upward.
+
+        Relative vertical order of vertices is preserved.  This is the
+        "remove empty layers in the middle" post-processing step the paper
+        applies after the ant colony finishes.
+        """
+        used = self.used_layers()
+        rank = {layer: i + 1 for i, layer in enumerate(used)}
+        return Layering({v: rank[layer] for v, layer in self._assignment.items()})
+
+    def shifted(self, delta: int) -> "Layering":
+        """Return a copy with every layer number increased by *delta* (may not go below 1)."""
+        if self._assignment and self.min_layer + delta < 1:
+            raise LayeringError(
+                f"shift by {delta} would push layer {self.min_layer} below 1"
+            )
+        return Layering({v: layer + delta for v, layer in self._assignment.items()})
+
+    # ------------------------------------------------------------------ #
+    # validity
+    # ------------------------------------------------------------------ #
+
+    def validate(self, graph: DiGraph) -> None:
+        """Raise :class:`LayeringError` unless this is a valid layering of *graph*.
+
+        Valid means: every graph vertex has a layer, no extra vertices are
+        assigned, and every edge points strictly downwards
+        (``layer(u) > layer(v)`` for each edge ``(u, v)``).
+        """
+        graph_vertices = set(graph.vertices())
+        assigned = set(self._assignment)
+        missing = graph_vertices - assigned
+        if missing:
+            raise LayeringError(f"vertices without a layer: {sorted(map(repr, missing))}")
+        extra = assigned - graph_vertices
+        if extra:
+            raise LayeringError(f"layered vertices not in the graph: {sorted(map(repr, extra))}")
+        for u, v in graph.edges():
+            if self._assignment[u] <= self._assignment[v]:
+                raise LayeringError(
+                    f"edge ({u!r}, {v!r}) does not point downwards: "
+                    f"layer({u!r})={self._assignment[u]} <= layer({v!r})={self._assignment[v]}"
+                )
+
+    def is_valid(self, graph: DiGraph) -> bool:
+        """``True`` when :meth:`validate` would not raise."""
+        try:
+            self.validate(graph)
+            return True
+        except LayeringError:
+            return False
+
+    def is_proper(self, graph: DiGraph) -> bool:
+        """``True`` when every edge has span exactly one (no dummy vertices needed)."""
+        return self.is_valid(graph) and all(
+            self.edge_span(u, v) == 1 for u, v in graph.edges()
+        )

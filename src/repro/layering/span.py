@@ -1,0 +1,76 @@
+"""Layer-span computation.
+
+The *layer span* ``L(v)`` of a vertex is the contiguous range of layers it can
+occupy without flipping any edge, given the current layer assignment of its
+neighbours (paper, Section II).  With the bottom-up layer numbering used in
+this library:
+
+* every successor ``w`` of ``v`` forces ``layer(v) >= layer(w) + 1``;
+* every predecessor ``u`` of ``v`` forces ``layer(v) <= layer(u) - 1``;
+* in the absence of successors the lower bound is layer 1, and in the absence
+  of predecessors the upper bound is the total number of layers available.
+
+The span is recomputed from the neighbour assignment on demand; it is a pure
+function of the assignment, which keeps the ant implementation free of the
+bookkeeping bugs that a cached span table invites.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.graph.digraph import DiGraph, Vertex
+from repro.layering.base import Layering
+from repro.utils.exceptions import LayeringError
+
+__all__ = ["layer_span", "all_layer_spans"]
+
+
+def layer_span(
+    graph: DiGraph,
+    assignment: Mapping[Vertex, int] | Layering,
+    v: Vertex,
+    n_layers: int,
+) -> tuple[int, int]:
+    """Inclusive layer span ``(lowest, highest)`` of vertex *v*.
+
+    Parameters
+    ----------
+    graph: the DAG.
+    assignment: current layer of every vertex (the entry for *v* itself is
+        ignored — the span describes where *v* could go).
+    v: the vertex whose span is requested.
+    n_layers: total number of layers currently available (the stretched
+        layering's layer count in the ACO algorithm).
+
+    Raises
+    ------
+    LayeringError
+        If the neighbour assignment leaves no feasible layer (which can only
+        happen if the assignment is itself invalid).
+    """
+    lo = 1
+    hi = n_layers
+    for w in graph.successors(v):
+        lw = assignment[w]
+        if lw + 1 > lo:
+            lo = lw + 1
+    for u in graph.predecessors(v):
+        lu = assignment[u]
+        if lu - 1 < hi:
+            hi = lu - 1
+    if lo > hi:
+        raise LayeringError(
+            f"empty layer span for vertex {v!r}: successors force >= {lo}, "
+            f"predecessors force <= {hi}"
+        )
+    return lo, hi
+
+
+def all_layer_spans(
+    graph: DiGraph,
+    assignment: Mapping[Vertex, int] | Layering,
+    n_layers: int,
+) -> dict[Vertex, tuple[int, int]]:
+    """Layer span of every vertex under the given assignment."""
+    return {v: layer_span(graph, assignment, v, n_layers) for v in graph.vertices()}

@@ -1,0 +1,104 @@
+"""Stretching a layering to enlarge the ants' search space (paper, Section V-A).
+
+The ACO algorithm first layers the graph with LPL, then inserts new empty
+layers until the total number of layers equals ``|V|``.  This guarantees the
+search space contains every layering — including the minimum-width ones —
+because no layering of an ``n``-vertex DAG ever needs more than ``n`` layers.
+
+Two placement strategies are provided:
+
+* :func:`stretch_between` (the paper's choice, Fig. 2) distributes the new
+  layers evenly into the gaps *between* consecutive LPL layers, so the layer
+  span of every vertex grows roughly uniformly;
+* :func:`stretch_above_below` (the rejected alternative, Fig. 1) piles the new
+  layers above and/or below the existing layering, which only enlarges the
+  span of sources and sinks.  It is kept for the ablation benchmark that
+  quantifies how much the placement strategy matters.
+"""
+
+from __future__ import annotations
+
+from repro.layering.base import Layering
+from repro.utils.exceptions import ValidationError
+
+__all__ = ["stretch_between", "stretch_above_below"]
+
+
+def _validate_target(layering: Layering, target_layers: int) -> int:
+    height = layering.height
+    if target_layers < height:
+        raise ValidationError(
+            f"cannot stretch a layering of height {height} down to {target_layers} layers"
+        )
+    return height
+
+
+def stretch_between(layering: Layering, target_layers: int) -> tuple[Layering, int]:
+    """Insert empty layers between existing layers until *target_layers* layers exist.
+
+    The ``target_layers - height`` new layers are divided as evenly as
+    possible among the ``height - 1`` inter-layer gaps, with the lower gaps
+    receiving the remainder (one extra layer each), and the existing layers
+    are re-indexed accordingly — exactly the re-indexing illustrated by Fig. 2
+    of the paper.  When the input has a single layer the new layers can only
+    go above it.
+
+    Returns the stretched layering and the total layer count (which is always
+    *target_layers*).
+    """
+    height = _validate_target(layering, target_layers)
+    n_new = target_layers - height
+    if n_new == 0:
+        return layering.copy(), target_layers
+    if height == 1:
+        # No gaps exist; the extra layers sit above the single occupied layer.
+        return layering.copy(), target_layers
+
+    n_gaps = height - 1
+    base, extra = divmod(n_new, n_gaps)
+    # gap i (between old layers i and i+1, 1-based) receives `base` new layers,
+    # plus one more for the first `extra` gaps.
+    inserted_below: dict[int, int] = {1: 0}
+    cumulative = 0
+    for old_layer in range(2, height + 1):
+        gap_index = old_layer - 1
+        cumulative += base + (1 if gap_index <= extra else 0)
+        inserted_below[old_layer] = cumulative
+
+    stretched = {
+        v: layer + inserted_below[layer] for v, layer in layering.items()
+    }
+    return Layering(stretched), target_layers
+
+
+def stretch_above_below(
+    layering: Layering,
+    target_layers: int,
+    *,
+    mode: str = "split",
+) -> tuple[Layering, int]:
+    """Add the new layers above and/or below the existing layering (Fig. 1 strategy).
+
+    Parameters
+    ----------
+    layering: the layering to stretch.
+    target_layers: total number of layers afterwards.
+    mode: ``"above"`` (all new layers above the top), ``"below"`` (all below
+        layer 1, shifting everything up), or ``"split"`` (default; half
+        below, half above).
+
+    Returns the stretched layering and the total layer count.
+    """
+    height = _validate_target(layering, target_layers)
+    n_new = target_layers - height
+    if mode not in {"above", "below", "split"}:
+        raise ValidationError(f"mode must be 'above', 'below' or 'split', got {mode!r}")
+    if n_new == 0:
+        return layering.copy(), target_layers
+    if mode == "above":
+        below = 0
+    elif mode == "below":
+        below = n_new
+    else:
+        below = n_new // 2
+    return layering.shifted(below), target_layers

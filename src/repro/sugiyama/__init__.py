@@ -1,0 +1,37 @@
+"""The Sugiyama framework around the layering step.
+
+The paper's introduction motivates the layering problem as one phase of the
+Sugiyama framework for hierarchical graph drawing.  This package supplies the
+surrounding phases so a layering produced by any algorithm in the library can
+be turned into an actual drawing:
+
+1. cycle removal (:mod:`repro.sugiyama.cycle_removal`),
+2. layer assignment — pluggable, any ``graph -> Layering`` callable,
+3. dummy-vertex insertion (:mod:`repro.layering.dummy`),
+4. crossing minimisation by barycenter/median sweeps
+   (:mod:`repro.sugiyama.ordering`, :mod:`repro.sugiyama.crossings`),
+5. x-coordinate assignment (:mod:`repro.sugiyama.coordinates`),
+6. rendering to ASCII or SVG (:mod:`repro.sugiyama.render`).
+
+:func:`repro.sugiyama.pipeline.sugiyama_layout` chains all of it.
+"""
+
+from repro.sugiyama.coordinates import assign_coordinates
+from repro.sugiyama.crossings import count_all_crossings, count_crossings_between
+from repro.sugiyama.cycle_removal import remove_cycles
+from repro.sugiyama.ordering import barycenter_ordering, initial_ordering
+from repro.sugiyama.pipeline import SugiyamaDrawing, sugiyama_layout
+from repro.sugiyama.render import render_ascii, render_svg
+
+__all__ = [
+    "remove_cycles",
+    "initial_ordering",
+    "barycenter_ordering",
+    "count_crossings_between",
+    "count_all_crossings",
+    "assign_coordinates",
+    "SugiyamaDrawing",
+    "sugiyama_layout",
+    "render_ascii",
+    "render_svg",
+]

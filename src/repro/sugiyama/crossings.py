@@ -1,0 +1,84 @@
+"""Edge-crossing counting between adjacent layers of a proper layering.
+
+Crossing counts are the quality measure of the ordering phase (step 4 of the
+Sugiyama framework).  For two adjacent layers the number of crossings equals
+the number of inversions in the sequence of lower-endpoint positions when the
+edges are sorted by their upper-endpoint position; the inversion count is
+computed with a merge-sort style counter in ``O(E log E)``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.graph.digraph import DiGraph, Vertex
+from repro.layering.base import Layering
+
+__all__ = ["count_inversions", "count_crossings_between", "count_all_crossings"]
+
+
+def count_inversions(values: Sequence[int]) -> int:
+    """Number of inversions (pairs ``i < j`` with ``values[i] > values[j]``)."""
+    seq = list(values)
+
+    def sort_count(a: list[int]) -> tuple[list[int], int]:
+        if len(a) <= 1:
+            return a, 0
+        mid = len(a) // 2
+        left, inv_l = sort_count(a[:mid])
+        right, inv_r = sort_count(a[mid:])
+        merged: list[int] = []
+        inversions = inv_l + inv_r
+        i = j = 0
+        while i < len(left) and j < len(right):
+            if left[i] <= right[j]:
+                merged.append(left[i])
+                i += 1
+            else:
+                merged.append(right[j])
+                j += 1
+                inversions += len(left) - i
+        merged.extend(left[i:])
+        merged.extend(right[j:])
+        return merged, inversions
+
+    return sort_count(seq)[1]
+
+
+def count_crossings_between(
+    graph: DiGraph,
+    upper_order: Sequence[Vertex],
+    lower_order: Sequence[Vertex],
+) -> int:
+    """Crossings among edges from the *upper* layer down to the *lower* layer.
+
+    Both orders list the vertices of their layer from left to right.  Only
+    edges with the source in the upper layer and the target in the lower
+    layer are considered (in a proper layering those are all edges between
+    the two layers).
+    """
+    upper_pos = {v: i for i, v in enumerate(upper_order)}
+    lower_pos = {v: i for i, v in enumerate(lower_order)}
+    edges: list[tuple[int, int]] = []
+    for u in upper_order:
+        for v in graph.successors(u):
+            if v in lower_pos:
+                edges.append((upper_pos[u], lower_pos[v]))
+    edges.sort()
+    return count_inversions([lo for _, lo in edges])
+
+
+def count_all_crossings(
+    graph: DiGraph,
+    layering: Layering,
+    orders: Mapping[int, Sequence[Vertex]],
+) -> int:
+    """Total crossings of a proper layered graph under the given per-layer orders."""
+    total = 0
+    height = layering.height
+    for layer in range(height, 1, -1):
+        upper = orders.get(layer, [])
+        lower = orders.get(layer - 1, [])
+        if upper and lower:
+            total += count_crossings_between(graph, upper, lower)
+    return total

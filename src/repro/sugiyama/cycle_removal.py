@@ -1,0 +1,41 @@
+"""Cycle removal — step 1 of the Sugiyama framework.
+
+Layering requires a DAG.  For cyclic inputs we reverse a small set of edges (a
+feedback arc set found with the Eades–Lin–Smyth heuristic from
+:mod:`repro.graph.acyclicity`) and remember which edges were flipped so the
+final drawing can restore their arrowheads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.acyclicity import is_acyclic, make_acyclic
+from repro.graph.digraph import DiGraph, Vertex
+
+__all__ = ["CycleRemovalResult", "remove_cycles"]
+
+
+@dataclass
+class CycleRemovalResult:
+    """An acyclic version of the input graph plus the edges that were reversed."""
+
+    graph: DiGraph
+    reversed_edges: list[tuple[Vertex, Vertex]]
+
+    @property
+    def n_reversed(self) -> int:
+        """How many edges had to be reversed (0 for an already-acyclic input)."""
+        return len(self.reversed_edges)
+
+
+def remove_cycles(graph: DiGraph) -> CycleRemovalResult:
+    """Return an acyclic copy of *graph*, reversing a heuristic feedback arc set.
+
+    Already-acyclic inputs are returned as an unmodified copy with an empty
+    reversed-edge list.
+    """
+    if is_acyclic(graph):
+        return CycleRemovalResult(graph=graph.copy(), reversed_edges=[])
+    acyclic, reversed_edges = make_acyclic(graph)
+    return CycleRemovalResult(graph=acyclic, reversed_edges=reversed_edges)

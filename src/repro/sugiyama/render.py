@@ -1,0 +1,114 @@
+"""Rendering a :class:`~repro.sugiyama.pipeline.SugiyamaDrawing` to text or SVG.
+
+The ASCII renderer is meant for terminals and test output: one row per layer
+(top layer first), vertices placed proportionally to their x coordinate.  The
+SVG renderer produces a self-contained file with rectangles for real vertices,
+small circles for dummy vertices and straight line segments for the proper
+edges, which is enough to eyeball the width/height trade-offs the paper talks
+about.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.layering.dummy import DummyVertex
+from repro.sugiyama.pipeline import SugiyamaDrawing
+
+__all__ = ["render_ascii", "render_svg"]
+
+
+def render_ascii(drawing: SugiyamaDrawing, *, columns: int = 100) -> str:
+    """Render the drawing as plain text, one line per layer (top layer first)."""
+    coords = drawing.coordinates
+    if not coords:
+        return "(empty drawing)"
+    xs = [x for x, _ in coords.values()]
+    x_min, x_max = min(xs), max(xs)
+    span = max(x_max - x_min, 1e-9)
+
+    def column_of(x: float) -> int:
+        return int(round((x - x_min) / span * (columns - 1)))
+
+    lines: list[str] = []
+    height = drawing.proper.layering.height
+    for layer in range(height, 0, -1):
+        row = [" "] * columns
+        for v in drawing.orders.get(layer, []):
+            x, _ = coords[v]
+            col = column_of(x)
+            text = "*" if isinstance(v, DummyVertex) else str(drawing.acyclic.vertex_label(v) or v)
+            for i, ch in enumerate(text):
+                pos = col + i
+                if 0 <= pos < columns:
+                    row[pos] = ch
+        lines.append(f"L{layer:>3} |" + "".join(row).rstrip())
+    return "\n".join(lines)
+
+
+def render_svg(
+    drawing: SugiyamaDrawing,
+    path: str | Path | None = None,
+    *,
+    x_scale: float = 40.0,
+    y_scale: float = 60.0,
+    node_height: float = 20.0,
+    margin: float = 40.0,
+) -> str:
+    """Render the drawing as an SVG document; optionally write it to *path*.
+
+    Returns the SVG text either way.
+    """
+    coords = drawing.coordinates
+    if not coords:
+        svg = '<svg xmlns="http://www.w3.org/2000/svg" width="10" height="10"/>'
+        if path is not None:
+            Path(path).write_text(svg, encoding="utf-8")
+        return svg
+
+    xs = [x for x, _ in coords.values()]
+    ys = [y for _, y in coords.values()]
+    x_min, y_max = min(xs), max(ys)
+
+    def sx(x: float) -> float:
+        return margin + (x - x_min) * x_scale
+
+    def sy(y: float) -> float:
+        return margin + (y_max - y) * y_scale  # higher layers drawn nearer the top
+
+    width = margin * 2 + (max(xs) - x_min) * x_scale
+    height = margin * 2 + (y_max - min(ys)) * y_scale
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" height="{height:.0f}">',
+        '<g stroke="#555" stroke-width="1">',
+    ]
+    for u, v in drawing.proper.graph.edges():
+        x1, y1 = coords[u]
+        x2, y2 = coords[v]
+        parts.append(
+            f'<line x1="{sx(x1):.1f}" y1="{sy(y1):.1f}" x2="{sx(x2):.1f}" y2="{sy(y2):.1f}"/>'
+        )
+    parts.append("</g>")
+    for v in drawing.proper.graph.vertices():
+        x, y = coords[v]
+        if isinstance(v, DummyVertex):
+            parts.append(
+                f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="2.5" fill="#bbb"/>'
+            )
+        else:
+            w = drawing.proper.graph.vertex_width(v) * x_scale * 0.8
+            parts.append(
+                f'<rect x="{sx(x) - w / 2:.1f}" y="{sy(y) - node_height / 2:.1f}" '
+                f'width="{w:.1f}" height="{node_height:.1f}" fill="#cde" stroke="#234"/>'
+            )
+            label = drawing.acyclic.vertex_label(v) or str(v)
+            parts.append(
+                f'<text x="{sx(x):.1f}" y="{sy(y) + 4:.1f}" font-size="10" '
+                f'text-anchor="middle">{label}</text>'
+            )
+    parts.append("</svg>")
+    svg = "\n".join(parts)
+    if path is not None:
+        Path(path).write_text(svg, encoding="utf-8")
+    return svg

@@ -1,0 +1,29 @@
+"""Small shared utilities: exceptions, deterministic RNG handling, timing.
+
+These helpers are intentionally dependency-light so that every other
+subpackage (graph substrate, layering algorithms, ACO core, experiment
+harness) can import them without creating circular imports.
+"""
+
+from repro.utils.exceptions import (
+    CycleError,
+    GraphError,
+    LayeringError,
+    ReproError,
+    ValidationError,
+)
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.timing import Stopwatch, TimingRecord, time_call
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "CycleError",
+    "LayeringError",
+    "ValidationError",
+    "as_generator",
+    "spawn_generators",
+    "Stopwatch",
+    "TimingRecord",
+    "time_call",
+]

@@ -1,0 +1,39 @@
+"""Exception hierarchy used across the library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch library errors with a single ``except`` clause while still being able to
+distinguish graph-structure problems (:class:`GraphError`,
+:class:`CycleError`) from layering problems (:class:`LayeringError`) and from
+input-validation problems (:class:`ValidationError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by :mod:`repro`."""
+
+
+class GraphError(ReproError):
+    """A problem with the structure of a graph (unknown vertex, duplicate edge, ...)."""
+
+
+class CycleError(GraphError):
+    """An operation that requires acyclicity was attempted on a cyclic digraph.
+
+    The offending cycle, when known, is attached as :attr:`cycle` — a list of
+    vertices ``[v0, v1, ..., vk]`` such that each consecutive pair is an edge
+    and ``(vk, v0)`` closes the cycle.
+    """
+
+    def __init__(self, message: str, cycle: list | None = None) -> None:
+        super().__init__(message)
+        self.cycle: list | None = cycle
+
+
+class LayeringError(ReproError):
+    """An invalid layering was produced or supplied (edge pointing upwards, gap, ...)."""
+
+
+class ValidationError(ReproError):
+    """A user-supplied parameter is outside its documented domain."""

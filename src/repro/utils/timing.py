@@ -1,0 +1,77 @@
+"""Lightweight timing helpers used by the experiment harness.
+
+The paper reports running time as one of its five evaluation criteria
+(Figures 8 and 9).  The helpers here provide a context-manager stopwatch and a
+``time_call`` wrapper that returns both the result of a callable and the
+elapsed wall-clock time, so experiment code never has to repeat the
+``perf_counter`` boilerplate.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["Stopwatch", "TimingRecord", "time_call"]
+
+
+@dataclass
+class TimingRecord:
+    """The outcome of a timed call: the returned value and the elapsed seconds."""
+
+    value: Any
+    seconds: float
+
+
+class Stopwatch:
+    """A context-manager stopwatch accumulating wall-clock time.
+
+    A single instance can be entered multiple times; :attr:`total` accumulates
+    across uses and :attr:`laps` records each individual interval, which is
+    convenient when timing the same algorithm over a corpus of graphs.
+
+    Examples
+    --------
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     _ = sum(range(1000))
+    >>> sw.total >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.total: float = 0.0
+        self.laps: list[float] = []
+        self._start: float | None = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._start is not None, "Stopwatch exited without being entered"
+        lap = time.perf_counter() - self._start
+        self.laps.append(lap)
+        self.total += lap
+        self._start = None
+
+    @property
+    def mean(self) -> float:
+        """Mean lap duration in seconds (0.0 if no laps were recorded)."""
+        return self.total / len(self.laps) if self.laps else 0.0
+
+    def reset(self) -> None:
+        """Forget all recorded laps."""
+        self.total = 0.0
+        self.laps = []
+        self._start = None
+
+
+def time_call(func: Callable[..., T], *args: Any, **kwargs: Any) -> TimingRecord:
+    """Call ``func(*args, **kwargs)`` and return its value with the elapsed time."""
+    start = time.perf_counter()
+    value = func(*args, **kwargs)
+    return TimingRecord(value=value, seconds=time.perf_counter() - start)

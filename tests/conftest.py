@@ -1,0 +1,52 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import att_like_dag, gnp_dag, random_tree_dag
+
+
+@pytest.fixture
+def diamond() -> DiGraph:
+    """The smallest interesting DAG: a -> b -> d, a -> c -> d."""
+    return DiGraph(edges=[("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+
+
+@pytest.fixture
+def long_edge_graph() -> DiGraph:
+    """A DAG with one edge that must span several layers: chain plus a shortcut."""
+    g = DiGraph(edges=[(0, 1), (1, 2), (2, 3), (0, 3)])
+    return g
+
+
+@pytest.fixture
+def path5() -> DiGraph:
+    """Simple path 0 -> 1 -> 2 -> 3 -> 4."""
+    g = DiGraph(vertices=range(5))
+    for i in range(4):
+        g.add_edge(i, i + 1)
+    return g
+
+
+@pytest.fixture
+def wide_graph() -> DiGraph:
+    """One source fanning out to eight sinks (very wide, height 2)."""
+    g = DiGraph()
+    g.add_vertex("root")
+    for i in range(8):
+        g.add_edge("root", f"leaf{i}")
+    return g
+
+
+@pytest.fixture
+def sample_graphs() -> list[DiGraph]:
+    """A small, varied collection of DAGs used by cross-algorithm tests."""
+    return [
+        gnp_dag(12, 0.2, seed=1),
+        gnp_dag(20, 0.1, seed=2),
+        att_like_dag(25, seed=3),
+        att_like_dag(40, seed=4),
+        random_tree_dag(18, seed=5),
+    ]

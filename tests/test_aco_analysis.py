@@ -1,0 +1,87 @@
+"""Tests for the ACO analysis utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aco.analysis import (
+    ImprovementReport,
+    RunStatistics,
+    convergence_curve,
+    improvement_over_baseline,
+    run_statistics,
+    tours_to_convergence,
+)
+from repro.aco.layering_aco import aco_layering_detailed
+from repro.aco.params import ACOParams
+from repro.graph.generators import att_like_dag
+from repro.layering.minwidth import minwidth_layering_sweep
+from repro.utils.exceptions import ValidationError
+
+FAST = ACOParams(n_ants=3, n_tours=4, seed=0)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return aco_layering_detailed(att_like_dag(30, seed=1), FAST)
+
+
+class TestConvergence:
+    def test_curve_is_monotone_and_matches_history_length(self, result):
+        curve = convergence_curve(result)
+        assert len(curve) == FAST.n_tours
+        assert all(b >= a for a, b in zip(curve, curve[1:]))
+
+    def test_curve_ends_at_or_below_final_best(self, result):
+        curve = convergence_curve(result)
+        # The global best also considers the seed layering, so the curve's
+        # final value can never exceed the reported objective.
+        assert curve[-1] <= result.metrics.objective + 1e-12
+
+    def test_tours_to_convergence_in_range(self, result):
+        t = tours_to_convergence(result)
+        assert 1 <= t <= FAST.n_tours
+
+
+class TestImprovement:
+    def test_report_fields(self):
+        g = att_like_dag(30, seed=2)
+        report = improvement_over_baseline(g, FAST)
+        assert isinstance(report, ImprovementReport)
+        assert report.baseline_name == "LPL"
+        assert report.width_ratio > 0
+        assert report.height_ratio >= 1.0  # LPL is height-optimal
+        # Seeded with LPL, the ACO can never have a worse objective.
+        assert report.objective_gain >= -1e-12
+
+    def test_custom_baseline(self):
+        g = att_like_dag(25, seed=3)
+        report = improvement_over_baseline(
+            g, FAST, baseline=minwidth_layering_sweep, baseline_name="MinWidth"
+        )
+        assert report.baseline_name == "MinWidth"
+        # MinWidth stacks many narrow layers, so the ACO is much flatter.
+        assert report.height_ratio <= 1.0
+
+
+class TestRunStatistics:
+    def test_summary_consistency(self):
+        g = att_like_dag(25, seed=4)
+        stats = run_statistics(g, FAST, n_runs=3, base_seed=10)
+        assert isinstance(stats, RunStatistics)
+        assert stats.n_runs == 3
+        assert stats.worst <= stats.mean <= stats.best
+        assert stats.spread == pytest.approx(stats.best - stats.worst)
+        assert stats.std >= 0
+        assert 1 <= stats.mean_tours_to_convergence <= FAST.n_tours
+
+    def test_single_run(self):
+        g = att_like_dag(20, seed=5)
+        stats = run_statistics(g, FAST, n_runs=1)
+        assert stats.std == 0.0
+        assert stats.best == stats.worst == stats.mean
+
+    def test_invalid_n_runs(self):
+        g = att_like_dag(15, seed=6)
+        with pytest.raises(ValidationError):
+            run_statistics(g, FAST, n_runs=0)

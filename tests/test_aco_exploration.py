@@ -1,0 +1,86 @@
+"""Tests for the pseudo-random proportional rule (q0) and the normalized edge density."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aco.ant import Ant
+from repro.aco.heuristic import LayerWidths
+from repro.aco.layering_aco import aco_layering
+from repro.aco.params import ACOParams
+from repro.aco.pheromone import PheromoneMatrix
+from repro.aco.problem import LayeringProblem
+from repro.graph.generators import att_like_dag
+from repro.layering.base import Layering
+from repro.layering.longest_path import longest_path_layering
+from repro.layering.metrics import edge_density, edge_density_normalized
+from repro.utils.exceptions import ValidationError
+from repro.utils.rng import as_generator
+
+
+class TestQ0Parameter:
+    def test_default_is_none(self):
+        assert ACOParams().q0 is None
+
+    def test_effective_value_follows_selection(self):
+        assert ACOParams(selection="argmax").exploitation_probability == 1.0
+        assert ACOParams(selection="roulette").exploitation_probability == 0.0
+        assert ACOParams(q0=0.3).exploitation_probability == pytest.approx(0.3)
+
+    def test_invalid_q0_rejected(self):
+        with pytest.raises(ValidationError):
+            ACOParams(q0=1.5)
+        with pytest.raises(ValidationError):
+            ACOParams(q0=-0.1)
+
+    def test_boundary_values_accepted(self):
+        ACOParams(q0=0.0)
+        ACOParams(q0=1.0)
+
+    @pytest.mark.parametrize("q0", [0.0, 0.5, 1.0])
+    def test_walks_valid_for_any_q0(self, q0):
+        g = att_like_dag(25, seed=1)
+        params = ACOParams(q0=q0, n_ants=2, n_tours=2, seed=0)
+        layering = aco_layering(g, params)
+        layering.validate(g)
+
+    def test_q0_one_matches_pure_argmax(self):
+        g = att_like_dag(25, seed=2)
+        problem = LayeringProblem.from_graph(g)
+        pheromone = PheromoneMatrix(problem.n_vertices, problem.n_layers, 1.0)
+        widths = LayerWidths.from_assignment(problem, problem.initial_assignment)
+        argmax_ant = Ant(0, problem, ACOParams(selection="argmax"))
+        q1_ant = Ant(0, problem, ACOParams(q0=1.0, selection="roulette"))
+        s1 = argmax_ant.perform_walk(
+            problem.initial_assignment, widths, pheromone, as_generator(4)
+        )
+        s2 = q1_ant.perform_walk(
+            problem.initial_assignment, widths, pheromone, as_generator(4)
+        )
+        assert (s1.assignment == s2.assignment).all()
+
+    def test_mixed_q0_deterministic_given_seed(self):
+        g = att_like_dag(20, seed=3)
+        params = ACOParams(q0=0.5, n_ants=2, n_tours=2, seed=9)
+        assert aco_layering(g, params) == aco_layering(g, params)
+
+
+class TestNormalizedEdgeDensity:
+    def test_matches_raw_density_scaled(self):
+        g = att_like_dag(40, seed=5)
+        lay = longest_path_layering(g)
+        assert edge_density_normalized(g, lay) == pytest.approx(
+            edge_density(g, lay) / g.n_vertices
+        )
+
+    def test_paper_scale(self):
+        # Values land on the paper's 0-2 axis for corpus-like graphs.
+        for seed in range(3):
+            g = att_like_dag(60, seed=seed)
+            value = edge_density_normalized(g, longest_path_layering(g))
+            assert 0.0 <= value <= 2.0
+
+    def test_empty_graph(self):
+        from repro.graph.digraph import DiGraph
+
+        assert edge_density_normalized(DiGraph(), Layering({})) == 0.0

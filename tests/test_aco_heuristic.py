@@ -1,0 +1,147 @@
+"""Tests for LayerWidths bookkeeping and assignment scoring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aco.heuristic import (
+    LayerWidths,
+    evaluate_assignment,
+    evaluate_with_widths,
+)
+from repro.aco.problem import LayeringProblem
+from repro.graph.generators import att_like_dag, gnp_dag
+from repro.layering.metrics import evaluate_layering
+from repro.utils.exceptions import ValidationError
+from repro.utils.rng import as_generator
+
+
+def random_walk_moves(problem: LayeringProblem, assignment: np.ndarray, rng, n_moves: int):
+    """Yield (vertex, old_layer, new_layer) random feasible moves, applying them."""
+    for _ in range(n_moves):
+        v = int(rng.integers(0, problem.n_vertices))
+        lo, hi = problem.layer_span(assignment, v)
+        new = int(rng.integers(lo, hi + 1))
+        old = int(assignment[v])
+        yield v, old, new
+        assignment[v] = new
+
+
+class TestLayerWidthsConstruction:
+    def test_real_widths_and_occupancy(self, diamond):
+        problem = LayeringProblem.from_graph(diamond)
+        widths = LayerWidths.from_assignment(problem, problem.initial_assignment)
+        assert widths.real[1:].sum() == pytest.approx(problem.widths.sum())
+        assert widths.occupancy[1:].sum() == problem.n_vertices
+
+    def test_crossing_counts(self, long_edge_graph):
+        problem = LayeringProblem.from_graph(long_edge_graph, n_layers=4)
+        # Initial stretched layering equals LPL (heights match), so the
+        # shortcut edge (0, 3) crosses layers 2 and 3.
+        widths = LayerWidths.from_assignment(problem, problem.initial_assignment)
+        assert widths.crossing[2] == 1
+        assert widths.crossing[3] == 1
+        assert widths.crossing[1] == 0
+
+    def test_width_of_includes_dummies(self, long_edge_graph):
+        problem = LayeringProblem.from_graph(long_edge_graph, n_layers=4, nd_width=0.5)
+        widths = LayerWidths.from_assignment(problem, problem.initial_assignment)
+        assert widths.width_of(2) == pytest.approx(1.5)
+
+    def test_totals_shape(self):
+        g = att_like_dag(20, seed=0)
+        problem = LayeringProblem.from_graph(g)
+        widths = LayerWidths.from_assignment(problem, problem.initial_assignment)
+        assert widths.totals().shape == (problem.n_layers + 1,)
+
+
+class TestIncrementalMoves:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_apply_move_matches_recompute(self, seed):
+        g = att_like_dag(30, seed=seed)
+        problem = LayeringProblem.from_graph(g)
+        rng = as_generator(seed)
+        assignment = problem.initial_assignment.copy()
+        widths = LayerWidths.from_assignment(problem, assignment)
+        for v, old, new in random_walk_moves(problem, assignment, rng, n_moves=200):
+            if old != new:
+                widths.apply_move(v, old, new, assignment)
+        fresh = LayerWidths.from_assignment(problem, assignment)
+        assert np.allclose(widths.real, fresh.real)
+        assert np.array_equal(widths.crossing, fresh.crossing)
+        assert np.array_equal(widths.occupancy, fresh.occupancy)
+
+    def test_same_layer_move_is_noop(self, diamond):
+        problem = LayeringProblem.from_graph(diamond)
+        assignment = problem.initial_assignment.copy()
+        widths = LayerWidths.from_assignment(problem, assignment)
+        before = widths.totals().copy()
+        widths.apply_move(0, int(assignment[0]), int(assignment[0]), assignment)
+        assert np.allclose(widths.totals(), before)
+
+    def test_copy_independent(self, diamond):
+        problem = LayeringProblem.from_graph(diamond)
+        widths = LayerWidths.from_assignment(problem, problem.initial_assignment)
+        clone = widths.copy()
+        clone.real[1] += 10
+        assert widths.real[1] != clone.real[1]
+
+
+class TestEta:
+    def test_eta_is_reciprocal_of_projected_width(self, diamond):
+        problem = LayeringProblem.from_graph(diamond)
+        assignment = problem.initial_assignment
+        widths = LayerWidths.from_assignment(problem, assignment)
+        idx_a = problem.vertices.index("a")
+        lo, hi = problem.layer_span(assignment, idx_a)
+        current = int(assignment[idx_a])
+        eta = widths.eta(idx_a, lo, hi, current, epsilon=1e-9)
+        # The current layer's value is 1 / (its existing width, already
+        # containing the vertex); other layers add the vertex's width.
+        assert eta[current - lo] == pytest.approx(1.0 / widths.width_of(current))
+
+    def test_epsilon_must_be_positive(self, diamond):
+        problem = LayeringProblem.from_graph(diamond)
+        widths = LayerWidths.from_assignment(problem, problem.initial_assignment)
+        with pytest.raises(ValidationError):
+            widths.eta(0, 1, 2, 1, epsilon=0.0)
+
+
+class TestScoring:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_evaluate_assignment_matches_metrics_module(self, seed):
+        g = gnp_dag(25, 0.15, seed=seed)
+        problem = LayeringProblem.from_graph(g, nd_width=1.0)
+        score = evaluate_assignment(problem, problem.initial_assignment)
+        layering = problem.assignment_to_layering(problem.initial_assignment, normalize=True)
+        metrics = evaluate_layering(g, layering, nd_width=1.0)
+        assert score.height == metrics.height
+        assert score.width_including_dummies == pytest.approx(metrics.width_including_dummies)
+        assert score.dummy_vertex_count == metrics.dummy_vertex_count
+        assert score.objective == pytest.approx(metrics.objective)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_evaluate_with_widths_matches_from_scratch(self, seed):
+        g = att_like_dag(30, seed=seed)
+        problem = LayeringProblem.from_graph(g)
+        rng = as_generator(seed + 100)
+        assignment = problem.initial_assignment.copy()
+        widths = LayerWidths.from_assignment(problem, assignment)
+        for v, old, new in random_walk_moves(problem, assignment, rng, n_moves=150):
+            if old != new:
+                widths.apply_move(v, old, new, assignment)
+        fast = evaluate_with_widths(problem, assignment, widths)
+        slow = evaluate_assignment(problem, assignment)
+        assert fast.height == slow.height
+        assert fast.width_including_dummies == pytest.approx(slow.width_including_dummies)
+        assert fast.dummy_vertex_count == slow.dummy_vertex_count
+        assert fast.objective == pytest.approx(slow.objective)
+
+    def test_nd_width_zero(self):
+        g = att_like_dag(20, seed=1)
+        problem = LayeringProblem.from_graph(g, nd_width=0.0)
+        score = evaluate_assignment(problem, problem.initial_assignment)
+        layering = problem.assignment_to_layering(problem.initial_assignment)
+        metrics = evaluate_layering(g, layering, nd_width=0.0)
+        assert score.width_including_dummies == pytest.approx(metrics.width_including_dummies)

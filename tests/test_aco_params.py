@@ -1,0 +1,78 @@
+"""Tests for ACOParams validation and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aco.params import ACOParams, SELECTION_RULES
+from repro.utils.exceptions import ValidationError
+
+
+class TestDefaults:
+    def test_default_construction(self):
+        p = ACOParams()
+        assert p.n_ants == 10
+        assert p.n_tours == 10
+        assert p.selection in SELECTION_RULES
+
+    def test_paper_defaults(self):
+        p = ACOParams.paper_defaults()
+        assert (p.alpha, p.beta) == (1.0, 3.0)
+        assert p.n_tours == 10
+        assert p.nd_width == 1.0
+
+    def test_paper_best_quality(self):
+        p = ACOParams.paper_best_quality()
+        assert (p.alpha, p.beta) == (3.0, 5.0)
+        assert p.nd_width == pytest.approx(1.1)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_ants": 0},
+            {"n_tours": 0},
+            {"alpha": -1},
+            {"beta": -0.5},
+            {"rho": 1.5},
+            {"rho": -0.1},
+            {"tau0": 0},
+            {"tau_min": -1},
+            {"tau0": 0.5, "tau_min": 1.0},
+            {"deposit": -1},
+            {"nd_width": -0.1},
+            {"node_width_default": 0},
+            {"selection": "tournament"},
+            {"eta_epsilon": 0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            ACOParams(**kwargs)
+
+    def test_boundary_values_accepted(self):
+        ACOParams(rho=0.0)
+        ACOParams(rho=1.0)
+        ACOParams(nd_width=0.0)
+        ACOParams(alpha=0.0, beta=0.0)
+
+
+class TestHelpers:
+    def test_replace_creates_new_validated_instance(self):
+        p = ACOParams()
+        q = p.replace(alpha=2.0, seed=42)
+        assert q.alpha == 2.0 and q.seed == 42
+        assert p.alpha == 1.0  # original untouched
+        with pytest.raises(ValidationError):
+            p.replace(rho=2.0)
+
+    def test_as_dict_round_trip(self):
+        p = ACOParams(alpha=2.5, seed=3)
+        q = ACOParams(**p.as_dict())
+        assert p == q
+
+    def test_frozen(self):
+        p = ACOParams()
+        with pytest.raises(AttributeError):
+            p.alpha = 9.0  # type: ignore[misc]

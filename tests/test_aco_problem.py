@@ -1,0 +1,91 @@
+"""Tests for the index-based LayeringProblem representation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aco.problem import LayeringProblem
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import att_like_dag
+from repro.layering.base import Layering
+from repro.layering.longest_path import longest_path_layering
+from repro.utils.exceptions import CycleError, ValidationError
+
+
+class TestFromGraph:
+    def test_dimensions(self):
+        g = att_like_dag(30, seed=1)
+        problem = LayeringProblem.from_graph(g)
+        assert problem.n_vertices == 30
+        assert problem.n_layers == 30  # stretched to |V| by default
+        assert len(problem.succ) == 30
+        assert len(problem.pred) == 30
+        assert problem.widths.shape == (30,)
+
+    def test_initial_assignment_is_stretched_lpl(self):
+        g = att_like_dag(25, seed=2)
+        problem = LayeringProblem.from_graph(g)
+        lpl = longest_path_layering(g)
+        assert problem.lpl_height == lpl.height
+        initial = problem.assignment_to_layering(problem.initial_assignment, normalize=True)
+        assert initial == lpl
+
+    def test_degrees_match_graph(self, diamond):
+        problem = LayeringProblem.from_graph(diamond)
+        idx = {v: i for i, v in enumerate(problem.vertices)}
+        assert problem.out_degree[idx["a"]] == 2
+        assert problem.in_degree[idx["d"]] == 2
+
+    def test_custom_layer_count(self):
+        g = att_like_dag(20, seed=3)
+        problem = LayeringProblem.from_graph(g, n_layers=50)
+        assert problem.n_layers == 50
+
+    def test_layer_count_below_minimum_rejected(self, path5):
+        with pytest.raises(ValidationError):
+            LayeringProblem.from_graph(path5, n_layers=2)
+
+    def test_invalid_stretch_strategy(self, diamond):
+        with pytest.raises(ValidationError):
+            LayeringProblem.from_graph(diamond, stretch_strategy="sideways")
+
+    def test_negative_nd_width_rejected(self, diamond):
+        with pytest.raises(ValidationError):
+            LayeringProblem.from_graph(diamond, nd_width=-1.0)
+
+    def test_cyclic_graph_rejected(self):
+        with pytest.raises(CycleError):
+            LayeringProblem.from_graph(DiGraph(edges=[(1, 2), (2, 1)]))
+
+    def test_stretch_strategies_all_valid(self):
+        g = att_like_dag(20, seed=4)
+        for strategy in ("between", "above", "below", "split"):
+            problem = LayeringProblem.from_graph(g, stretch_strategy=strategy)
+            lay = problem.assignment_to_layering(problem.initial_assignment, normalize=False)
+            assert lay.is_valid(g)
+
+
+class TestHelpers:
+    def test_layer_span_matches_public_function(self):
+        g = att_like_dag(20, seed=5)
+        problem = LayeringProblem.from_graph(g)
+        assignment = problem.initial_assignment
+        for i, v in enumerate(problem.vertices):
+            lo, hi = problem.layer_span(assignment, i)
+            assert lo <= assignment[i] <= hi
+            assert 1 <= lo and hi <= problem.n_layers
+
+    def test_assignment_layering_round_trip(self):
+        g = att_like_dag(15, seed=6)
+        problem = LayeringProblem.from_graph(g)
+        lay = problem.assignment_to_layering(problem.initial_assignment, normalize=False)
+        back = problem.layering_to_assignment(lay)
+        assert np.array_equal(back, problem.initial_assignment)
+
+    def test_assignment_to_layering_normalizes(self):
+        g = att_like_dag(15, seed=7)
+        problem = LayeringProblem.from_graph(g)
+        lay = problem.assignment_to_layering(problem.initial_assignment, normalize=True)
+        used = lay.used_layers()
+        assert used == list(range(1, len(used) + 1))

@@ -1,0 +1,71 @@
+"""Tests for the ant-walk vertex-ordering options (random / BFS / topological)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aco.layering_aco import aco_layering
+from repro.aco.params import ACOParams, VERTEX_ORDERS
+from repro.aco.problem import LayeringProblem
+from repro.graph.generators import att_like_dag, gnp_dag
+from repro.utils.exceptions import ValidationError
+from repro.utils.rng import as_generator
+
+
+class TestOrderGenerators:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        return LayeringProblem.from_graph(att_like_dag(30, seed=1))
+
+    def test_random_order_is_permutation(self, problem):
+        order = problem.random_order(as_generator(0))
+        assert sorted(order.tolist()) == list(range(problem.n_vertices))
+
+    def test_bfs_order_is_permutation(self, problem):
+        order = problem.random_bfs_order(as_generator(0))
+        assert sorted(order.tolist()) == list(range(problem.n_vertices))
+
+    def test_bfs_handles_disconnected_graphs(self):
+        g = gnp_dag(12, 0.0, seed=0)  # no edges: 12 components
+        problem = LayeringProblem.from_graph(g)
+        order = problem.random_bfs_order(as_generator(3))
+        assert sorted(order.tolist()) == list(range(12))
+
+    def test_topological_order_respects_edges(self, problem):
+        order = problem.random_topological_order(as_generator(0))
+        assert sorted(order.tolist()) == list(range(problem.n_vertices))
+        pos = {int(v): i for i, v in enumerate(order)}
+        for v in range(problem.n_vertices):
+            for w in problem.succ[v]:
+                assert pos[v] < pos[w]
+
+    def test_orders_are_deterministic_given_seed(self, problem):
+        a = problem.random_bfs_order(as_generator(7))
+        b = problem.random_bfs_order(as_generator(7))
+        assert np.array_equal(a, b)
+        c = problem.random_topological_order(as_generator(7))
+        d = problem.random_topological_order(as_generator(7))
+        assert np.array_equal(c, d)
+
+
+class TestParamsAndEndToEnd:
+    def test_supported_orders_constant(self):
+        assert set(VERTEX_ORDERS) == {"random", "bfs", "topological"}
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValidationError):
+            ACOParams(vertex_order="spiral")
+
+    @pytest.mark.parametrize("order", VERTEX_ORDERS)
+    def test_layering_valid_for_every_order(self, order):
+        g = att_like_dag(25, seed=2)
+        params = ACOParams(vertex_order=order, n_ants=2, n_tours=2, seed=0)
+        layering = aco_layering(g, params)
+        layering.validate(g)
+
+    @pytest.mark.parametrize("order", VERTEX_ORDERS)
+    def test_deterministic_per_order(self, order):
+        g = att_like_dag(20, seed=3)
+        params = ACOParams(vertex_order=order, n_ants=2, n_tours=2, seed=5)
+        assert aco_layering(g, params) == aco_layering(g, params)

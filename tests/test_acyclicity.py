@@ -1,0 +1,137 @@
+"""Tests for topological sorting, cycle detection and cycle removal."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.acyclicity import (
+    feedback_arc_set,
+    find_cycle,
+    is_acyclic,
+    longest_path_lengths,
+    make_acyclic,
+    topological_sort,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import gnp_dag
+from repro.utils.exceptions import CycleError
+
+
+def cyclic_triangle() -> DiGraph:
+    return DiGraph(edges=[(1, 2), (2, 3), (3, 1)])
+
+
+class TestTopologicalSort:
+    def test_respects_edges(self, diamond):
+        order = topological_sort(diamond)
+        pos = {v: i for i, v in enumerate(order)}
+        for u, v in diamond.edges():
+            assert pos[u] < pos[v]
+
+    def test_all_vertices_present(self, diamond):
+        assert set(topological_sort(diamond)) == set(diamond.vertices())
+
+    def test_empty_graph(self):
+        assert topological_sort(DiGraph()) == []
+
+    def test_cycle_raises_with_witness(self):
+        with pytest.raises(CycleError) as exc_info:
+            topological_sort(cyclic_triangle())
+        cycle = exc_info.value.cycle
+        assert cycle is not None and len(cycle) == 3
+
+    def test_random_dags_sortable(self):
+        for seed in range(5):
+            g = gnp_dag(30, 0.15, seed=seed)
+            order = topological_sort(g)
+            pos = {v: i for i, v in enumerate(order)}
+            assert all(pos[u] < pos[v] for u, v in g.edges())
+
+
+class TestCycleDetection:
+    def test_is_acyclic_true(self, diamond):
+        assert is_acyclic(diamond)
+
+    def test_is_acyclic_false(self):
+        assert not is_acyclic(cyclic_triangle())
+
+    def test_find_cycle_none_for_dag(self, diamond):
+        assert find_cycle(diamond) is None
+
+    def test_find_cycle_returns_real_cycle(self):
+        g = DiGraph(edges=[(0, 1), (1, 2), (2, 3), (3, 1), (0, 4)])
+        cycle = find_cycle(g)
+        assert cycle is not None
+        # consecutive pairs (and the wrap-around pair) must be edges
+        for a, b in zip(cycle, cycle[1:] + cycle[:1]):
+            assert g.has_edge(a, b)
+
+    def test_self_loop_cycle(self):
+        g = DiGraph(allow_self_loops=True)
+        g.add_edge("a", "a")
+        assert not is_acyclic(g)
+
+
+class TestFeedbackArcSet:
+    def test_empty_for_dag(self, diamond):
+        assert feedback_arc_set(diamond) == []
+
+    def test_breaks_all_cycles(self):
+        g = DiGraph(edges=[(1, 2), (2, 3), (3, 1), (3, 4), (4, 2)])
+        fas = feedback_arc_set(g)
+        assert fas
+        pruned = g.copy()
+        for u, v in fas:
+            pruned.remove_edge(u, v)
+        assert is_acyclic(pruned)
+
+    def test_fas_edges_are_graph_edges(self):
+        g = cyclic_triangle()
+        for u, v in feedback_arc_set(g):
+            assert g.has_edge(u, v)
+
+
+class TestMakeAcyclic:
+    def test_dag_unchanged(self, diamond):
+        acyclic, reversed_edges = make_acyclic(diamond)
+        assert reversed_edges == []
+        assert acyclic == diamond
+
+    def test_result_is_acyclic(self):
+        g = DiGraph(edges=[(1, 2), (2, 3), (3, 1), (3, 4), (4, 2), (0, 1)])
+        acyclic, reversed_edges = make_acyclic(g)
+        assert is_acyclic(acyclic)
+        assert reversed_edges
+        assert acyclic.n_vertices == g.n_vertices
+
+    def test_reversed_edges_were_original_edges(self):
+        g = cyclic_triangle()
+        _, reversed_edges = make_acyclic(g)
+        for u, v in reversed_edges:
+            assert g.has_edge(u, v)
+
+    def test_attributes_preserved(self):
+        g = cyclic_triangle()
+        g.set_vertex_width(1, 5.0)
+        acyclic, _ = make_acyclic(g)
+        assert acyclic.vertex_width(1) == 5.0
+
+
+class TestLongestPathLengths:
+    def test_path_graph(self, path5):
+        dist = longest_path_lengths(path5, from_sinks=True)
+        assert dist == {0: 4, 1: 3, 2: 2, 3: 1, 4: 0}
+
+    def test_from_sources(self, path5):
+        dist = longest_path_lengths(path5, from_sinks=False)
+        assert dist == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_diamond(self, diamond):
+        dist = longest_path_lengths(diamond)
+        assert dist["d"] == 0
+        assert dist["b"] == dist["c"] == 1
+        assert dist["a"] == 2
+
+    def test_cycle_raises(self):
+        with pytest.raises(CycleError):
+            longest_path_lengths(cyclic_triangle())

@@ -1,0 +1,128 @@
+"""Tests for a single ant's walk."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aco.ant import Ant, AntSolution
+from repro.aco.heuristic import LayerWidths, evaluate_assignment
+from repro.aco.params import ACOParams
+from repro.aco.pheromone import PheromoneMatrix
+from repro.aco.problem import LayeringProblem
+from repro.graph.generators import att_like_dag, gnp_dag
+from repro.utils.rng import as_generator
+
+
+def make_setup(graph, params=None):
+    params = params or ACOParams()
+    problem = LayeringProblem.from_graph(graph, nd_width=params.nd_width)
+    pheromone = PheromoneMatrix(problem.n_vertices, problem.n_layers, params.tau0)
+    widths = LayerWidths.from_assignment(problem, problem.initial_assignment)
+    return problem, pheromone, widths, params
+
+
+class TestWalkValidity:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_walk_produces_valid_layering(self, seed):
+        g = att_like_dag(30, seed=seed)
+        problem, pheromone, widths, params = make_setup(g)
+        ant = Ant(0, problem, params)
+        solution = ant.perform_walk(
+            problem.initial_assignment, widths, pheromone, as_generator(seed)
+        )
+        layering = problem.assignment_to_layering(solution.assignment, normalize=True)
+        layering.validate(g)
+
+    def test_walk_does_not_mutate_base(self):
+        g = att_like_dag(20, seed=1)
+        problem, pheromone, widths, params = make_setup(g)
+        base = problem.initial_assignment.copy()
+        base_widths_real = widths.real.copy()
+        ant = Ant(0, problem, params)
+        ant.perform_walk(problem.initial_assignment, widths, pheromone, as_generator(0))
+        assert np.array_equal(problem.initial_assignment, base)
+        assert np.allclose(widths.real, base_widths_real)
+
+    def test_score_matches_reference_evaluation(self):
+        g = gnp_dag(20, 0.2, seed=2)
+        problem, pheromone, widths, params = make_setup(g)
+        ant = Ant(3, problem, params)
+        solution = ant.perform_walk(
+            problem.initial_assignment, widths, pheromone, as_generator(5)
+        )
+        reference = evaluate_assignment(problem, solution.assignment)
+        assert solution.score.objective == pytest.approx(reference.objective)
+        assert solution.score.height == reference.height
+        assert solution.ant_id == 3
+        assert isinstance(solution, AntSolution)
+        assert solution.objective == solution.score.objective
+
+
+class TestDeterminismAndSelection:
+    def test_same_rng_same_walk(self):
+        g = att_like_dag(25, seed=3)
+        problem, pheromone, widths, params = make_setup(g)
+        ant = Ant(0, problem, params)
+        s1 = ant.perform_walk(problem.initial_assignment, widths, pheromone, as_generator(7))
+        s2 = ant.perform_walk(problem.initial_assignment, widths, pheromone, as_generator(7))
+        assert np.array_equal(s1.assignment, s2.assignment)
+
+    def test_roulette_selection_also_valid(self):
+        g = att_like_dag(25, seed=4)
+        params = ACOParams(selection="roulette")
+        problem, pheromone, widths, _ = make_setup(g, params)
+        ant = Ant(0, problem, params)
+        solution = ant.perform_walk(
+            problem.initial_assignment, widths, pheromone, as_generator(1)
+        )
+        layering = problem.assignment_to_layering(solution.assignment)
+        layering.validate(g)
+
+    def test_alpha_zero_is_pure_greedy(self):
+        # With alpha = 0 the pheromone has no influence; the walk still works.
+        g = att_like_dag(20, seed=5)
+        params = ACOParams(alpha=0.0, beta=3.0)
+        problem, pheromone, widths, _ = make_setup(g, params)
+        # Distort the pheromone heavily; the result must not change.
+        pheromone.values[:, 1:] = np.linspace(1, 100, pheromone.values[:, 1:].size).reshape(
+            pheromone.values[:, 1:].shape
+        )
+        ant = Ant(0, problem, params)
+        s1 = ant.perform_walk(problem.initial_assignment, widths, pheromone, as_generator(3))
+        uniform = PheromoneMatrix(problem.n_vertices, problem.n_layers, 1.0)
+        s2 = ant.perform_walk(problem.initial_assignment, widths, uniform, as_generator(3))
+        assert np.array_equal(s1.assignment, s2.assignment)
+
+
+class TestChooseLayer:
+    def test_single_layer_span_short_circuits(self, diamond):
+        problem, pheromone, widths, params = make_setup(diamond)
+        ant = Ant(0, problem, params)
+        assert ant.choose_layer(0, 3, 3, 3, widths, pheromone, as_generator(0)) == 3
+
+    def test_choice_within_span(self):
+        g = att_like_dag(20, seed=6)
+        problem, pheromone, widths, params = make_setup(g)
+        ant = Ant(0, problem, params)
+        rng = as_generator(0)
+        assignment = problem.initial_assignment
+        for v in range(problem.n_vertices):
+            lo, hi = problem.layer_span(assignment, v)
+            chosen = ant.choose_layer(v, lo, hi, int(assignment[v]), widths, pheromone, rng)
+            assert lo <= chosen <= hi
+
+    def test_pheromone_bias_with_huge_alpha(self):
+        # With a huge alpha and beta=0, the choice follows the pheromone argmax.
+        g = att_like_dag(15, seed=7)
+        params = ACOParams(alpha=5.0, beta=0.0)
+        problem, pheromone, widths, _ = make_setup(g, params)
+        ant = Ant(0, problem, params)
+        assignment = problem.initial_assignment
+        v = 0
+        lo, hi = problem.layer_span(assignment, v)
+        if hi > lo:
+            target = hi
+            pheromone.values[v, target] = 50.0
+            chosen = ant.choose_layer(v, lo, hi, int(assignment[v]), widths, pheromone, as_generator(0))
+            assert chosen == target

@@ -1,0 +1,131 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.generators import att_like_dag
+from repro.graph.io import write_edgelist, write_json
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    g = att_like_dag(18, seed=3)
+    path = tmp_path / "graph.edgelist"
+    write_edgelist(g, path)
+    return path
+
+
+@pytest.fixture
+def graph_json_file(tmp_path):
+    g = att_like_dag(15, seed=4)
+    path = tmp_path / "graph.json"
+    write_json(g, path)
+    return path
+
+
+FAST_ACO = ["--ants", "2", "--tours", "2", "--seed", "0"]
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_subcommands(self):
+        parser = build_parser()
+        for command in ("layer", "draw", "compare", "figures", "corpus"):
+            args = parser.parse_args(
+                [command, "x"] if command in ("layer", "draw", "corpus") else [command]
+            )
+            assert args.command == command
+
+
+class TestLayerCommand:
+    def test_layer_with_lpl(self, graph_file, capsys):
+        assert main(["layer", str(graph_file), "--method", "lpl"]) == 0
+        out = capsys.readouterr().out
+        assert "height" in out and "width_including_dummies" in out
+
+    def test_layer_with_aco_and_output(self, graph_file, tmp_path, capsys):
+        out_file = tmp_path / "layers.json"
+        code = main(
+            ["layer", str(graph_file), "--method", "aco", "--output", str(out_file), *FAST_ACO]
+        )
+        assert code == 0
+        data = json.loads(out_file.read_text(encoding="utf-8"))
+        assert len(data) == 18
+        assert all(isinstance(layer, int) for layer in data.values())
+
+    def test_layer_json_input(self, graph_json_file):
+        assert main(["layer", str(graph_json_file), "--method", "minwidth"]) == 0
+
+    def test_missing_file_is_an_error(self, capsys):
+        assert main(["layer", "no-such-file.edgelist", "--method", "lpl"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestDrawCommand:
+    def test_ascii_and_svg(self, graph_file, tmp_path, capsys):
+        svg = tmp_path / "out.svg"
+        code = main(["draw", str(graph_file), "--method", "lpl", "--svg", str(svg)])
+        assert code == 0
+        assert svg.exists()
+        out = capsys.readouterr().out
+        assert "crossings=" in out
+        assert "L" in out  # ascii layer rows
+
+    def test_no_ascii_flag(self, graph_file, capsys):
+        assert main(["draw", str(graph_file), "--method", "lpl", "--no-ascii"]) == 0
+        out = capsys.readouterr().out
+        assert "L  1 |" not in out
+
+
+class TestCompareCommand:
+    def test_small_comparison(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--graphs-per-group",
+                "1",
+                "--vertex-counts",
+                "10",
+                "20",
+                *FAST_ACO,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MinWidth" in out and "AntColony" in out
+        assert "(running_time)" in out
+
+    def test_no_aco_flag(self, capsys):
+        code = main(
+            ["compare", "--graphs-per-group", "1", "--vertex-counts", "10", "--no-aco"]
+        )
+        assert code == 0
+        assert "AntColony" not in capsys.readouterr().out
+
+
+class TestFiguresCommand:
+    def test_single_figure(self, capsys, monkeypatch):
+        # Shrink the corpus the figure uses by limiting groups via a tiny
+        # graphs-per-group; fig4 runs LPL, LPL+PL and the ACO.
+        code = main(["figures", "--figure", "fig4", "--graphs-per-group", "1", *FAST_ACO])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FIG4" in out
+        assert "AntColony" in out
+
+
+class TestCorpusCommand:
+    def test_writes_graph_files(self, tmp_path, capsys):
+        out_dir = tmp_path / "corpus"
+        code = main(["corpus", str(out_dir), "--graphs-per-group", "1"])
+        assert code == 0
+        files = list(out_dir.glob("*.json"))
+        assert len(files) == 19
+        assert "19 graphs written" in capsys.readouterr().out

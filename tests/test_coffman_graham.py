@@ -1,0 +1,68 @@
+"""Tests for the Coffman–Graham width-bounded layering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import att_like_dag, gnp_dag, longest_path_dag
+from repro.layering.coffman_graham import coffman_graham_labels, coffman_graham_layering
+from repro.layering.longest_path import minimum_height
+from repro.utils.exceptions import ValidationError
+
+
+class TestLabels:
+    def test_labels_are_a_permutation(self, diamond):
+        labels = coffman_graham_labels(diamond)
+        assert sorted(labels.values()) == [1, 2, 3, 4]
+
+    def test_sinks_get_smallest_labels(self, diamond):
+        labels = coffman_graham_labels(diamond)
+        assert labels["d"] == 1
+
+    def test_path_labels_increase_upstream(self, path5):
+        labels = coffman_graham_labels(path5)
+        assert labels[4] < labels[3] < labels[2] < labels[1] < labels[0]
+
+
+class TestLayering:
+    def test_width_bound_respected(self):
+        for seed in range(3):
+            g = att_like_dag(40, seed=seed)
+            for bound in (1, 2, 3, 5):
+                lay = coffman_graham_layering(g, bound)
+                lay.validate(g)
+                for layer in lay.used_layers():
+                    assert len(lay.vertices_on(layer)) <= bound
+
+    def test_validity(self, sample_graphs):
+        for g in sample_graphs:
+            coffman_graham_layering(g, 3).validate(g)
+
+    def test_large_bound_gives_minimum_height(self):
+        g = gnp_dag(20, 0.2, seed=4)
+        lay = coffman_graham_layering(g, g.n_vertices)
+        assert lay.height == minimum_height(g)
+
+    def test_bound_one_on_path(self):
+        g = longest_path_dag(5)
+        lay = coffman_graham_layering(g, 1)
+        assert lay.height == 5
+
+    def test_two_approximation_bound(self):
+        # Classic guarantee: height <= (2 - 2/W) * optimal height for width W,
+        # where the optimal height is at least ceil(n / W) and at least the
+        # minimum DAG height.
+        g = att_like_dag(30, seed=6)
+        bound = 3
+        lay = coffman_graham_layering(g, bound)
+        optimal_lower = max(minimum_height(g), -(-g.n_vertices // bound))
+        assert lay.height <= (2 - 2 / bound) * optimal_lower + 1
+
+    def test_invalid_bound(self, diamond):
+        with pytest.raises(ValidationError):
+            coffman_graham_layering(diamond, 0)
+
+    def test_single_vertex(self):
+        g = DiGraph(vertices=["v"])
+        assert coffman_graham_layering(g, 1)["v"] == 1

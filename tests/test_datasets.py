@@ -1,0 +1,87 @@
+"""Tests for the synthetic AT&T-like corpus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.corpus import (
+    CORPUS_SEED,
+    GROUP_VERTEX_COUNTS,
+    TOTAL_GRAPHS,
+    att_like_corpus,
+    corpus_group_counts,
+    iter_att_like_corpus,
+)
+from repro.graph.acyclicity import is_acyclic
+from repro.utils.exceptions import ValidationError
+
+
+class TestGroupStructure:
+    def test_nineteen_groups(self):
+        assert len(GROUP_VERTEX_COUNTS) == 19
+        assert GROUP_VERTEX_COUNTS[0] == 10
+        assert GROUP_VERTEX_COUNTS[-1] == 100
+        assert all(b - a == 5 for a, b in zip(GROUP_VERTEX_COUNTS, GROUP_VERTEX_COUNTS[1:]))
+
+    def test_group_counts_sum_to_total(self):
+        counts = corpus_group_counts()
+        assert sum(counts.values()) == TOTAL_GRAPHS == 1277
+        assert set(counts) == set(GROUP_VERTEX_COUNTS)
+        # As even as possible: values differ by at most one.
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_group_counts_custom_total(self):
+        counts = corpus_group_counts(19)
+        assert all(v == 1 for v in counts.values())
+
+    def test_too_small_total_rejected(self):
+        with pytest.raises(ValidationError):
+            corpus_group_counts(5)
+
+
+class TestCorpusGeneration:
+    def test_subset_corpus_shape(self):
+        corpus = att_like_corpus(graphs_per_group=2)
+        assert len(corpus) == 2 * 19
+        sizes = {entry.vertex_count for entry in corpus}
+        assert sizes == set(GROUP_VERTEX_COUNTS)
+
+    def test_graphs_match_their_group(self):
+        corpus = att_like_corpus(graphs_per_group=1)
+        for entry in corpus:
+            assert entry.graph.n_vertices == entry.vertex_count
+            assert is_acyclic(entry.graph)
+
+    def test_deterministic(self):
+        a = att_like_corpus(graphs_per_group=2, vertex_counts=(10, 20))
+        b = att_like_corpus(graphs_per_group=2, vertex_counts=(10, 20))
+        assert len(a) == len(b) == 4
+        for x, y in zip(a, b):
+            assert x.graph == y.graph
+            assert x.seed == y.seed
+
+    def test_names_are_stable_and_unique(self):
+        corpus = att_like_corpus(graphs_per_group=3, vertex_counts=(15,))
+        names = [entry.name for entry in corpus]
+        assert len(set(names)) == 3
+        assert names[0] == "att-like-n15-000"
+
+    def test_different_corpus_seed_changes_graphs(self):
+        a = att_like_corpus(graphs_per_group=1, vertex_counts=(30,), seed=CORPUS_SEED)
+        b = att_like_corpus(graphs_per_group=1, vertex_counts=(30,), seed=CORPUS_SEED + 1)
+        assert a[0].graph != b[0].graph
+
+    def test_iterator_is_lazy_but_equivalent(self):
+        lazy = list(iter_att_like_corpus(graphs_per_group=1, vertex_counts=(10, 25)))
+        eager = att_like_corpus(graphs_per_group=1, vertex_counts=(10, 25))
+        assert [e.name for e in lazy] == [e.name for e in eager]
+
+    def test_invalid_graphs_per_group(self):
+        with pytest.raises(ValidationError):
+            att_like_corpus(graphs_per_group=0)
+
+    def test_full_group_sizes_without_materialising(self):
+        # The first group of the full corpus has 68 graphs (1277 = 19*67 + 4).
+        counts = corpus_group_counts()
+        assert counts[10] == 68
+        assert counts[100] == 67

@@ -1,0 +1,207 @@
+"""Tests for the DiGraph container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.utils.exceptions import GraphError
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = DiGraph()
+        assert g.n_vertices == 0
+        assert g.n_edges == 0
+        assert list(g.vertices()) == []
+        assert list(g.edges()) == []
+
+    def test_from_vertices_and_edges(self):
+        g = DiGraph(vertices=["x"], edges=[("a", "b")])
+        assert set(g.vertices()) == {"x", "a", "b"}
+        assert list(g.edges()) == [("a", "b")]
+
+    def test_add_edge_creates_endpoints(self):
+        g = DiGraph()
+        g.add_edge(1, 2)
+        assert g.has_vertex(1) and g.has_vertex(2)
+
+    def test_duplicate_edge_is_noop(self):
+        g = DiGraph(edges=[("a", "b"), ("a", "b")])
+        assert g.n_edges == 1
+
+    def test_self_loop_rejected(self):
+        g = DiGraph()
+        with pytest.raises(GraphError):
+            g.add_edge("a", "a")
+
+    def test_self_loop_allowed_when_opted_in(self):
+        g = DiGraph(allow_self_loops=True)
+        g.add_edge("a", "a")
+        assert g.has_edge("a", "a")
+
+    def test_add_vertex_updates_attributes(self):
+        g = DiGraph()
+        g.add_vertex("v", width=2.0, label="first")
+        g.add_vertex("v", width=3.0, label="second")
+        assert g.n_vertices == 1
+        assert g.vertex_width("v") == 3.0
+        assert g.vertex_label("v") == "second"
+
+    def test_nonpositive_width_rejected(self):
+        g = DiGraph()
+        with pytest.raises(GraphError):
+            g.add_vertex("v", width=0)
+        with pytest.raises(GraphError):
+            g.add_vertex("w", width=-1.5)
+
+    def test_add_vertices_bulk(self):
+        g = DiGraph()
+        g.add_vertices(range(5))
+        assert g.n_vertices == 5
+
+
+class TestQueries:
+    def test_degrees_and_neighbours(self, diamond):
+        assert diamond.out_degree("a") == 2
+        assert diamond.in_degree("a") == 0
+        assert diamond.in_degree("d") == 2
+        assert set(diamond.successors("a")) == {"b", "c"}
+        assert set(diamond.predecessors("d")) == {"b", "c"}
+        assert diamond.degree("b") == 2
+
+    def test_sources_sinks(self, diamond):
+        assert diamond.sources() == ["a"]
+        assert diamond.sinks() == ["d"]
+
+    def test_isolated_vertices(self):
+        g = DiGraph(vertices=["lonely"], edges=[("a", "b")])
+        assert g.isolated_vertices() == ["lonely"]
+
+    def test_has_edge(self, diamond):
+        assert diamond.has_edge("a", "b")
+        assert not diamond.has_edge("b", "a")
+        assert not diamond.has_edge("a", "zzz")
+
+    def test_unknown_vertex_raises(self):
+        g = DiGraph()
+        with pytest.raises(GraphError):
+            g.successors("missing")
+        with pytest.raises(GraphError):
+            g.in_degree("missing")
+
+    def test_contains_len_iter(self, diamond):
+        assert "a" in diamond
+        assert "z" not in diamond
+        assert len(diamond) == 4
+        assert set(iter(diamond)) == {"a", "b", "c", "d"}
+
+    def test_insertion_order_preserved(self):
+        g = DiGraph(vertices=["c", "a", "b"])
+        assert list(g.vertices()) == ["c", "a", "b"]
+
+
+class TestMutation:
+    def test_remove_edge(self, diamond):
+        diamond.remove_edge("a", "b")
+        assert not diamond.has_edge("a", "b")
+        assert diamond.n_edges == 3
+
+    def test_remove_missing_edge_raises(self, diamond):
+        with pytest.raises(GraphError):
+            diamond.remove_edge("d", "a")
+
+    def test_remove_vertex_removes_incident_edges(self, diamond):
+        diamond.remove_vertex("b")
+        assert not diamond.has_vertex("b")
+        assert diamond.n_edges == 2
+        assert diamond.out_degree("a") == 1
+
+    def test_remove_missing_vertex_raises(self, diamond):
+        with pytest.raises(GraphError):
+            diamond.remove_vertex("zzz")
+
+
+class TestAttributes:
+    def test_default_width(self):
+        g = DiGraph(vertices=["v"])
+        assert g.vertex_width("v") == 1.0
+
+    def test_set_width(self):
+        g = DiGraph(vertices=["v"])
+        g.set_vertex_width("v", 4.5)
+        assert g.vertex_width("v") == 4.5
+        with pytest.raises(GraphError):
+            g.set_vertex_width("v", 0)
+
+    def test_labels(self):
+        g = DiGraph()
+        g.add_vertex("v", label="hello")
+        assert g.vertex_label("v") == "hello"
+        g.set_vertex_label("v", None)
+        assert g.vertex_label("v") is None
+
+    def test_total_vertex_width(self):
+        g = DiGraph()
+        g.add_vertex("a", width=1.5)
+        g.add_vertex("b", width=2.5)
+        assert g.total_vertex_width() == pytest.approx(4.0)
+
+    def test_vertex_widths_view_is_copy(self):
+        g = DiGraph(vertices=["a"])
+        view = g.vertex_widths()
+        view["a"] = 99.0
+        assert g.vertex_width("a") == 1.0
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self, diamond):
+        c = diamond.copy()
+        assert c == diamond
+        c.remove_vertex("a")
+        assert diamond.has_vertex("a")
+
+    def test_copy_preserves_attributes(self):
+        g = DiGraph()
+        g.add_vertex("v", width=3.0, label="L")
+        c = g.copy()
+        assert c.vertex_width("v") == 3.0
+        assert c.vertex_label("v") == "L"
+
+    def test_reverse(self, diamond):
+        r = diamond.reverse()
+        assert r.has_edge("b", "a")
+        assert not r.has_edge("a", "b")
+        assert r.n_edges == diamond.n_edges
+        assert r.sources() == ["d"]
+
+    def test_subgraph(self, diamond):
+        sub = diamond.subgraph(["a", "b", "d"])
+        assert set(sub.vertices()) == {"a", "b", "d"}
+        assert sub.has_edge("a", "b")
+        assert sub.has_edge("b", "d")
+        assert not sub.has_edge("a", "d")
+
+    def test_subgraph_unknown_vertex_raises(self, diamond):
+        with pytest.raises(GraphError):
+            diamond.subgraph(["a", "nope"])
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        a = DiGraph(edges=[(1, 2)])
+        b = DiGraph(edges=[(1, 2)])
+        assert a == b
+
+    def test_attribute_difference_breaks_equality(self):
+        a = DiGraph(edges=[(1, 2)])
+        b = DiGraph(edges=[(1, 2)])
+        b.set_vertex_width(1, 2.0)
+        assert a != b
+
+    def test_not_equal_to_other_types(self):
+        assert DiGraph() != 42
+
+    def test_repr(self, diamond):
+        assert "n_vertices=4" in repr(diamond)
+        assert "n_edges=4" in repr(diamond)

@@ -1,0 +1,84 @@
+"""Tests for dummy-vertex insertion (proper layering)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.layering.base import Layering
+from repro.layering.dummy import DummyVertex, make_proper
+from repro.layering.longest_path import longest_path_layering
+from repro.layering.metrics import dummy_vertex_count
+from repro.graph.generators import att_like_dag, gnp_dag
+from repro.utils.exceptions import LayeringError, ValidationError
+
+
+class TestMakeProper:
+    def test_short_edges_untouched(self, diamond):
+        lay = Layering({"a": 3, "b": 2, "c": 2, "d": 1})
+        result = make_proper(diamond, lay)
+        assert result.n_dummies == 0
+        assert result.graph.n_vertices == 4
+        assert result.graph.n_edges == 4
+
+    def test_long_edge_subdivided(self, long_edge_graph):
+        lay = Layering({0: 4, 1: 3, 2: 2, 3: 1})
+        result = make_proper(long_edge_graph, lay)
+        assert result.n_dummies == 2
+        chain = result.dummy_chains[(0, 3)]
+        assert len(chain) == 2
+        assert {d.layer for d in chain} == {2, 3}
+        assert result.layering.is_proper(result.graph)
+
+    def test_dummy_width_applied(self, long_edge_graph):
+        lay = Layering({0: 4, 1: 3, 2: 2, 3: 1})
+        result = make_proper(long_edge_graph, lay, dummy_width=0.25)
+        for chain in result.dummy_chains.values():
+            for d in chain:
+                assert result.graph.vertex_width(d) == 0.25
+
+    def test_dummy_count_matches_metric(self):
+        for seed in range(3):
+            g = att_like_dag(30, seed=seed)
+            lay = longest_path_layering(g)
+            result = make_proper(g, lay)
+            assert result.n_dummies == dummy_vertex_count(g, lay)
+
+    def test_proper_graph_edge_count(self):
+        g = gnp_dag(20, 0.2, seed=1)
+        lay = longest_path_layering(g)
+        result = make_proper(g, lay)
+        # Each original edge of span s becomes s edges in the proper graph.
+        expected = sum(lay.edge_span(u, v) for u, v in g.edges())
+        assert result.graph.n_edges == expected
+
+    def test_original_attributes_preserved(self):
+        g = DiGraph()
+        g.add_vertex("a", width=2.0, label="A")
+        g.add_vertex("b")
+        g.add_edge("a", "b")
+        lay = Layering({"a": 2, "b": 1})
+        result = make_proper(g, lay)
+        assert result.graph.vertex_width("a") == 2.0
+        assert result.graph.vertex_label("a") == "A"
+
+    def test_invalid_layering_rejected(self, diamond):
+        with pytest.raises(LayeringError):
+            make_proper(diamond, Layering({"a": 1, "b": 1, "c": 1, "d": 1}))
+
+    def test_nonpositive_dummy_width_rejected(self, diamond):
+        lay = Layering({"a": 3, "b": 2, "c": 2, "d": 1})
+        with pytest.raises(ValidationError):
+            make_proper(diamond, lay, dummy_width=0.0)
+
+
+class TestDummyVertex:
+    def test_hashable_and_distinct(self):
+        d1 = DummyVertex("u", "v", 0, 2)
+        d2 = DummyVertex("u", "v", 1, 3)
+        assert d1 != d2
+        assert len({d1, d2}) == 2
+
+    def test_repr_mentions_edge(self):
+        d = DummyVertex("u", "v", 0, 2)
+        assert "u" in repr(d) and "v" in repr(d)

@@ -1,0 +1,118 @@
+"""Tests for the figure regeneration functions, tuning sweeps and reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aco.params import ACOParams
+from repro.datasets.corpus import att_like_corpus
+from repro.experiments.figures import (
+    FIGURES,
+    FigureData,
+    figure4,
+    figure6,
+    figure8,
+)
+from repro.experiments.reporting import (
+    format_comparison,
+    format_figure,
+    format_series_table,
+    format_sweep,
+)
+from repro.experiments.runner import default_algorithms, run_comparison
+from repro.experiments.tuning import alpha_beta_sweep, best_sweep_setting, nd_width_sweep
+from repro.utils.exceptions import ValidationError
+
+TINY_CORPUS = att_like_corpus(graphs_per_group=1, vertex_counts=(10, 20))
+FAST_ACO = ACOParams(n_ants=2, n_tours=2, seed=0)
+
+
+class TestFigures:
+    def test_registry_contains_all_six_figures(self):
+        assert set(FIGURES) == {"fig4", "fig5", "fig6", "fig7", "fig8", "fig9"}
+
+    def test_figure4_structure(self):
+        fig = figure4(corpus=TINY_CORPUS, aco_params=FAST_ACO)
+        assert isinstance(fig, FigureData)
+        assert fig.figure_id == "fig4"
+        assert len(fig.panels) == 2
+        metrics = {p.metric for p in fig.panels}
+        assert metrics == {"width_including_dummies", "width_excluding_dummies"}
+        for panel in fig.panels:
+            assert set(panel.series) == {"LPL", "LPL+PL", "AntColony"}
+            for series in panel.series.values():
+                assert set(series) == {10, 20}
+
+    def test_figure6_metrics(self):
+        fig = figure6(corpus=TINY_CORPUS, aco_params=FAST_ACO)
+        assert {p.metric for p in fig.panels} == {"height", "dummy_vertex_count"}
+
+    def test_figure8_includes_runtime(self):
+        fig = figure8(corpus=TINY_CORPUS, aco_params=FAST_ACO)
+        panel = fig.panel("running_time")
+        assert all(v >= 0 for series in panel.series.values() for v in series.values())
+
+    def test_panel_lookup_unknown_metric(self):
+        fig = figure4(corpus=TINY_CORPUS, aco_params=FAST_ACO)
+        with pytest.raises(KeyError):
+            fig.panel("nonexistent")
+
+
+class TestTuning:
+    def test_alpha_beta_sweep_shape(self):
+        sweep = alpha_beta_sweep(
+            TINY_CORPUS, alphas=(1, 3), betas=(1, 3), base_params=FAST_ACO
+        )
+        assert sweep.parameter_names == ("alpha", "beta")
+        assert len(sweep.points) == 4
+        settings = {p.setting for p in sweep.points}
+        assert (1.0, 3.0) in settings
+        best = best_sweep_setting(sweep)
+        assert best in settings
+
+    def test_nd_width_sweep_shape(self):
+        sweep = nd_width_sweep(TINY_CORPUS, nd_widths=(0.5, 1.0), base_params=FAST_ACO)
+        assert sweep.parameter_names == ("nd_width",)
+        assert len(sweep.points) == 2
+        assert all(p.mean_running_time >= 0 for p in sweep.points)
+
+    def test_best_has_max_objective(self):
+        sweep = nd_width_sweep(TINY_CORPUS, nd_widths=(0.5, 1.0), base_params=FAST_ACO)
+        best = sweep.best()
+        assert best.mean_objective == max(p.mean_objective for p in sweep.points)
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValidationError):
+            alpha_beta_sweep([], base_params=FAST_ACO)
+        with pytest.raises(ValidationError):
+            nd_width_sweep([], base_params=FAST_ACO)
+
+
+class TestReporting:
+    def test_series_table_contains_values(self):
+        table = format_series_table({"LPL": {10: 3.0, 20: 4.5}}, value_header="height")
+        assert "LPL" in table
+        assert "3.00" in table and "4.50" in table
+        assert "(height)" in table
+
+    def test_missing_cells_rendered_as_dash(self):
+        table = format_series_table({"A": {10: 1.0}, "B": {20: 2.0}})
+        assert "-" in table
+
+    def test_format_figure_mentions_all_algorithms(self):
+        fig = figure4(corpus=TINY_CORPUS, aco_params=FAST_ACO)
+        text = format_figure(fig)
+        assert "FIG4" in text
+        for name in ("LPL", "LPL+PL", "AntColony"):
+            assert name in text
+
+    def test_format_comparison(self):
+        comparison = run_comparison(TINY_CORPUS, default_algorithms(include_aco=False))
+        text = format_comparison(comparison, "height")
+        assert "MinWidth" in text
+
+    def test_format_sweep_marks_best(self):
+        sweep = nd_width_sweep(TINY_CORPUS, nd_widths=(0.5, 1.0), base_params=FAST_ACO)
+        text = format_sweep(sweep)
+        assert "*" in text
+        assert "nd_width" in text

@@ -1,0 +1,101 @@
+"""Tests for the experiment runner and aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aco.params import ACOParams
+from repro.datasets.corpus import att_like_corpus
+from repro.experiments.runner import (
+    AlgorithmResult,
+    ComparisonResult,
+    default_algorithms,
+    run_comparison,
+    run_on_graph,
+)
+from repro.graph.generators import att_like_dag
+from repro.layering.longest_path import longest_path_layering
+from repro.utils.exceptions import ValidationError
+
+SMALL_CORPUS = att_like_corpus(graphs_per_group=2, vertex_counts=(10, 20))
+FAST_ACO = ACOParams(n_ants=2, n_tours=2, seed=0)
+
+
+class TestDefaultAlgorithms:
+    def test_contains_paper_algorithms(self):
+        algs = default_algorithms(aco_params=FAST_ACO)
+        assert set(algs) == {"LPL", "LPL+PL", "MinWidth", "MinWidth+PL", "AntColony"}
+
+    def test_without_aco(self):
+        algs = default_algorithms(include_aco=False)
+        assert "AntColony" not in algs
+        assert len(algs) == 4
+
+    def test_all_produce_valid_layerings(self):
+        g = att_like_dag(20, seed=1)
+        for name, algorithm in default_algorithms(aco_params=FAST_ACO).items():
+            algorithm(g).validate(g)
+
+
+class TestRunOnGraph:
+    def test_fields(self):
+        g = att_like_dag(15, seed=2)
+        result = run_on_graph("LPL", longest_path_layering, g, graph_name="x", nd_width=1.0)
+        assert isinstance(result, AlgorithmResult)
+        assert result.algorithm == "LPL"
+        assert result.graph_name == "x"
+        assert result.vertex_count == 15
+        assert result.running_time >= 0
+        assert result.metrics.height >= 1
+
+    def test_metric_lookup(self):
+        g = att_like_dag(15, seed=3)
+        result = run_on_graph("LPL", longest_path_layering, g)
+        assert result.value("height") == result.metrics.height
+        assert result.value("running_time") == result.running_time
+        with pytest.raises(ValidationError):
+            result.value("nonsense")
+
+
+class TestRunComparison:
+    def test_result_shape(self):
+        algorithms = default_algorithms(include_aco=False)
+        comparison = run_comparison(SMALL_CORPUS, algorithms)
+        assert isinstance(comparison, ComparisonResult)
+        assert len(comparison.results) == len(SMALL_CORPUS) * len(algorithms)
+        assert comparison.vertex_counts == [10, 20]
+        assert comparison.algorithms == list(algorithms)
+
+    def test_series_and_group_means(self):
+        comparison = run_comparison(SMALL_CORPUS, default_algorithms(include_aco=False))
+        series = comparison.series("LPL", "height")
+        assert set(series) == {10, 20}
+        assert all(v >= 1 for v in series.values())
+        assert comparison.group_mean("LPL", 10, "height") == series[10]
+
+    def test_all_series_covers_all_algorithms(self):
+        comparison = run_comparison(SMALL_CORPUS, default_algorithms(include_aco=False))
+        everything = comparison.all_series("width_including_dummies")
+        assert set(everything) == set(comparison.algorithms)
+
+    def test_missing_group_raises(self):
+        comparison = run_comparison(SMALL_CORPUS, default_algorithms(include_aco=False))
+        with pytest.raises(ValidationError):
+            comparison.group_mean("LPL", 95, "height")
+
+    def test_empty_algorithms_rejected(self):
+        with pytest.raises(ValidationError):
+            run_comparison(SMALL_CORPUS, {})
+
+    def test_custom_algorithm_mapping(self):
+        comparison = run_comparison(SMALL_CORPUS, {"OnlyLPL": longest_path_layering})
+        assert comparison.algorithms == ["OnlyLPL"]
+
+    def test_lpl_height_never_above_minwidth_height(self):
+        # Structural sanity of the aggregation: LPL gives minimum height, so
+        # its group means can never exceed MinWidth's.
+        comparison = run_comparison(SMALL_CORPUS, default_algorithms(include_aco=False))
+        for vc in comparison.vertex_counts:
+            assert comparison.group_mean("LPL", vc, "height") <= comparison.group_mean(
+                "MinWidth", vc, "height"
+            )

@@ -1,0 +1,132 @@
+"""Tests for graph serialisation and networkx interoperability."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import gnp_dag
+from repro.graph.io import (
+    from_json_dict,
+    from_networkx,
+    read_edgelist,
+    read_json,
+    to_json_dict,
+    to_networkx,
+    write_dot,
+    write_edgelist,
+    write_json,
+)
+from repro.utils.exceptions import GraphError
+
+
+class TestNetworkxInterop:
+    def test_round_trip_structure(self):
+        g = gnp_dag(15, 0.3, seed=0)
+        back = from_networkx(to_networkx(g))
+        assert set(back.vertices()) == set(g.vertices())
+        assert set(back.edges()) == set(g.edges())
+
+    def test_attributes_carried(self):
+        g = DiGraph()
+        g.add_vertex("v", width=2.0, label="two")
+        nxg = to_networkx(g)
+        assert nxg.nodes["v"]["width"] == 2.0
+        assert nxg.nodes["v"]["label"] == "two"
+        back = from_networkx(nxg)
+        assert back.vertex_width("v") == 2.0
+        assert back.vertex_label("v") == "two"
+
+    def test_from_networkx_rejects_undirected(self):
+        with pytest.raises(GraphError):
+            from_networkx(nx.Graph([(1, 2)]))
+
+    def test_from_networkx_skips_self_loops(self):
+        nxg = nx.DiGraph([(1, 1), (1, 2)])
+        g = from_networkx(nxg)
+        assert g.n_edges == 1
+
+    def test_from_networkx_default_width(self):
+        g = from_networkx(nx.DiGraph([(1, 2)]))
+        assert g.vertex_width(1) == 1.0
+
+
+class TestEdgelist:
+    def test_round_trip(self, tmp_path):
+        g = DiGraph()
+        g.add_vertex("a", width=2.0, label="alpha")
+        g.add_vertex("b")
+        g.add_edge("a", "b")
+        path = tmp_path / "graph.edgelist"
+        write_edgelist(g, path)
+        back = read_edgelist(path)
+        assert set(back.vertices()) == {"a", "b"}
+        assert back.has_edge("a", "b")
+        assert back.vertex_width("a") == 2.0
+        assert back.vertex_label("a") == "alpha"
+        assert back.vertex_label("b") is None
+
+    def test_integer_ids_become_strings(self, tmp_path):
+        g = gnp_dag(8, 0.3, seed=1)
+        path = tmp_path / "g.edgelist"
+        write_edgelist(g, path)
+        back = read_edgelist(path)
+        assert back.n_vertices == g.n_vertices
+        assert back.n_edges == g.n_edges
+        assert all(isinstance(v, str) for v in back.vertices())
+
+    def test_malformed_lines_raise(self, tmp_path):
+        path = tmp_path / "bad.edgelist"
+        path.write_text("V a\n", encoding="utf-8")
+        with pytest.raises(GraphError):
+            read_edgelist(path)
+        path.write_text("E a\n", encoding="utf-8")
+        with pytest.raises(GraphError):
+            read_edgelist(path)
+        path.write_text("X a b\n", encoding="utf-8")
+        with pytest.raises(GraphError):
+            read_edgelist(path)
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "c.edgelist"
+        path.write_text("# comment\n\nV a 1.0 -\nV b 1.0 -\nE a b\n", encoding="utf-8")
+        g = read_edgelist(path)
+        assert g.has_edge("a", "b")
+
+
+class TestJson:
+    def test_dict_round_trip(self):
+        g = gnp_dag(10, 0.3, seed=2)
+        back = from_json_dict(to_json_dict(g))
+        assert back == g
+
+    def test_file_round_trip(self, tmp_path):
+        g = DiGraph()
+        g.add_vertex("x", width=3.0, label="ex")
+        g.add_edge("x", "y")
+        path = tmp_path / "g.json"
+        write_json(g, path)
+        back = read_json(path)
+        assert back.has_edge("x", "y")
+        assert back.vertex_width("x") == 3.0
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(GraphError):
+            from_json_dict({"format": "something-else", "vertices": [], "edges": []})
+
+    def test_tuple_vertex_ids_survive_as_tuples(self):
+        g = DiGraph()
+        g.add_edge(("a", 1), ("b", 2))
+        back = from_json_dict(to_json_dict(g))
+        assert back.has_edge(("a", 1), ("b", 2))
+
+
+class TestDot:
+    def test_write_dot(self, tmp_path, diamond):
+        path = tmp_path / "g.dot"
+        write_dot(diamond, path, name="Diamond")
+        text = path.read_text(encoding="utf-8")
+        assert text.startswith("digraph Diamond {")
+        assert '"a" -> "b";' in text
+        assert text.rstrip().endswith("}")

@@ -1,0 +1,41 @@
+"""Tests for graph invariant checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import gnp_dag
+from repro.graph.validation import check_consistency, require_dag, require_nonempty
+from repro.utils.exceptions import CycleError, GraphError
+
+
+def test_require_nonempty_passes_for_nonempty(diamond):
+    require_nonempty(diamond)
+
+
+def test_require_nonempty_raises_for_empty():
+    with pytest.raises(GraphError):
+        require_nonempty(DiGraph())
+
+
+def test_require_dag_passes(diamond):
+    require_dag(diamond)
+
+
+def test_require_dag_raises_with_cycle():
+    g = DiGraph(edges=[(1, 2), (2, 1)])
+    with pytest.raises(CycleError) as exc_info:
+        require_dag(g)
+    assert exc_info.value.cycle is not None
+
+
+def test_check_consistency_on_random_graphs():
+    for seed in range(3):
+        check_consistency(gnp_dag(20, 0.2, seed=seed))
+
+
+def test_check_consistency_after_mutations(diamond):
+    diamond.remove_vertex("b")
+    diamond.add_edge("a", "d")
+    check_consistency(diamond)

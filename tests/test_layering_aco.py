@@ -1,0 +1,119 @@
+"""End-to-end tests for the ACO layering driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aco.layering_aco import AcoLayeringResult, aco_layering, aco_layering_detailed
+from repro.aco.params import ACOParams
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import att_like_dag, gnp_dag, longest_path_dag
+from repro.layering.longest_path import longest_path_layering, minimum_height
+from repro.layering.metrics import evaluate_layering, width_including_dummies
+from repro.utils.exceptions import CycleError, GraphError
+
+
+FAST = ACOParams(n_ants=4, n_tours=4, seed=0)
+
+
+class TestAcoLayering:
+    def test_returns_valid_layering(self, sample_graphs):
+        for g in sample_graphs:
+            layering = aco_layering(g, FAST)
+            layering.validate(g)
+
+    def test_result_is_normalized(self):
+        g = att_like_dag(30, seed=1)
+        layering = aco_layering(g, FAST)
+        used = layering.used_layers()
+        assert used == list(range(1, len(used) + 1))
+
+    def test_never_wider_than_lpl(self):
+        # The colony's global best is seeded with the LPL layering, so the
+        # objective (and therefore H + W) can never be worse than LPL's.
+        for seed in range(4):
+            g = att_like_dag(40, seed=seed)
+            aco = aco_layering(g, ACOParams(n_ants=5, n_tours=5, seed=seed))
+            lpl = longest_path_layering(g)
+            aco_metrics = evaluate_layering(g, aco)
+            lpl_metrics = evaluate_layering(g, lpl)
+            assert aco_metrics.objective >= lpl_metrics.objective - 1e-12
+
+    def test_deterministic_given_seed(self):
+        g = att_like_dag(30, seed=2)
+        a = aco_layering(g, ACOParams(n_ants=3, n_tours=3, seed=11))
+        b = aco_layering(g, ACOParams(n_ants=3, n_tours=3, seed=11))
+        assert a == b
+
+    def test_height_at_least_minimum(self):
+        g = att_like_dag(30, seed=3)
+        layering = aco_layering(g, FAST)
+        assert layering.height >= minimum_height(g)
+
+    def test_single_vertex_graph(self):
+        g = DiGraph(vertices=["v"])
+        layering = aco_layering(g, FAST)
+        assert layering["v"] == 1
+
+    def test_path_graph(self):
+        g = longest_path_dag(6)
+        layering = aco_layering(g, FAST)
+        layering.validate(g)
+        assert layering.height == 6
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            aco_layering(DiGraph(), FAST)
+
+    def test_cyclic_graph_rejected(self):
+        with pytest.raises(CycleError):
+            aco_layering(DiGraph(edges=[(1, 2), (2, 1)]), FAST)
+
+    def test_default_params_used_when_none(self):
+        g = gnp_dag(10, 0.2, seed=1)
+        layering = aco_layering(g)
+        layering.validate(g)
+
+
+class TestAcoLayeringDetailed:
+    def test_result_fields(self):
+        g = att_like_dag(25, seed=4)
+        result = aco_layering_detailed(g, FAST)
+        assert isinstance(result, AcoLayeringResult)
+        assert result.layering.is_valid(g)
+        assert result.metrics.height == result.layering.height
+        assert result.colony.n_tours == FAST.n_tours
+        assert result.problem.n_layers == g.n_vertices
+        assert result.params == FAST
+
+    def test_metrics_match_layering(self):
+        g = att_like_dag(25, seed=5)
+        result = aco_layering_detailed(g, FAST)
+        recomputed = evaluate_layering(g, result.layering, nd_width=FAST.nd_width)
+        assert result.metrics == recomputed
+
+    def test_nd_width_propagates(self):
+        g = att_like_dag(25, seed=6)
+        params = FAST.replace(nd_width=0.4)
+        result = aco_layering_detailed(g, params)
+        assert result.metrics.nd_width == pytest.approx(0.4)
+
+    def test_stretch_strategy_option(self):
+        g = att_like_dag(20, seed=7)
+        for strategy in ("between", "split"):
+            result = aco_layering_detailed(g, FAST, stretch_strategy=strategy)
+            result.layering.validate(g)
+
+    def test_custom_layer_budget(self):
+        g = att_like_dag(20, seed=8)
+        result = aco_layering_detailed(g, FAST, n_layers=25)
+        assert result.problem.n_layers == 25
+        result.layering.validate(g)
+
+    def test_vertex_widths_respected(self):
+        g = DiGraph()
+        g.add_vertex("big", width=5.0)
+        g.add_vertex("small")
+        g.add_edge("big", "small")
+        result = aco_layering_detailed(g, FAST)
+        assert result.metrics.width_including_dummies >= 5.0

@@ -1,0 +1,141 @@
+"""Tests for the Layering value type."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.layering.base import Layering
+from repro.utils.exceptions import LayeringError
+
+
+class TestConstruction:
+    def test_basic(self):
+        lay = Layering({"a": 2, "b": 1})
+        assert lay["a"] == 2
+        assert lay.layer_of("b") == 1
+        assert len(lay) == 2
+        assert "a" in lay and "z" not in lay
+
+    def test_float_integral_layers_accepted(self):
+        lay = Layering({"a": 2.0})
+        assert lay["a"] == 2
+
+    def test_non_integral_layer_rejected(self):
+        with pytest.raises(LayeringError):
+            Layering({"a": 1.5})
+
+    def test_layer_below_one_rejected(self):
+        with pytest.raises(LayeringError):
+            Layering({"a": 0})
+
+    def test_missing_vertex_lookup_raises(self):
+        with pytest.raises(LayeringError):
+            Layering({})["missing"]
+
+
+class TestDerivedStructure:
+    def test_height_and_min_layer(self):
+        lay = Layering({"a": 3, "b": 7})
+        assert lay.height == 7
+        assert lay.min_layer == 3
+
+    def test_empty_layering(self):
+        lay = Layering({})
+        assert lay.height == 0
+        assert lay.min_layer == 0
+        assert lay.used_layers() == []
+
+    def test_layers_mapping_covers_gaps(self):
+        lay = Layering({"a": 1, "b": 3})
+        layers = lay.layers()
+        assert layers[1] == ["a"]
+        assert layers[2] == []
+        assert layers[3] == ["b"]
+
+    def test_vertices_on(self):
+        lay = Layering({"a": 1, "b": 1, "c": 2})
+        assert set(lay.vertices_on(1)) == {"a", "b"}
+        assert lay.vertices_on(5) == []
+
+    def test_edge_span(self):
+        lay = Layering({"u": 4, "v": 1})
+        assert lay.edge_span("u", "v") == 3
+
+    def test_items_and_to_dict(self):
+        lay = Layering({"a": 1})
+        assert dict(lay.items()) == {"a": 1}
+        d = lay.to_dict()
+        d["a"] = 99
+        assert lay["a"] == 1  # to_dict returns a copy
+
+
+class TestTransformations:
+    def test_normalized_removes_gaps(self):
+        lay = Layering({"a": 2, "b": 5, "c": 9}).normalized()
+        assert lay["a"] == 1 and lay["b"] == 2 and lay["c"] == 3
+
+    def test_normalized_preserves_order(self):
+        lay = Layering({"a": 4, "b": 2, "c": 2}).normalized()
+        assert lay["b"] == lay["c"] == 1
+        assert lay["a"] == 2
+
+    def test_normalized_idempotent(self):
+        lay = Layering({"a": 3, "b": 8})
+        assert lay.normalized().normalized() == lay.normalized()
+
+    def test_shifted(self):
+        lay = Layering({"a": 1, "b": 2}).shifted(3)
+        assert lay["a"] == 4 and lay["b"] == 5
+
+    def test_shift_below_one_rejected(self):
+        with pytest.raises(LayeringError):
+            Layering({"a": 2}).shifted(-2)
+
+    def test_copy_is_equal_but_independent(self):
+        lay = Layering({"a": 1})
+        c = lay.copy()
+        assert c == lay
+        assert c is not lay
+
+    def test_equality_with_mapping(self):
+        assert Layering({"a": 1}) == {"a": 1}
+        assert Layering({"a": 1}) != {"a": 2}
+        assert Layering({"a": 1}) != 17
+
+
+class TestValidity:
+    def test_valid_layering(self, diamond):
+        lay = Layering({"a": 3, "b": 2, "c": 2, "d": 1})
+        lay.validate(diamond)
+        assert lay.is_valid(diamond)
+
+    def test_missing_vertex(self, diamond):
+        lay = Layering({"a": 3, "b": 2, "c": 2})
+        assert not lay.is_valid(diamond)
+        with pytest.raises(LayeringError, match="without a layer"):
+            lay.validate(diamond)
+
+    def test_extra_vertex(self, diamond):
+        lay = Layering({"a": 3, "b": 2, "c": 2, "d": 1, "zzz": 1})
+        with pytest.raises(LayeringError, match="not in the graph"):
+            lay.validate(diamond)
+
+    def test_edge_not_pointing_down(self, diamond):
+        lay = Layering({"a": 1, "b": 2, "c": 2, "d": 3})
+        with pytest.raises(LayeringError, match="does not point downwards"):
+            lay.validate(diamond)
+
+    def test_horizontal_edge_invalid(self):
+        g = DiGraph(edges=[("u", "v")])
+        lay = Layering({"u": 1, "v": 1})
+        assert not lay.is_valid(g)
+
+    def test_is_proper(self, long_edge_graph):
+        proper = Layering({0: 4, 1: 3, 2: 2, 3: 1})
+        assert not proper.is_proper(long_edge_graph)  # edge (0, 3) spans 3
+        g = DiGraph(edges=[(0, 1), (1, 2)])
+        assert Layering({0: 3, 1: 2, 2: 1}).is_proper(g)
+
+    def test_repr(self):
+        assert "height=2" in repr(Layering({"a": 2, "b": 1}))

@@ -1,0 +1,73 @@
+"""Tests for the Longest-Path Layering algorithm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import att_like_dag, gnp_dag, longest_path_dag
+from repro.layering.longest_path import longest_path_layering, minimum_height
+from repro.utils.exceptions import CycleError, GraphError
+
+
+class TestLongestPathLayering:
+    def test_diamond(self, diamond):
+        lay = longest_path_layering(diamond)
+        assert lay["d"] == 1
+        assert lay["b"] == lay["c"] == 2
+        assert lay["a"] == 3
+
+    def test_sinks_on_layer_one(self):
+        for seed in range(3):
+            g = att_like_dag(30, seed=seed)
+            lay = longest_path_layering(g)
+            for v in g.sinks():
+                assert lay[v] == 1
+
+    def test_validity_on_random_graphs(self, sample_graphs):
+        for g in sample_graphs:
+            lay = longest_path_layering(g)
+            lay.validate(g)
+
+    def test_height_is_minimum(self, sample_graphs):
+        # LPL is known to use the minimum possible number of layers.
+        for g in sample_graphs:
+            lay = longest_path_layering(g)
+            assert lay.height == minimum_height(g)
+
+    def test_path_graph_height_equals_n(self):
+        g = longest_path_dag(7)
+        assert longest_path_layering(g).height == 7
+
+    def test_every_nonsink_one_above_some_successor(self):
+        # LPL places v exactly one layer above its highest successor.
+        g = gnp_dag(25, 0.15, seed=3)
+        lay = longest_path_layering(g)
+        for v in g.vertices():
+            succs = g.successors(v)
+            if succs:
+                assert lay[v] == 1 + max(lay[w] for w in succs)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            longest_path_layering(DiGraph())
+
+    def test_cyclic_graph_rejected(self):
+        with pytest.raises(CycleError):
+            longest_path_layering(DiGraph(edges=[(1, 2), (2, 1)]))
+
+    def test_isolated_vertices_on_layer_one(self):
+        g = DiGraph(vertices=["x", "y"], edges=[("a", "b")])
+        lay = longest_path_layering(g)
+        assert lay["x"] == lay["y"] == 1
+
+
+class TestMinimumHeight:
+    def test_single_vertex(self):
+        assert minimum_height(DiGraph(vertices=["v"])) == 1
+
+    def test_path(self):
+        assert minimum_height(longest_path_dag(10)) == 10
+
+    def test_diamond(self, diamond):
+        assert minimum_height(diamond) == 3

@@ -1,0 +1,141 @@
+"""Tests for the layering-quality metrics, checked against hand-computed values."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.layering.base import Layering
+from repro.layering.metrics import (
+    aco_objective,
+    dummy_vertex_count,
+    edge_density,
+    evaluate_layering,
+    layer_widths,
+    layering_height,
+    real_layer_widths,
+    total_edge_span,
+    width_excluding_dummies,
+    width_including_dummies,
+)
+from repro.utils.exceptions import LayeringError, ValidationError
+
+
+@pytest.fixture
+def shortcut_graph() -> DiGraph:
+    """Chain 3 -> 2 -> 1 -> 0 plus a shortcut 3 -> 0 (spans 3 layers)."""
+    return DiGraph(edges=[(3, 2), (2, 1), (1, 0), (3, 0)])
+
+
+@pytest.fixture
+def shortcut_layering() -> Layering:
+    return Layering({3: 4, 2: 3, 1: 2, 0: 1})
+
+
+class TestBasicMetrics:
+    def test_height_counts_nonempty_layers(self):
+        assert layering_height(Layering({"a": 1, "b": 5})) == 2
+
+    def test_real_layer_widths(self, shortcut_graph, shortcut_layering):
+        widths = real_layer_widths(shortcut_graph, shortcut_layering)
+        assert widths == {1: 1.0, 2: 1.0, 3: 1.0, 4: 1.0}
+
+    def test_layer_widths_with_dummies(self, shortcut_graph, shortcut_layering):
+        widths = layer_widths(shortcut_graph, shortcut_layering, nd_width=1.0)
+        # Edge (3, 0) crosses layers 2 and 3, adding one dummy to each.
+        assert widths == {1: 1.0, 2: 2.0, 3: 2.0, 4: 1.0}
+
+    def test_layer_widths_respects_nd_width(self, shortcut_graph, shortcut_layering):
+        widths = layer_widths(shortcut_graph, shortcut_layering, nd_width=0.5)
+        assert widths[2] == pytest.approx(1.5)
+
+    def test_layer_widths_zero_nd(self, shortcut_graph, shortcut_layering):
+        widths = layer_widths(shortcut_graph, shortcut_layering, nd_width=0.0)
+        assert widths == {1: 1.0, 2: 1.0, 3: 1.0, 4: 1.0}
+
+    def test_width_including_vs_excluding(self, shortcut_graph, shortcut_layering):
+        assert width_including_dummies(shortcut_graph, shortcut_layering) == 2.0
+        assert width_excluding_dummies(shortcut_graph, shortcut_layering) == 1.0
+
+    def test_vertex_widths_used(self):
+        g = DiGraph()
+        g.add_vertex("a", width=3.0)
+        g.add_vertex("b", width=2.0)
+        g.add_edge("a", "b")
+        lay = Layering({"a": 2, "b": 1})
+        assert width_excluding_dummies(g, lay) == 3.0
+
+    def test_empty_layering(self):
+        g = DiGraph()
+        lay = Layering({})
+        assert layer_widths(g, lay) == {}
+        assert width_including_dummies(g, lay) == 0.0
+        assert width_excluding_dummies(g, lay) == 0.0
+
+    def test_negative_nd_width_rejected(self, shortcut_graph, shortcut_layering):
+        with pytest.raises(ValidationError):
+            layer_widths(shortcut_graph, shortcut_layering, nd_width=-1)
+
+
+class TestDummyAndSpan:
+    def test_dummy_vertex_count(self, shortcut_graph, shortcut_layering):
+        assert dummy_vertex_count(shortcut_graph, shortcut_layering) == 2
+
+    def test_total_edge_span(self, shortcut_graph, shortcut_layering):
+        assert total_edge_span(shortcut_graph, shortcut_layering) == 1 + 1 + 1 + 3
+
+    def test_proper_layering_has_no_dummies(self, diamond):
+        lay = Layering({"a": 3, "b": 2, "c": 2, "d": 1})
+        assert dummy_vertex_count(diamond, lay) == 0
+
+
+class TestEdgeDensity:
+    def test_chain_plus_shortcut(self, shortcut_graph, shortcut_layering):
+        # Gap 1-2: edges (1,0) and (3,0) -> 2; gap 2-3: (2,1), (3,0) -> 2;
+        # gap 3-4: (3,2), (3,0) -> 2.
+        assert edge_density(shortcut_graph, shortcut_layering) == 2
+
+    def test_diamond(self, diamond):
+        lay = Layering({"a": 3, "b": 2, "c": 2, "d": 1})
+        assert edge_density(diamond, lay) == 2
+
+    def test_single_layer(self):
+        g = DiGraph(vertices=["a", "b"])
+        assert edge_density(g, Layering({"a": 1, "b": 1})) == 0
+
+    def test_no_edges(self):
+        g = DiGraph(vertices=["a", "b"])
+        assert edge_density(g, Layering({"a": 1, "b": 2})) == 0
+
+
+class TestEvaluate:
+    def test_objective_formula(self, shortcut_graph, shortcut_layering):
+        metrics = evaluate_layering(shortcut_graph, shortcut_layering)
+        assert metrics.height == 4
+        assert metrics.width_including_dummies == 2.0
+        assert metrics.objective == pytest.approx(1.0 / 6.0)
+        assert metrics.objective == pytest.approx(
+            aco_objective(shortcut_graph, shortcut_layering)
+        )
+
+    def test_as_dict_round_trip(self, shortcut_graph, shortcut_layering):
+        metrics = evaluate_layering(shortcut_graph, shortcut_layering, nd_width=0.5)
+        d = metrics.as_dict()
+        assert d["nd_width"] == 0.5
+        assert d["n_vertices"] == 4
+        assert d["n_edges"] == 4
+
+    def test_invalid_layering_rejected(self, diamond):
+        bad = Layering({"a": 1, "b": 1, "c": 1, "d": 1})
+        with pytest.raises(LayeringError):
+            evaluate_layering(diamond, bad)
+
+    def test_validation_can_be_skipped(self, diamond):
+        bad = Layering({"a": 1, "b": 1, "c": 1, "d": 1})
+        metrics = evaluate_layering(diamond, bad, validate=False)
+        assert metrics.height == 1
+
+    def test_negative_nd_width_rejected(self, diamond):
+        lay = Layering({"a": 3, "b": 2, "c": 2, "d": 1})
+        with pytest.raises(ValidationError):
+            evaluate_layering(diamond, lay, nd_width=-0.1)

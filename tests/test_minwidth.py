@@ -1,0 +1,94 @@
+"""Tests for the MinWidth heuristic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import att_like_dag, gnp_dag
+from repro.layering.longest_path import longest_path_layering
+from repro.layering.metrics import width_excluding_dummies, width_including_dummies
+from repro.layering.minwidth import minwidth_layering, minwidth_layering_sweep
+from repro.utils.exceptions import CycleError, GraphError, ValidationError
+
+
+class TestMinWidthLayering:
+    def test_validity(self, sample_graphs):
+        for g in sample_graphs:
+            lay = minwidth_layering(g)
+            lay.validate(g)
+
+    def test_validity_across_parameters(self):
+        g = att_like_dag(40, seed=7)
+        for ubw in (1, 2, 4):
+            for c in (1, 2):
+                minwidth_layering(g, ubw=ubw, c=c).validate(g)
+
+    def test_diamond(self, diamond):
+        lay = minwidth_layering(diamond, ubw=1, c=1)
+        lay.validate(diamond)
+
+    def test_narrow_layers_for_small_ubw(self):
+        # With UBW=1 the heuristic aggressively opens new layers, producing
+        # narrow (real-vertex) layerings on wide graphs.
+        g = att_like_dag(60, seed=1)
+        narrow = minwidth_layering(g, ubw=1, c=1)
+        wide = longest_path_layering(g)
+        assert width_excluding_dummies(g, narrow) <= width_excluding_dummies(g, wide)
+
+    def test_layers_start_at_one_and_contiguous(self):
+        g = gnp_dag(30, 0.15, seed=2)
+        lay = minwidth_layering(g)
+        used = lay.used_layers()
+        assert used[0] == 1
+        assert used == list(range(1, len(used) + 1))
+
+    def test_single_vertex(self):
+        g = DiGraph(vertices=["v"])
+        assert minwidth_layering(g)["v"] == 1
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            minwidth_layering(DiGraph())
+
+    def test_cycle_rejected(self):
+        with pytest.raises(CycleError):
+            minwidth_layering(DiGraph(edges=[(1, 2), (2, 1)]))
+
+    def test_invalid_parameters(self, diamond):
+        with pytest.raises(ValidationError):
+            minwidth_layering(diamond, ubw=0)
+        with pytest.raises(ValidationError):
+            minwidth_layering(diamond, c=0)
+        with pytest.raises(ValidationError):
+            minwidth_layering(diamond, nd_width=-1)
+
+    def test_respects_vertex_widths(self):
+        g = DiGraph()
+        for name in "abcd":
+            g.add_vertex(name, width=3.0)
+        lay = minwidth_layering(g, ubw=3, c=1)
+        lay.validate(g)
+
+
+class TestMinWidthSweep:
+    def test_sweep_no_worse_than_any_single_setting(self):
+        for seed in range(3):
+            g = att_like_dag(35, seed=seed)
+            best = minwidth_layering_sweep(g)
+            best_width = width_including_dummies(g, best)
+            for ubw, c in ((1, 1), (2, 2), (4, 2)):
+                single = minwidth_layering(g, ubw=ubw, c=c)
+                assert best_width <= width_including_dummies(g, single) + 1e-9
+
+    def test_sweep_validity(self, sample_graphs):
+        for g in sample_graphs:
+            minwidth_layering_sweep(g).validate(g)
+
+    def test_empty_grid_rejected(self, diamond):
+        with pytest.raises(ValidationError):
+            minwidth_layering_sweep(diamond, grid=())
+
+    def test_custom_grid(self, diamond):
+        lay = minwidth_layering_sweep(diamond, grid=((2, 1),))
+        lay.validate(diamond)

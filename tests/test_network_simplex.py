@@ -1,0 +1,83 @@
+"""Tests for the exact minimum-dummy (network-simplex equivalent) layering."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import att_like_dag, gnp_dag, longest_path_dag
+from repro.layering.base import Layering
+from repro.layering.longest_path import longest_path_layering
+from repro.layering.metrics import dummy_vertex_count, total_edge_span
+from repro.layering.network_simplex import (
+    minimum_dummy_layering,
+    minimum_dummy_layering_longest_path,
+    minimum_total_span,
+)
+from repro.layering.promote import promote_layering
+
+
+def brute_force_minimum_span(graph: DiGraph, max_height: int) -> int:
+    """Exhaustive minimum total edge span over all layerings up to max_height layers."""
+    vertices = list(graph.vertices())
+    best = None
+    for assignment in itertools.product(range(1, max_height + 1), repeat=len(vertices)):
+        lay = dict(zip(vertices, assignment))
+        if all(lay[u] > lay[v] for u, v in graph.edges()):
+            span = sum(lay[u] - lay[v] for u, v in graph.edges())
+            best = span if best is None else min(best, span)
+    assert best is not None
+    return best
+
+
+class TestMinimumDummyLayering:
+    def test_validity(self, sample_graphs):
+        for g in sample_graphs:
+            minimum_dummy_layering(g).validate(g)
+
+    def test_matches_brute_force_on_small_graphs(self):
+        graphs = [
+            DiGraph(edges=[("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]),
+            DiGraph(edges=[(0, 1), (1, 2), (0, 2)]),
+            DiGraph(edges=[(0, 1), (1, 2), (2, 3), (0, 3)]),
+            gnp_dag(6, 0.4, seed=1),
+            gnp_dag(6, 0.5, seed=2),
+        ]
+        for g in graphs:
+            exact = minimum_total_span(g)
+            brute = brute_force_minimum_span(g, max_height=g.n_vertices)
+            assert exact == brute
+
+    def test_never_worse_than_lpl_or_promotion(self, sample_graphs):
+        for g in sample_graphs:
+            optimal = minimum_dummy_layering(g)
+            lpl = longest_path_layering(g)
+            promoted = promote_layering(g, lpl)
+            assert total_edge_span(g, optimal) <= total_edge_span(g, lpl)
+            assert total_edge_span(g, optimal) <= total_edge_span(g, promoted)
+            assert dummy_vertex_count(g, optimal) <= dummy_vertex_count(g, promoted)
+
+    def test_path_graph_needs_no_dummies(self):
+        g = longest_path_dag(8)
+        assert dummy_vertex_count(g, minimum_dummy_layering(g)) == 0
+
+    def test_edgeless_graph(self):
+        g = DiGraph(vertices=["a", "b", "c"])
+        lay = minimum_dummy_layering(g)
+        assert lay.height == 1
+
+    def test_result_is_normalized(self):
+        g = att_like_dag(30, seed=9)
+        lay = minimum_dummy_layering(g)
+        used = lay.used_layers()
+        assert used[0] == 1 and used == list(range(1, len(used) + 1))
+
+
+class TestCombinationalFallback:
+    def test_fallback_is_valid_and_reasonable(self, sample_graphs):
+        for g in sample_graphs:
+            lay = minimum_dummy_layering_longest_path(g)
+            lay.validate(g)
+            assert total_edge_span(g, lay) <= total_edge_span(g, longest_path_layering(g))

@@ -1,0 +1,80 @@
+"""Tests for the pheromone matrix."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aco.pheromone import PheromoneMatrix
+from repro.utils.exceptions import ValidationError
+
+
+class TestConstruction:
+    def test_initialised_to_tau0(self):
+        p = PheromoneMatrix(4, 6, tau0=0.5)
+        assert p.values.shape == (4, 7)
+        assert np.all(p.values[:, 1:] == 0.5)
+        assert np.all(p.values[:, 0] == 0.0)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValidationError):
+            PheromoneMatrix(0, 5, tau0=1.0)
+        with pytest.raises(ValidationError):
+            PheromoneMatrix(5, 0, tau0=1.0)
+
+    def test_invalid_tau0(self):
+        with pytest.raises(ValidationError):
+            PheromoneMatrix(2, 2, tau0=0.0)
+
+
+class TestTrail:
+    def test_slice_semantics(self):
+        p = PheromoneMatrix(3, 5, tau0=1.0)
+        p.values[1, 2] = 7.0
+        trail = p.trail(1, 2, 4)
+        assert trail.shape == (3,)
+        assert trail[0] == 7.0
+
+    def test_trail_is_view(self):
+        p = PheromoneMatrix(2, 4, tau0=1.0)
+        p.trail(0, 1, 4)[0] = 9.0
+        assert p.values[0, 1] == 9.0
+
+
+class TestEvaporationAndDeposit:
+    def test_evaporation_scales(self):
+        p = PheromoneMatrix(2, 3, tau0=1.0)
+        p.evaporate(0.25)
+        assert np.allclose(p.values[:, 1:], 0.75)
+
+    def test_evaporation_clamps_at_tau_min(self):
+        p = PheromoneMatrix(2, 3, tau0=1.0)
+        for _ in range(50):
+            p.evaporate(0.9, tau_min=0.01)
+        assert np.all(p.values[:, 1:] >= 0.01)
+
+    def test_invalid_rho(self):
+        p = PheromoneMatrix(2, 3, tau0=1.0)
+        with pytest.raises(ValidationError):
+            p.evaporate(1.5)
+
+    def test_deposit_on_assignment(self):
+        p = PheromoneMatrix(3, 4, tau0=1.0)
+        assignment = np.array([1, 4, 2])
+        p.deposit(assignment, 0.5)
+        assert p.values[0, 1] == 1.5
+        assert p.values[1, 4] == 1.5
+        assert p.values[2, 2] == 1.5
+        # untouched entries unchanged
+        assert p.values[0, 2] == 1.0
+
+    def test_negative_deposit_rejected(self):
+        p = PheromoneMatrix(2, 3, tau0=1.0)
+        with pytest.raises(ValidationError):
+            p.deposit(np.array([1, 1]), -0.5)
+
+    def test_copy_is_independent(self):
+        p = PheromoneMatrix(2, 3, tau0=1.0)
+        q = p.copy()
+        q.values[0, 1] = 99.0
+        assert p.values[0, 1] == 1.0

@@ -1,0 +1,214 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aco.heuristic import LayerWidths, evaluate_assignment, evaluate_with_widths
+from repro.aco.problem import LayeringProblem
+from repro.graph.acyclicity import is_acyclic, topological_sort
+from repro.graph.digraph import DiGraph
+from repro.graph.transforms import transitive_reduction
+from repro.layering.base import Layering
+from repro.layering.longest_path import longest_path_layering, minimum_height
+from repro.layering.metrics import (
+    dummy_vertex_count,
+    edge_density,
+    evaluate_layering,
+    width_excluding_dummies,
+    width_including_dummies,
+)
+from repro.layering.minwidth import minwidth_layering
+from repro.layering.promote import promote_layering
+from repro.layering.stretch import stretch_between
+
+
+# --------------------------------------------------------------------------- #
+# strategies
+# --------------------------------------------------------------------------- #
+
+
+@st.composite
+def random_dags(draw, max_vertices: int = 14, max_extra_edges: int = 25) -> DiGraph:
+    """Random DAGs: edges always point from a lower to a higher vertex id."""
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    g = DiGraph(vertices=range(n))
+    if n >= 2:
+        n_edges = draw(st.integers(min_value=0, max_value=max_extra_edges))
+        pairs = draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=n - 2),
+                    st.integers(min_value=1, max_value=n - 1),
+                ),
+                max_size=n_edges,
+            )
+        )
+        for a, b in pairs:
+            if a < b:
+                g.add_edge(a, b)
+    return g
+
+
+@st.composite
+def dags_with_widths(draw) -> DiGraph:
+    """Random DAGs whose vertices carry non-unit widths."""
+    g = draw(random_dags())
+    for v in g.vertices():
+        g.set_vertex_width(v, draw(st.floats(min_value=0.25, max_value=4.0)))
+    return g
+
+
+# --------------------------------------------------------------------------- #
+# graph-level properties
+# --------------------------------------------------------------------------- #
+
+
+@given(random_dags())
+@settings(max_examples=60, deadline=None)
+def test_generated_graphs_are_acyclic(g):
+    assert is_acyclic(g)
+
+
+@given(random_dags())
+@settings(max_examples=60, deadline=None)
+def test_topological_sort_respects_all_edges(g):
+    order = topological_sort(g)
+    pos = {v: i for i, v in enumerate(order)}
+    assert all(pos[u] < pos[v] for u, v in g.edges())
+
+
+@given(random_dags())
+@settings(max_examples=40, deadline=None)
+def test_transitive_reduction_preserves_reachability_of_direct_edges(g):
+    reduced = transitive_reduction(g)
+    # every removed edge must still be realisable as a path in the reduction
+    order = topological_sort(reduced)
+    pos = {v: i for i, v in enumerate(order)}
+    reach = {v: {v} for v in reduced.vertices()}
+    for v in reversed(order):
+        for w in reduced.successors(v):
+            reach[v] |= reach[w]
+    for u, v in g.edges():
+        assert v in reach[u]
+    del pos
+
+
+# --------------------------------------------------------------------------- #
+# layering properties
+# --------------------------------------------------------------------------- #
+
+
+@given(random_dags())
+@settings(max_examples=60, deadline=None)
+def test_lpl_is_valid_and_minimum_height(g):
+    lay = longest_path_layering(g)
+    lay.validate(g)
+    assert lay.height == minimum_height(g)
+
+
+@given(random_dags())
+@settings(max_examples=40, deadline=None)
+def test_minwidth_is_valid(g):
+    minwidth_layering(g).validate(g)
+
+
+@given(dags_with_widths())
+@settings(max_examples=40, deadline=None)
+def test_promotion_never_increases_dummies(g):
+    base = longest_path_layering(g)
+    promoted = promote_layering(g, base)
+    promoted.validate(g)
+    assert dummy_vertex_count(g, promoted) <= dummy_vertex_count(g, base)
+
+
+@given(random_dags(), st.integers(min_value=0, max_value=30))
+@settings(max_examples=40, deadline=None)
+def test_stretch_between_compacts_back_to_original(g, extra):
+    lay = longest_path_layering(g)
+    stretched, n_layers = stretch_between(lay, lay.height + extra)
+    assert n_layers == lay.height + extra
+    stretched.validate(g)
+    assert stretched.normalized() == lay
+
+
+@given(dags_with_widths(), st.floats(min_value=0.0, max_value=2.0))
+@settings(max_examples=40, deadline=None)
+def test_width_metrics_relation(g, nd_width):
+    lay = longest_path_layering(g)
+    incl = width_including_dummies(g, lay, nd_width=nd_width)
+    excl = width_excluding_dummies(g, lay)
+    assert incl >= excl - 1e-9
+    assert excl <= g.total_vertex_width() + 1e-9
+
+
+@given(random_dags())
+@settings(max_examples=40, deadline=None)
+def test_edge_density_bounds(g):
+    lay = longest_path_layering(g)
+    density = edge_density(g, lay)
+    assert 0 <= density <= g.n_edges
+    if lay.height > 1 and g.n_edges > 0:
+        assert density >= 1
+
+
+@given(random_dags())
+@settings(max_examples=40, deadline=None)
+def test_normalized_layering_is_idempotent_and_valid(g):
+    lay = longest_path_layering(g).shifted(3).normalized()
+    assert lay.normalized() == lay
+    lay.validate(g)
+
+
+@given(dags_with_widths())
+@settings(max_examples=40, deadline=None)
+def test_evaluate_layering_objective_consistency(g):
+    lay = longest_path_layering(g)
+    metrics = evaluate_layering(g, lay)
+    denom = metrics.height + metrics.width_including_dummies
+    assert metrics.objective == (1.0 / denom if denom else 0.0)
+
+
+# --------------------------------------------------------------------------- #
+# ACO bookkeeping properties
+# --------------------------------------------------------------------------- #
+
+
+@given(random_dags(), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_incremental_layer_widths_match_recompute(g, seed):
+    problem = LayeringProblem.from_graph(g)
+    rng = np.random.default_rng(seed)
+    assignment = problem.initial_assignment.copy()
+    widths = LayerWidths.from_assignment(problem, assignment)
+    for _ in range(40):
+        v = int(rng.integers(0, problem.n_vertices))
+        lo, hi = problem.layer_span(assignment, v)
+        new = int(rng.integers(lo, hi + 1))
+        old = int(assignment[v])
+        if new != old:
+            widths.apply_move(v, old, new, assignment)
+            assignment[v] = new
+    fresh = LayerWidths.from_assignment(problem, assignment)
+    assert np.allclose(widths.real, fresh.real)
+    assert np.array_equal(widths.crossing, fresh.crossing)
+    assert np.array_equal(widths.occupancy, fresh.occupancy)
+    fast = evaluate_with_widths(problem, assignment, widths)
+    slow = evaluate_assignment(problem, assignment)
+    assert fast.height == slow.height
+    assert abs(fast.width_including_dummies - slow.width_including_dummies) < 1e-9
+    assert fast.dummy_vertex_count == slow.dummy_vertex_count
+
+
+@given(random_dags())
+@settings(max_examples=30, deadline=None)
+def test_aco_score_matches_public_metrics(g):
+    problem = LayeringProblem.from_graph(g)
+    score = evaluate_assignment(problem, problem.initial_assignment)
+    layering = problem.assignment_to_layering(problem.initial_assignment)
+    metrics = evaluate_layering(g, layering)
+    assert score.height == metrics.height
+    assert abs(score.width_including_dummies - metrics.width_including_dummies) < 1e-9
+    assert score.dummy_vertex_count == metrics.dummy_vertex_count

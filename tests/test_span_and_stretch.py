@@ -1,0 +1,120 @@
+"""Tests for layer spans and for the LPL stretching strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import att_like_dag
+from repro.layering.base import Layering
+from repro.layering.longest_path import longest_path_layering
+from repro.layering.span import all_layer_spans, layer_span
+from repro.layering.stretch import stretch_above_below, stretch_between
+from repro.utils.exceptions import LayeringError, ValidationError
+
+
+class TestLayerSpan:
+    def test_source_and_sink_spans(self, diamond):
+        lay = Layering({"a": 3, "b": 2, "c": 2, "d": 1})
+        # d (a sink) can go anywhere below its predecessors b, c (layer 2).
+        assert layer_span(diamond, lay, "d", 5) == (1, 1)
+        # a (a source) can go anywhere above b, c up to the layer count.
+        assert layer_span(diamond, lay, "a", 5) == (3, 5)
+        # b is squeezed between a (3) and d (1).
+        assert layer_span(diamond, lay, "b", 5) == (2, 2)
+
+    def test_isolated_vertex_full_span(self):
+        g = DiGraph(vertices=["x"])
+        assert layer_span(g, Layering({"x": 1}), "x", 7) == (1, 7)
+
+    def test_empty_span_raises(self):
+        g = DiGraph(edges=[("u", "v")])
+        # Invalid neighbour assignment (u below v) leaves no feasible layer for v.
+        with pytest.raises(LayeringError):
+            layer_span(g, {"u": 1, "v": 2}, "v", 5)
+
+    def test_all_layer_spans_consistency(self):
+        g = att_like_dag(30, seed=2)
+        lay = longest_path_layering(g)
+        spans = all_layer_spans(g, lay, g.n_vertices)
+        for v, (lo, hi) in spans.items():
+            assert lo <= lay.layer_of(v) <= hi
+
+    def test_accepts_layering_or_dict(self, diamond):
+        lay = Layering({"a": 3, "b": 2, "c": 2, "d": 1})
+        assert layer_span(diamond, lay, "a", 5) == layer_span(diamond, lay.to_dict(), "a", 5)
+
+
+class TestStretchBetween:
+    def test_total_layers_and_validity(self):
+        g = att_like_dag(30, seed=1)
+        lpl = longest_path_layering(g)
+        stretched, n_layers = stretch_between(lpl, g.n_vertices)
+        assert n_layers == g.n_vertices
+        assert stretched.is_valid(g)
+        # The stretched layering compacts back to the original LPL layering.
+        assert stretched.normalized() == lpl
+
+    def test_no_op_when_target_equals_height(self):
+        lay = Layering({"a": 2, "b": 1})
+        stretched, n = stretch_between(lay, 2)
+        assert stretched == lay
+        assert n == 2
+
+    def test_even_distribution(self):
+        # Height 3 stretched to 7: 4 new layers over 2 gaps -> 2 each.
+        lay = Layering({"a": 3, "b": 2, "c": 1})
+        stretched, _ = stretch_between(lay, 7)
+        assert stretched["c"] == 1
+        assert stretched["b"] == 4
+        assert stretched["a"] == 7
+
+    def test_remainder_goes_to_lower_gaps(self):
+        # Height 3 stretched to 6: 3 new layers over 2 gaps -> gap1 gets 2, gap2 gets 1.
+        lay = Layering({"a": 3, "b": 2, "c": 1})
+        stretched, _ = stretch_between(lay, 6)
+        assert stretched["c"] == 1
+        assert stretched["b"] == 4
+        assert stretched["a"] == 6
+
+    def test_single_layer_input(self):
+        lay = Layering({"a": 1, "b": 1})
+        stretched, n = stretch_between(lay, 4)
+        assert n == 4
+        assert stretched == lay
+
+    def test_target_below_height_rejected(self):
+        lay = Layering({"a": 3, "b": 2, "c": 1})
+        with pytest.raises(ValidationError):
+            stretch_between(lay, 2)
+
+
+class TestStretchAboveBelow:
+    def test_above_keeps_positions(self):
+        lay = Layering({"a": 2, "b": 1})
+        stretched, n = stretch_above_below(lay, 6, mode="above")
+        assert n == 6
+        assert stretched == lay
+
+    def test_below_shifts_everything_up(self):
+        lay = Layering({"a": 2, "b": 1})
+        stretched, _ = stretch_above_below(lay, 6, mode="below")
+        assert stretched["b"] == 5
+        assert stretched["a"] == 6
+
+    def test_split_shifts_by_half(self):
+        lay = Layering({"a": 2, "b": 1})
+        stretched, _ = stretch_above_below(lay, 6, mode="split")
+        assert stretched["b"] == 3
+        assert stretched["a"] == 4
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValidationError):
+            stretch_above_below(Layering({"a": 1}), 3, mode="diagonal")
+
+    def test_preserves_validity(self):
+        g = att_like_dag(25, seed=4)
+        lpl = longest_path_layering(g)
+        for mode in ("above", "below", "split"):
+            stretched, _ = stretch_above_below(lpl, g.n_vertices, mode=mode)
+            assert stretched.is_valid(g)

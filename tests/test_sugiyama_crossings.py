@@ -1,0 +1,63 @@
+"""Tests for crossing counting."""
+
+from __future__ import annotations
+
+from repro.graph.digraph import DiGraph
+from repro.layering.base import Layering
+from repro.sugiyama.crossings import (
+    count_all_crossings,
+    count_crossings_between,
+    count_inversions,
+)
+
+
+class TestInversions:
+    def test_sorted_has_none(self):
+        assert count_inversions([1, 2, 3, 4]) == 0
+
+    def test_reverse_sorted(self):
+        assert count_inversions([4, 3, 2, 1]) == 6
+
+    def test_mixed(self):
+        assert count_inversions([2, 1, 3]) == 1
+        assert count_inversions([3, 1, 2]) == 2
+
+    def test_duplicates_not_counted(self):
+        assert count_inversions([1, 1, 1]) == 0
+
+    def test_empty_and_single(self):
+        assert count_inversions([]) == 0
+        assert count_inversions([5]) == 0
+
+
+class TestCrossingsBetween:
+    def test_parallel_edges_no_crossing(self):
+        g = DiGraph(edges=[("u1", "v1"), ("u2", "v2")])
+        assert count_crossings_between(g, ["u1", "u2"], ["v1", "v2"]) == 0
+
+    def test_crossed_pair(self):
+        g = DiGraph(edges=[("u1", "v2"), ("u2", "v1")])
+        assert count_crossings_between(g, ["u1", "u2"], ["v1", "v2"]) == 1
+
+    def test_complete_bipartite_k22(self):
+        g = DiGraph(edges=[("u1", "v1"), ("u1", "v2"), ("u2", "v1"), ("u2", "v2")])
+        assert count_crossings_between(g, ["u1", "u2"], ["v1", "v2"]) == 1
+
+    def test_order_matters(self):
+        g = DiGraph(edges=[("u1", "v2"), ("u2", "v1")])
+        # Swapping the lower order removes the crossing.
+        assert count_crossings_between(g, ["u1", "u2"], ["v2", "v1"]) == 0
+
+
+class TestAllCrossings:
+    def test_three_layer_graph(self):
+        g = DiGraph(edges=[("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+        layering = Layering({"a": 3, "b": 2, "c": 2, "d": 1})
+        orders = {3: ["a"], 2: ["b", "c"], 1: ["d"]}
+        assert count_all_crossings(g, layering, orders) == 0
+
+    def test_crossing_in_middle_gap(self):
+        g = DiGraph(edges=[("a", "x"), ("b", "y")])
+        layering = Layering({"a": 2, "b": 2, "x": 1, "y": 1})
+        assert count_all_crossings(g, layering, {2: ["a", "b"], 1: ["y", "x"]}) == 1
+        assert count_all_crossings(g, layering, {2: ["a", "b"], 1: ["x", "y"]}) == 0

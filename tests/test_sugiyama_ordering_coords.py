@@ -1,0 +1,106 @@
+"""Tests for barycenter ordering and coordinate assignment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import att_like_dag
+from repro.layering.dummy import make_proper
+from repro.layering.longest_path import longest_path_layering
+from repro.sugiyama.coordinates import assign_coordinates
+from repro.sugiyama.crossings import count_all_crossings
+from repro.sugiyama.ordering import barycenter_ordering, initial_ordering
+from repro.utils.exceptions import ValidationError
+
+
+def proper_instance(seed=0, n=30):
+    g = att_like_dag(n, seed=seed)
+    lay = longest_path_layering(g)
+    return make_proper(g, lay)
+
+
+class TestInitialOrdering:
+    def test_covers_every_vertex_once(self):
+        result = proper_instance()
+        orders = initial_ordering(result.graph, result.layering)
+        all_vertices = [v for layer in orders.values() for v in layer]
+        assert sorted(map(str, all_vertices)) == sorted(map(str, result.graph.vertices()))
+
+    def test_vertices_on_their_layer(self):
+        result = proper_instance(seed=1)
+        orders = initial_ordering(result.graph, result.layering)
+        for layer, vertices in orders.items():
+            for v in vertices:
+                assert result.layering.layer_of(v) == layer
+
+
+class TestBarycenterOrdering:
+    def test_never_worse_than_initial(self):
+        for seed in range(3):
+            result = proper_instance(seed=seed)
+            initial = initial_ordering(result.graph, result.layering)
+            initial_crossings = count_all_crossings(result.graph, result.layering, initial)
+            _, crossings = barycenter_ordering(result.graph, result.layering)
+            assert crossings <= initial_crossings
+
+    def test_returns_consistent_count(self):
+        result = proper_instance(seed=2)
+        orders, crossings = barycenter_ordering(result.graph, result.layering)
+        assert crossings == count_all_crossings(result.graph, result.layering, orders)
+
+    def test_zero_sweeps_returns_initial(self):
+        result = proper_instance(seed=3)
+        orders, _ = barycenter_ordering(result.graph, result.layering, max_sweeps=0)
+        assert orders == initial_ordering(result.graph, result.layering)
+
+    def test_negative_sweeps_rejected(self):
+        result = proper_instance(seed=4)
+        with pytest.raises(ValidationError):
+            barycenter_ordering(result.graph, result.layering, max_sweeps=-1)
+
+    def test_simple_crossing_removed(self):
+        # Two crossed edges: barycenter must find the crossing-free order.
+        g = DiGraph(edges=[("a", "y"), ("b", "x")])
+        from repro.layering.base import Layering
+
+        lay = Layering({"a": 2, "b": 2, "x": 1, "y": 1})
+        _, crossings = barycenter_ordering(g, lay)
+        assert crossings == 0
+
+
+class TestCoordinates:
+    def test_every_vertex_has_coordinates(self):
+        result = proper_instance(seed=5)
+        orders, _ = barycenter_ordering(result.graph, result.layering)
+        coords = assign_coordinates(result.graph, result.layering, orders)
+        assert set(coords) == set(result.graph.vertices())
+
+    def test_y_equals_layer(self):
+        result = proper_instance(seed=6)
+        orders, _ = barycenter_ordering(result.graph, result.layering)
+        coords = assign_coordinates(result.graph, result.layering, orders)
+        for v, (_, y) in coords.items():
+            assert y == result.layering.layer_of(v)
+
+    def test_order_preserved_and_separated(self):
+        result = proper_instance(seed=7)
+        orders, _ = barycenter_ordering(result.graph, result.layering)
+        gap = 0.5
+        coords = assign_coordinates(result.graph, result.layering, orders, gap=gap)
+        for layer, order in orders.items():
+            xs = [coords[v][0] for v in order]
+            assert xs == sorted(xs)
+            for a, b, xa, xb in zip(order, order[1:], xs, xs[1:]):
+                min_sep = (
+                    result.graph.vertex_width(a) + result.graph.vertex_width(b)
+                ) / 2.0 + gap
+                assert xb - xa >= min_sep - 1e-9
+
+    def test_invalid_parameters(self):
+        result = proper_instance(seed=8)
+        orders, _ = barycenter_ordering(result.graph, result.layering)
+        with pytest.raises(ValidationError):
+            assign_coordinates(result.graph, result.layering, orders, gap=-1)
+        with pytest.raises(ValidationError):
+            assign_coordinates(result.graph, result.layering, orders, alignment_sweeps=-1)

@@ -1,0 +1,118 @@
+"""Tests for the full Sugiyama pipeline and the renderers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aco.params import ACOParams
+from repro.aco.layering_aco import aco_layering
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import att_like_dag
+from repro.layering.dummy import DummyVertex
+from repro.sugiyama.cycle_removal import remove_cycles
+from repro.sugiyama.pipeline import (
+    LAYERING_METHODS,
+    SugiyamaDrawing,
+    resolve_layering_method,
+    sugiyama_layout,
+)
+from repro.sugiyama.render import render_ascii, render_svg
+from repro.utils.exceptions import ValidationError
+
+
+class TestCycleRemoval:
+    def test_acyclic_untouched(self, diamond):
+        result = remove_cycles(diamond)
+        assert result.n_reversed == 0
+        assert result.graph == diamond
+
+    def test_cycle_reversed(self):
+        g = DiGraph(edges=[(1, 2), (2, 3), (3, 1)])
+        result = remove_cycles(g)
+        assert result.n_reversed >= 1
+        from repro.graph.acyclicity import is_acyclic
+
+        assert is_acyclic(result.graph)
+        assert result.graph.n_vertices == 3
+
+
+class TestResolveMethod:
+    def test_all_named_methods_exist(self):
+        for name in LAYERING_METHODS:
+            assert callable(resolve_layering_method(name))
+
+    def test_callable_passthrough(self):
+        fn = lambda g: None  # noqa: E731
+        assert resolve_layering_method(fn) is fn
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValidationError):
+            resolve_layering_method("does-not-exist")
+
+
+class TestPipeline:
+    @pytest.mark.parametrize("method", ["lpl", "lpl+pl", "minwidth", "minwidth+pl", "min-dummy", "coffman-graham"])
+    def test_named_methods_produce_drawings(self, method):
+        g = att_like_dag(25, seed=1)
+        drawing = sugiyama_layout(g, layering_method=method)
+        assert isinstance(drawing, SugiyamaDrawing)
+        drawing.layering.validate(drawing.acyclic)
+        assert drawing.proper.layering.is_proper(drawing.proper.graph)
+        assert set(drawing.coordinates) == set(drawing.proper.graph.vertices())
+        assert drawing.crossings >= 0
+        assert drawing.height == drawing.metrics.height
+        assert drawing.width == drawing.metrics.width_including_dummies
+
+    def test_aco_callable_method(self):
+        g = att_like_dag(20, seed=2)
+        params = ACOParams(n_ants=2, n_tours=2, seed=0)
+        drawing = sugiyama_layout(g, layering_method=lambda gg: aco_layering(gg, params))
+        drawing.layering.validate(drawing.acyclic)
+
+    def test_cyclic_input_handled(self):
+        g = DiGraph(edges=[(1, 2), (2, 3), (3, 1), (3, 4)])
+        drawing = sugiyama_layout(g, layering_method="lpl")
+        assert drawing.reversed_edges
+        drawing.layering.validate(drawing.acyclic)
+        assert drawing.original.has_edge(3, 1) or drawing.original.has_edge(1, 3)
+
+    def test_nd_width_zero_supported(self):
+        g = att_like_dag(15, seed=3)
+        drawing = sugiyama_layout(g, layering_method="lpl", nd_width=0.0)
+        assert drawing.metrics.nd_width == 0.0
+
+    def test_unknown_method_raises(self):
+        g = att_like_dag(10, seed=4)
+        with pytest.raises(ValidationError):
+            sugiyama_layout(g, layering_method="quantum")
+
+
+class TestRender:
+    def test_ascii_contains_all_layers(self):
+        g = att_like_dag(15, seed=5)
+        drawing = sugiyama_layout(g, layering_method="lpl")
+        text = render_ascii(drawing)
+        for layer in range(1, drawing.proper.layering.height + 1):
+            assert f"L{layer:>3} |" in text
+
+    def test_ascii_marks_dummies(self):
+        g = DiGraph(edges=[(0, 1), (1, 2), (0, 2)])
+        drawing = sugiyama_layout(g, layering_method="lpl")
+        if any(isinstance(v, DummyVertex) for v in drawing.proper.graph.vertices()):
+            assert "*" in render_ascii(drawing)
+
+    def test_svg_written_to_disk(self, tmp_path):
+        g = att_like_dag(12, seed=6)
+        drawing = sugiyama_layout(g, layering_method="lpl")
+        path = tmp_path / "drawing.svg"
+        svg = render_svg(drawing, path)
+        assert path.exists()
+        assert svg.startswith("<svg")
+        assert svg.count("<line") == drawing.proper.graph.n_edges
+        assert "</svg>" in svg
+
+    def test_svg_string_only(self):
+        g = att_like_dag(12, seed=7)
+        drawing = sugiyama_layout(g, layering_method="lpl")
+        svg = render_svg(drawing)
+        assert "<rect" in svg

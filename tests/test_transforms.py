@@ -1,0 +1,139 @@
+"""Tests for graph transforms (relabeling, SCCs, condensation, transitive closure/reduction)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.acyclicity import is_acyclic
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import gnp_dag
+from repro.graph.transforms import (
+    condensation,
+    induced_subgraph,
+    relabel,
+    reverse,
+    strongly_connected_components,
+    to_integer_labels,
+    transitive_closure,
+    transitive_reduction,
+    union,
+)
+from repro.utils.exceptions import GraphError
+
+
+class TestRelabel:
+    def test_with_mapping(self, diamond):
+        out = relabel(diamond, {"a": 1, "b": 2, "c": 3, "d": 4})
+        assert out.has_edge(1, 2)
+        assert out.has_edge(3, 4)
+
+    def test_with_callable(self, diamond):
+        out = relabel(diamond, lambda v: v.upper())
+        assert out.has_edge("A", "B")
+
+    def test_partial_mapping_keeps_other_names(self, diamond):
+        out = relabel(diamond, {"a": "root"})
+        assert out.has_edge("root", "b")
+
+    def test_non_injective_raises(self, diamond):
+        with pytest.raises(GraphError):
+            relabel(diamond, {"a": "x", "b": "x"})
+
+    def test_attributes_survive(self):
+        g = DiGraph()
+        g.add_vertex("v", width=2.5, label="lbl")
+        out = relabel(g, {"v": 0})
+        assert out.vertex_width(0) == 2.5
+        assert out.vertex_label(0) == "lbl"
+
+    def test_to_integer_labels(self, diamond):
+        out, mapping = to_integer_labels(diamond)
+        assert sorted(out.vertices()) == [0, 1, 2, 3]
+        assert set(mapping) == {"a", "b", "c", "d"}
+        assert out.n_edges == diamond.n_edges
+
+
+class TestSCC:
+    def test_dag_has_singleton_components(self, diamond):
+        comps = strongly_connected_components(diamond)
+        assert len(comps) == 4
+        assert all(len(c) == 1 for c in comps)
+
+    def test_cycle_is_one_component(self):
+        g = DiGraph(edges=[(1, 2), (2, 3), (3, 1), (3, 4)])
+        comps = strongly_connected_components(g)
+        sizes = sorted(len(c) for c in comps)
+        assert sizes == [1, 3]
+
+    def test_two_cycles(self):
+        g = DiGraph(edges=[(1, 2), (2, 1), (3, 4), (4, 3), (2, 3)])
+        comps = {frozenset(c) for c in strongly_connected_components(g)}
+        assert frozenset({1, 2}) in comps
+        assert frozenset({3, 4}) in comps
+
+
+class TestCondensation:
+    def test_condensation_is_acyclic(self):
+        g = DiGraph(edges=[(1, 2), (2, 3), (3, 1), (3, 4), (4, 5), (5, 4)])
+        dag, comp_id = condensation(g)
+        assert is_acyclic(dag)
+        assert comp_id[1] == comp_id[2] == comp_id[3]
+        assert comp_id[4] == comp_id[5]
+        assert comp_id[1] != comp_id[4]
+
+    def test_condensation_width_is_sum(self):
+        g = DiGraph(edges=[(1, 2), (2, 1)])
+        g.set_vertex_width(1, 2.0)
+        g.set_vertex_width(2, 3.0)
+        dag, comp_id = condensation(g)
+        assert dag.vertex_width(comp_id[1]) == pytest.approx(5.0)
+
+    def test_condensation_of_dag_is_isomorphic(self, diamond):
+        dag, comp_id = condensation(diamond)
+        assert dag.n_vertices == diamond.n_vertices
+        assert dag.n_edges == diamond.n_edges
+
+
+class TestTransitiveClosureReduction:
+    def test_closure_of_path(self, path5):
+        closure = transitive_closure(path5)
+        assert closure.n_edges == 10  # all i < j pairs
+        assert closure.has_edge(0, 4)
+
+    def test_reduction_of_closure_is_path(self, path5):
+        closure = transitive_closure(path5)
+        reduced = transitive_reduction(closure)
+        assert set(reduced.edges()) == set(path5.edges())
+
+    def test_reduction_removes_shortcut(self, long_edge_graph):
+        reduced = transitive_reduction(long_edge_graph)
+        assert not reduced.has_edge(0, 3)
+        assert reduced.n_edges == 3
+
+    def test_reduction_idempotent(self):
+        g = gnp_dag(15, 0.3, seed=0)
+        once = transitive_reduction(g)
+        twice = transitive_reduction(once)
+        assert set(once.edges()) == set(twice.edges())
+
+    def test_closure_contains_original_edges(self):
+        g = gnp_dag(12, 0.2, seed=1)
+        closure = transitive_closure(g)
+        for u, v in g.edges():
+            assert closure.has_edge(u, v)
+
+
+class TestMisc:
+    def test_reverse_function(self, diamond):
+        assert reverse(diamond).has_edge("d", "b")
+
+    def test_induced_subgraph(self, diamond):
+        sub = induced_subgraph(diamond, ["a", "b"])
+        assert set(sub.vertices()) == {"a", "b"}
+
+    def test_union(self):
+        a = DiGraph(edges=[(1, 2)])
+        b = DiGraph(edges=[(2, 3)])
+        u = union(a, b)
+        assert u.has_edge(1, 2) and u.has_edge(2, 3)
+        assert u.n_vertices == 3

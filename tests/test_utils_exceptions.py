@@ -1,0 +1,34 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.exceptions import (
+    CycleError,
+    GraphError,
+    LayeringError,
+    ReproError,
+    ValidationError,
+)
+
+
+def test_all_derive_from_repro_error():
+    for exc in (GraphError, CycleError, LayeringError, ValidationError):
+        assert issubclass(exc, ReproError)
+
+
+def test_cycle_error_is_graph_error():
+    assert issubclass(CycleError, GraphError)
+
+
+def test_cycle_error_carries_cycle():
+    err = CycleError("boom", cycle=[1, 2, 3])
+    assert err.cycle == [1, 2, 3]
+    err2 = CycleError("boom")
+    assert err2.cycle is None
+
+
+def test_catching_base_class():
+    with pytest.raises(ReproError):
+        raise LayeringError("nope")

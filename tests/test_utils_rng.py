@@ -1,0 +1,71 @@
+"""Tests for repro.utils.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, random_permutation, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_returns_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).integers(0, 1_000_000, size=10)
+        b = as_generator(42).integers(0, 1_000_000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 1_000_000, size=10)
+        b = as_generator(2).integers(0, 1_000_000, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_existing_generator_passthrough(self):
+        rng = np.random.default_rng(7)
+        assert as_generator(rng) is rng
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(3, 5)) == 5
+
+    def test_zero_children(self):
+        assert spawn_generators(3, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_generators(3, -1)
+
+    def test_children_are_independent_and_deterministic(self):
+        first = [g.integers(0, 10**9) for g in spawn_generators(11, 4)]
+        second = [g.integers(0, 10**9) for g in spawn_generators(11, 4)]
+        assert first == second
+        assert len(set(first)) == 4  # overwhelmingly likely to be distinct
+
+    def test_spawn_from_generator_instance(self):
+        rng = np.random.default_rng(5)
+        children = spawn_generators(rng, 3)
+        assert len(children) == 3
+        assert all(isinstance(c, np.random.Generator) for c in children)
+
+
+class TestRandomPermutation:
+    def test_is_permutation(self):
+        items = list("abcdefgh")
+        result = random_permutation(items, as_generator(0))
+        assert sorted(result) == sorted(items)
+
+    def test_deterministic_given_seed(self):
+        items = list(range(20))
+        a = random_permutation(items, as_generator(9))
+        b = random_permutation(items, as_generator(9))
+        assert a == b
+
+    def test_accepts_iterables(self):
+        result = random_permutation((i for i in range(5)), as_generator(0))
+        assert sorted(result) == [0, 1, 2, 3, 4]
+
+    def test_empty(self):
+        assert random_permutation([], as_generator(0)) == []

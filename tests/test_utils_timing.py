@@ -1,0 +1,51 @@
+"""Tests for repro.utils.timing."""
+
+from __future__ import annotations
+
+import time
+
+from repro.utils.timing import Stopwatch, TimingRecord, time_call
+
+
+class TestStopwatch:
+    def test_records_positive_time(self):
+        sw = Stopwatch()
+        with sw:
+            time.sleep(0.001)
+        assert sw.total > 0
+        assert len(sw.laps) == 1
+
+    def test_accumulates_laps(self):
+        sw = Stopwatch()
+        for _ in range(3):
+            with sw:
+                pass
+        assert len(sw.laps) == 3
+        assert sw.total == sum(sw.laps)
+
+    def test_mean(self):
+        sw = Stopwatch()
+        assert sw.mean == 0.0
+        with sw:
+            pass
+        assert sw.mean == sw.total
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        sw.reset()
+        assert sw.total == 0.0
+        assert sw.laps == []
+
+
+class TestTimeCall:
+    def test_returns_value_and_time(self):
+        record = time_call(sum, range(100))
+        assert isinstance(record, TimingRecord)
+        assert record.value == sum(range(100))
+        assert record.seconds >= 0
+
+    def test_kwargs_passed_through(self):
+        record = time_call(sorted, [3, 1, 2], reverse=True)
+        assert record.value == [3, 2, 1]
