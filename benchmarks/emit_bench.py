@@ -1,0 +1,93 @@
+"""Measure the ACO walk-engine speedup and persist it to ``BENCH_aco_kernels.json``.
+
+The JSON file lives at the repository root and is refreshed by the
+``test_kernel_speedup`` benchmark (or by running this module directly with
+``PYTHONPATH=src python benchmarks/emit_bench.py``), so the performance
+trajectory of the hot path is tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.aco import _native
+from repro.aco.colony import AntColony
+from repro.aco.params import ACOParams
+from repro.aco.problem import LayeringProblem
+from repro.datasets.corpus import CORPUS_SEED
+from repro.graph.generators import att_like_dag
+
+__all__ = ["BENCH_PATH", "measure_kernel_speedup", "write_bench_json"]
+
+#: Where the benchmark record is checked in (repository root).
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_aco_kernels.json"
+
+#: Corpus-style graph sizes timed by the benchmark.
+SIZES = (50, 200, 500)
+
+
+def _time_colony(problem: LayeringProblem, params: ACOParams, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        AntColony(problem, params).run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_kernel_speedup(
+    sizes: tuple[int, ...] = SIZES, *, repeats: int = 3
+) -> dict:
+    """Time both engines (single colony, default parameters) per graph size."""
+    _native.load_native()
+    entries = []
+    for n in sizes:
+        graph = att_like_dag(n, seed=CORPUS_SEED + n)
+        problem = LayeringProblem.from_graph(graph)
+        python_s = _time_colony(problem, ACOParams(seed=0, engine="python"), repeats)
+        vectorized_s = _time_colony(
+            problem, ACOParams(seed=0, engine="vectorized"), repeats
+        )
+        entries.append(
+            {
+                "n_vertices": n,
+                "n_edges": graph.n_edges,
+                "python_s": round(python_s, 6),
+                "vectorized_s": round(vectorized_s, 6),
+                "speedup": round(python_s / vectorized_s, 2),
+            }
+        )
+    return {
+        "benchmark": "aco_kernel_speedup",
+        "description": (
+            "Wall-clock of one AntColony.run (10 ants, 10 tours, default "
+            "params, fixed seed) per walk engine on corpus-style graphs; "
+            "best of %d runs, seconds." % repeats
+        ),
+        "native_backend": _native.native_status(),
+        "sizes": entries,
+    }
+
+
+def write_bench_json(results: dict, path: Path = BENCH_PATH) -> Path:
+    """Write the benchmark record (stable key order, trailing newline)."""
+    path.write_text(json.dumps(results, indent=2) + "\n")
+    return path
+
+
+def main() -> None:
+    results = measure_kernel_speedup()
+    path = write_bench_json(results)
+    print(f"wrote {path}")
+    for entry in results["sizes"]:
+        print(
+            f"  n={entry['n_vertices']:>4}: python {entry['python_s']*1e3:8.1f} ms   "
+            f"vectorized {entry['vectorized_s']*1e3:7.1f} ms   "
+            f"speedup {entry['speedup']:6.2f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

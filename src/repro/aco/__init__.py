@@ -30,6 +30,7 @@ from repro.aco.analysis import (
 from repro.aco.ant import Ant, AntSolution
 from repro.aco.colony import AntColony, ColonyResult, TourRecord
 from repro.aco.heuristic import LayerWidths, evaluate_assignment, evaluate_with_widths
+from repro.aco.kernels import evaluate_assignment_vectorized, run_tour_vectorized
 from repro.aco.layering_aco import AcoLayeringResult, aco_layering, aco_layering_detailed
 from repro.aco.parallel import parallel_aco_layering
 from repro.aco.params import ACOParams
@@ -43,6 +44,8 @@ __all__ = [
     "LayerWidths",
     "evaluate_assignment",
     "evaluate_with_widths",
+    "evaluate_assignment_vectorized",
+    "run_tour_vectorized",
     "Ant",
     "AntSolution",
     "AntColony",

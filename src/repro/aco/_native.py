@@ -1,0 +1,371 @@
+"""Optional JIT-compiled native backend for the ACO walk kernels.
+
+The NumPy lockstep kernel in :mod:`repro.aco.kernels` removes most of the
+per-vertex interpreter overhead, but each construction step still pays a few
+dozen NumPy dispatches.  This module compiles (once, with the system C
+compiler, cached by content hash) a small C kernel that executes *all* walks
+of a tour in a single call over the exact same flat arrays: CSR adjacency,
+pre-powered pheromone matrix, pre-drawn vertex orders and uniforms.
+
+Bit-identity with the Python and NumPy engines is preserved by construction:
+
+* the kernel is compiled with ``-ffp-contract=off`` so no FMA contraction
+  reorders the float arithmetic;
+* every float expression replicates the element-wise operation order of
+  ``LayerWidths.eta`` / ``fused_pow`` (``((real + nd*crossing) + w_v)``,
+  the current-layer correction, ``max(.., eps)``, reciprocal, decomposed
+  small-integer powers);
+* argmax is a first-maximum scan with NumPy's NaN-propagation semantics,
+  the roulette cumulative sum is sequential, and the roulette pick is a
+  ``searchsorted(..., side="right")``-equivalent upper-bound binary search.
+
+The backend is *optional*: :func:`load_native` returns ``None`` when no C
+compiler is available, compilation fails, or ``REPRO_ACO_NATIVE=0`` is set,
+and the caller silently falls back to the NumPy lockstep kernel.  The
+generic (non-integer) ``beta`` exponent is not replicated in C — callers
+must check :func:`native_supports` first.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+
+import numpy as np
+
+__all__ = ["load_native", "native_supports", "run_walks_native", "native_status"]
+
+#: Small integer exponents whose decomposition the C kernel mirrors
+#: (must stay in sync with kernels.fused_pow).
+_SMALL_EXPONENTS = (0.0, 1.0, 2.0, 3.0, 4.0, 5.0)
+
+_C_SOURCE = r"""
+#include <stdint.h>
+#include <math.h>
+
+/* Decomposed small-integer power; must mirror kernels.fused_pow exactly. */
+static inline double pow_small(double x, int64_t mode)
+{
+    double sq;
+    switch (mode) {
+        case 0: return 1.0;
+        case 1: return x;
+        case 2: return x * x;
+        case 3: return x * x * x;
+        case 4: sq = x * x; return sq * sq;
+        default: sq = x * x; return sq * sq * x;  /* mode 5 */
+    }
+}
+
+/* numpy searchsorted(cum, target, side="right"): first index with
+   cum[index] > target, i.e. the count of elements <= target. */
+static inline int64_t upper_bound(const double *cum, int64_t k, double target)
+{
+    int64_t lo = 0, hi = k;
+    while (lo < hi) {
+        int64_t mid = (lo + hi) >> 1;
+        if (cum[mid] <= target) lo = mid + 1; else hi = mid;
+    }
+    return lo;
+}
+
+void run_walks(
+    int64_t n_ants,
+    int64_t n_vertices,
+    int64_t n_cols,                 /* n_layers + 1 (column 0 unused) */
+    const int64_t *orders,          /* n_ants x n_vertices */
+    const double *uniforms,         /* n_ants x n_vertices, or NULL */
+    const int64_t *succ_indptr,
+    const int64_t *succ_indices,
+    const int64_t *pred_indptr,
+    const int64_t *pred_indices,
+    const int64_t *out_degree,
+    const int64_t *in_degree,
+    const double *vertex_widths,
+    const double *tau,              /* n_vertices x n_cols, pre-powered by alpha */
+    int64_t beta_mode,              /* 0..5: decomposed integer exponent */
+    double nd_width,
+    double epsilon,
+    double q0,
+    int64_t *assignment,            /* n_ants x n_vertices, in/out */
+    double *real,                   /* n_ants x n_cols, in/out */
+    int64_t *crossing,              /* n_ants x n_cols, in/out */
+    int64_t *occupancy,             /* n_ants x n_cols, in/out */
+    double *scores)                 /* scratch, n_cols doubles */
+{
+    int64_t n_layers = n_cols - 1;
+    for (int64_t a = 0; a < n_ants; a++) {
+        int64_t *asg = assignment + a * n_vertices;
+        double *re = real + a * n_cols;
+        int64_t *cr = crossing + a * n_cols;
+        int64_t *oc = occupancy + a * n_cols;
+        const int64_t *order = orders + a * n_vertices;
+        const double *u_row = uniforms ? uniforms + a * n_vertices : 0;
+
+        for (int64_t step = 0; step < n_vertices; step++) {
+            int64_t v = order[step];
+            int64_t current = asg[v];
+
+            /* Feasible span [lo, hi] from the CSR adjacency. */
+            int64_t lo = 1, hi = n_layers;
+            for (int64_t e = succ_indptr[v]; e < succ_indptr[v + 1]; e++) {
+                int64_t lw = asg[succ_indices[e]];
+                if (lw + 1 > lo) lo = lw + 1;
+            }
+            for (int64_t e = pred_indptr[v]; e < pred_indptr[v + 1]; e++) {
+                int64_t lu = asg[pred_indices[e]];
+                if (lu - 1 < hi) hi = lu - 1;
+            }
+
+            int64_t chosen;
+            if (lo == hi) {
+                chosen = lo;
+            } else {
+                double wv = vertex_widths[v];
+                const double *tau_row = tau + v * n_cols;
+                int64_t k = hi - lo + 1;
+
+                /* scores[l - lo] = tau^alpha[l] * eta[l]^beta, with the exact
+                   element-wise operation order of LayerWidths.eta and
+                   fused_pow. */
+                for (int64_t l = lo; l <= hi; l++) {
+                    double w = (re[l] + nd_width * (double)cr[l]) + wv;
+                    if (l == current) w -= wv;
+                    if (!(w > epsilon)) w = epsilon;   /* np.maximum(w, eps) */
+                    double eta = 1.0 / w;
+                    scores[l - lo] = tau_row[l] * pow_small(eta, beta_mode);
+                }
+
+                /* First-maximum argmax with NumPy's NaN propagation. */
+                int64_t best = 0;
+                for (int64_t i = 0; i < k; i++) {
+                    if (isnan(scores[i])) { best = i; break; }
+                    if (scores[i] > scores[best]) best = i;
+                }
+                double m = scores[best];
+
+                if (!(m > 0.0) || m == INFINITY) {
+                    if (!u_row) {
+                        chosen = lo;  /* deterministic pure-argmax fallback */
+                    } else {
+                        int64_t idx = (int64_t)(u_row[step] * (double)k);
+                        if (idx >= k) idx = k - 1;
+                        chosen = lo + idx;
+                    }
+                } else if (q0 >= 1.0 || (q0 > 0.0 && u_row[step] < q0)) {
+                    chosen = lo + best;
+                } else {
+                    /* Roulette: sequential cumulative sum + upper bound. */
+                    double acc = 0.0;
+                    for (int64_t i = 0; i < k; i++) {
+                        acc += scores[i];
+                        scores[i] = acc;
+                    }
+                    double total = scores[k - 1];
+                    if (!isfinite(total) || total <= 0.0) {
+                        int64_t idx = (int64_t)(u_row[step] * (double)k);
+                        if (idx >= k) idx = k - 1;
+                        chosen = lo + idx;
+                    } else {
+                        double t = (u_row[step] - q0) / (1.0 - q0);
+                        int64_t idx = upper_bound(scores, k, t * total);
+                        if (idx >= k) idx = k - 1;
+                        chosen = lo + idx;
+                    }
+                }
+            }
+
+            if (chosen != current) {
+                /* Algorithm 5 incremental width update (same op order as
+                   LayerWidths.apply_move). */
+                double wv = vertex_widths[v];
+                re[current] -= wv;
+                re[chosen] += wv;
+                oc[current] -= 1;
+                oc[chosen] += 1;
+                int64_t outdeg = out_degree[v];
+                int64_t indeg = in_degree[v];
+                if (chosen > current) {
+                    if (outdeg)
+                        for (int64_t l = current; l < chosen; l++) cr[l] += outdeg;
+                    if (indeg)
+                        for (int64_t l = current + 1; l <= chosen; l++) cr[l] -= indeg;
+                } else {
+                    if (indeg)
+                        for (int64_t l = chosen + 1; l <= current; l++) cr[l] += indeg;
+                    if (outdeg)
+                        for (int64_t l = chosen; l < current; l++) cr[l] -= outdeg;
+                }
+                asg[v] = chosen;
+            }
+        }
+    }
+}
+"""
+
+_CFLAGS = ["-O2", "-fPIC", "-shared", "-ffp-contract=off", "-fno-fast-math"]
+
+_lib: ctypes.CDLL | None = None
+_load_attempted = False
+_status = "not loaded"
+
+
+def _cache_dir() -> str:
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(base, "repro-aco-native")
+
+
+def _compile_library() -> str | None:
+    """Compile the kernel into a content-addressed cached shared object."""
+    compiler = shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
+    if compiler is None:
+        return None
+    digest = hashlib.sha256(
+        (_C_SOURCE + " ".join(_CFLAGS) + compiler).encode()
+    ).hexdigest()[:16]
+    cache = _cache_dir()
+    lib_path = os.path.join(cache, f"aco_kernel_{digest}.so")
+    if os.path.exists(lib_path):
+        return lib_path
+    try:
+        os.makedirs(cache, exist_ok=True)
+        with tempfile.TemporaryDirectory(dir=cache) as tmp:
+            src = os.path.join(tmp, "kernel.c")
+            out = os.path.join(tmp, "kernel.so")
+            with open(src, "w") as fh:
+                fh.write(_C_SOURCE)
+            subprocess.run(
+                [compiler, *_CFLAGS, src, "-o", out, "-lm"],
+                check=True,
+                capture_output=True,
+                timeout=120,
+            )
+            os.replace(out, lib_path)  # atomic: concurrent builders converge
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return lib_path
+
+
+_I64 = np.ctypeslib.ndpointer(dtype=np.int64, flags="C_CONTIGUOUS")
+_F64 = np.ctypeslib.ndpointer(dtype=np.float64, flags="C_CONTIGUOUS")
+
+
+def load_native() -> ctypes.CDLL | None:
+    """The compiled kernel library, or ``None`` when unavailable/disabled."""
+    global _lib, _load_attempted, _status
+    if os.environ.get("REPRO_ACO_NATIVE", "1") == "0":
+        _status = "disabled via REPRO_ACO_NATIVE=0"
+        return None
+    if _load_attempted:
+        return _lib
+    _load_attempted = True
+    path = _compile_library()
+    if path is None:
+        _status = "no C compiler or compilation failed"
+        return None
+    try:
+        lib = ctypes.CDLL(path)
+        lib.run_walks.restype = None
+        lib.run_walks.argtypes = [
+            ctypes.c_int64,  # n_ants
+            ctypes.c_int64,  # n_vertices
+            ctypes.c_int64,  # n_cols
+            _I64,  # orders
+            ctypes.c_void_p,  # uniforms (nullable)
+            _I64,  # succ_indptr
+            _I64,  # succ_indices
+            _I64,  # pred_indptr
+            _I64,  # pred_indices
+            _I64,  # out_degree
+            _I64,  # in_degree
+            _F64,  # vertex_widths
+            _F64,  # tau
+            ctypes.c_int64,  # beta_mode
+            ctypes.c_double,  # nd_width
+            ctypes.c_double,  # epsilon
+            ctypes.c_double,  # q0
+            _I64,  # assignment
+            _F64,  # real
+            _I64,  # crossing
+            _I64,  # occupancy
+            _F64,  # scores scratch
+        ]
+    except OSError:
+        _status = "failed to load compiled library"
+        return None
+    _lib = lib
+    _status = f"loaded ({path})"
+    return _lib
+
+
+def native_status() -> str:
+    """Human-readable state of the native backend (for diagnostics)."""
+    return _status
+
+
+def native_supports(beta: float) -> bool:
+    """Whether the C kernel replicates this ``beta`` exponent bit-exactly."""
+    return beta in _SMALL_EXPONENTS
+
+
+def run_walks_native(
+    lib: ctypes.CDLL,
+    *,
+    orders: np.ndarray,
+    uniforms: np.ndarray | None,
+    succ_indptr: np.ndarray,
+    succ_indices: np.ndarray,
+    pred_indptr: np.ndarray,
+    pred_indices: np.ndarray,
+    out_degree: np.ndarray,
+    in_degree: np.ndarray,
+    vertex_widths: np.ndarray,
+    tau: np.ndarray,
+    beta: float,
+    nd_width: float,
+    epsilon: float,
+    q0: float,
+    assignment: np.ndarray,
+    real: np.ndarray,
+    crossing: np.ndarray,
+    occupancy: np.ndarray,
+) -> None:
+    """Run all walks of one tour in C, mutating the per-ant state in place."""
+    n_ants, n_vertices = orders.shape
+    n_cols = real.shape[1]
+    scratch = np.empty(n_cols, dtype=np.float64)
+    uniforms_ptr = (
+        None
+        if uniforms is None
+        else uniforms.ctypes.data_as(ctypes.c_void_p)
+    )
+    lib.run_walks(
+        n_ants,
+        n_vertices,
+        n_cols,
+        orders,
+        uniforms_ptr,
+        succ_indptr,
+        succ_indices,
+        pred_indptr,
+        pred_indices,
+        out_degree,
+        in_degree,
+        vertex_widths,
+        tau,
+        int(beta),
+        nd_width,
+        epsilon,
+        q0,
+        assignment,
+        real,
+        crossing,
+        occupancy,
+        scratch,
+    )

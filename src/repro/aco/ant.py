@@ -14,6 +14,12 @@ roulette-wheel sampling is available as ``selection="roulette"`` for the
 ablation study.  After every assignment the ant updates its private copy of
 the layer widths (Algorithm 5) so the heuristic stays consistent with the
 partial solution, exactly as required by the dynamic-heuristic formulation.
+
+This module is the *per-vertex reference engine* (``ACOParams(engine=
+"python")``); the production path runs the same walk batched across ants in
+:mod:`repro.aco.kernels`.  Both engines share the randomness, scoring and
+selection protocol defined there and produce bit-identical solutions for a
+fixed seed.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.aco.heuristic import AssignmentScore, LayerWidths, evaluate_with_widths
+from repro.aco.kernels import draw_walk_randomness, fused_pow, select_from_scores
 from repro.aco.params import ACOParams
 from repro.aco.pheromone import PheromoneMatrix
 from repro.aco.problem import LayeringProblem
@@ -44,11 +51,16 @@ class AntSolution:
     ant_id:
         Identifier of the ant that produced the solution (stable within a
         colony; ``-1`` marks the colony's seed layering).
+    widths:
+        The ant's final :class:`~repro.aco.heuristic.LayerWidths`, consistent
+        with ``assignment``; the colony reuses the tour-best ant's instance
+        as the next tour's base widths instead of recomputing from scratch.
     """
 
     assignment: np.ndarray
     score: AssignmentScore
     ant_id: int
+    widths: LayerWidths | None = None
 
     @property
     def objective(self) -> float:
@@ -70,6 +82,21 @@ class Ant:
     # construction step
     # ------------------------------------------------------------------ #
 
+    def _span_scores(
+        self,
+        v: int,
+        lo: int,
+        hi: int,
+        current: int,
+        widths: LayerWidths,
+        pheromone: PheromoneMatrix,
+    ) -> np.ndarray:
+        """The τ^α·η^β score of every layer in the span ``[lo, hi]``."""
+        params = self.params
+        tau = pheromone.trail(v, lo, hi)
+        eta = widths.eta(v, lo, hi, current, params.eta_epsilon)
+        return fused_pow(tau, params.alpha) * fused_pow(eta, params.beta)
+
     def choose_layer(
         self,
         v: int,
@@ -83,26 +110,16 @@ class Ant:
         """Pick a layer for vertex *v* from its span ``[lo, hi]``.
 
         Implements the random-proportional rule; degenerate cases (all scores
-        zero, a single-layer span) fall back to sensible choices.
+        zero, a single-layer span) fall back to sensible choices.  Standalone
+        entry point for tests and callers outside a walk — the walk itself
+        consumes the pre-drawn per-walk uniforms instead of drawing here.
         """
         if lo == hi:
             return lo
-        params = self.params
-        tau = pheromone.trail(v, lo, hi)
-        eta = widths.eta(v, lo, hi, current, params.eta_epsilon)
-        scores = np.power(tau, params.alpha) * np.power(eta, params.beta)
-        total = scores.sum()
-        if not np.isfinite(total) or total <= 0.0:
-            # All trails/heuristics degenerate — fall back to a uniform choice.
-            return lo + int(rng.integers(0, hi - lo + 1))
-        # Pseudo-random proportional rule: exploit (argmax) with probability
-        # q0, otherwise sample from the random-proportional distribution.
-        # The paper's rule is the q0 = 1 special case.
-        q0 = params.exploitation_probability
-        if q0 >= 1.0 or (q0 > 0.0 and rng.random() < q0):
-            return lo + int(np.argmax(scores))
-        probabilities = scores / total
-        return lo + int(rng.choice(hi - lo + 1, p=probabilities))
+        q0 = self.params.exploitation_probability
+        u = float(rng.random()) if q0 < 1.0 else None
+        scores = self._span_scores(v, lo, hi, current, widths, pheromone)
+        return lo + select_from_scores(scores, hi - lo + 1, q0, u)
 
     # ------------------------------------------------------------------ #
     # the walk
@@ -131,23 +148,27 @@ class Ant:
             Random generator driving the vertex order and any sampling.
         """
         problem = self.problem
+        params = self.params
         assignment = base_assignment.copy()
         widths = base_widths.copy()
 
-        if self.params.vertex_order == "bfs":
-            order = problem.random_bfs_order(rng)
-        elif self.params.vertex_order == "topological":
-            order = problem.random_topological_order(rng)
-        else:
-            order = problem.random_order(rng)
-        for v in order:
-            v = int(v)
+        order, uniforms = draw_walk_randomness(problem, params, rng)
+        q0 = params.exploitation_probability
+        for i in range(problem.n_vertices):
+            v = int(order[i])
             lo, hi = problem.layer_span(assignment, v)
             current = int(assignment[v])
-            new = self.choose_layer(v, lo, hi, current, widths, pheromone, rng)
+            if lo == hi:
+                new = lo
+            else:
+                scores = self._span_scores(v, lo, hi, current, widths, pheromone)
+                u = None if uniforms is None else float(uniforms[i])
+                new = lo + select_from_scores(scores, hi - lo + 1, q0, u)
             if new != current:
                 widths.apply_move(v, current, new, assignment)
                 assignment[v] = new
 
         score = evaluate_with_widths(problem, assignment, widths)
-        return AntSolution(assignment=assignment, score=score, ant_id=self.ant_id)
+        return AntSolution(
+            assignment=assignment, score=score, ant_id=self.ant_id, widths=widths
+        )

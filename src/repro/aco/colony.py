@@ -16,16 +16,23 @@ is what :func:`repro.aco.layering_aco.aco_layering` ultimately returns.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.aco.ant import Ant, AntSolution
 from repro.aco.heuristic import LayerWidths, evaluate_with_widths
+from repro.aco.kernels import run_tour_vectorized
 from repro.aco.params import ACOParams
 from repro.aco.pheromone import PheromoneMatrix
 from repro.aco.problem import LayeringProblem
 from repro.utils.rng import as_generator
+
+#: When set (e.g. ``REPRO_ACO_DEBUG_WIDTHS=1``), the colony cross-checks the
+#: tour-best ant's incrementally maintained LayerWidths against a fresh
+#: from-scratch recomputation at every tour boundary.
+_DEBUG_WIDTHS_ENV = "REPRO_ACO_DEBUG_WIDTHS"
 
 __all__ = ["TourRecord", "ColonyResult", "AntColony"]
 
@@ -112,15 +119,30 @@ class AntColony:
         # The starting layering (stretched LPL) itself seeds the global best,
         # so the colony can never return something worse than its seed.
         global_best: AntSolution | None = AntSolution(
-            assignment=base_assignment.copy(), score=initial_score, ant_id=-1
+            assignment=base_assignment.copy(),
+            score=initial_score,
+            ant_id=-1,
+            widths=base_widths,
         )
         history: list[TourRecord] = []
+        debug_widths = bool(os.environ.get(_DEBUG_WIDTHS_ENV))
 
         for tour in range(1, tours + 1):
-            solutions = [
-                ant.perform_walk(base_assignment, base_widths, self.pheromone, self.rng)
-                for ant in self.ants
-            ]
+            if params.engine == "python":
+                solutions = [
+                    ant.perform_walk(base_assignment, base_widths, self.pheromone, self.rng)
+                    for ant in self.ants
+                ]
+            else:
+                solutions = run_tour_vectorized(
+                    problem,
+                    params,
+                    self.pheromone,
+                    base_assignment,
+                    base_widths,
+                    self.rng,
+                    [ant.ant_id for ant in self.ants],
+                )
             tour_best = max(solutions, key=lambda s: s.objective)
             mean_objective = float(np.mean([s.objective for s in solutions]))
 
@@ -129,9 +151,21 @@ class AntColony:
             self.pheromone.deposit(tour_best.assignment, deposit_scale * tour_best.objective)
 
             # The best ant's layering (and the heuristic state implied by it)
-            # seeds the next tour.
+            # seeds the next tour; the ant's incrementally maintained widths
+            # are already consistent with it, so no from-scratch rebuild.
             base_assignment = tour_best.assignment.copy()
-            base_widths = LayerWidths.from_assignment(problem, base_assignment)
+            base_widths = tour_best.widths
+            if debug_widths:
+                fresh = LayerWidths.from_assignment(problem, base_assignment)
+                assert np.allclose(base_widths.real, fresh.real), (
+                    "incremental real widths drifted from recomputation"
+                )
+                assert np.array_equal(base_widths.crossing, fresh.crossing), (
+                    "incremental crossing counts drifted from recomputation"
+                )
+                assert np.array_equal(base_widths.occupancy, fresh.occupancy), (
+                    "incremental occupancy drifted from recomputation"
+                )
 
             if global_best is None or tour_best.objective > global_best.objective:
                 global_best = tour_best

@@ -34,6 +34,7 @@ from repro.utils.exceptions import ValidationError
 __all__ = [
     "LayerWidths",
     "AssignmentScore",
+    "compact_ranks",
     "evaluate_assignment",
     "evaluate_with_widths",
 ]
@@ -86,12 +87,17 @@ class LayerWidths:
         occupancy = np.zeros(n_cols, dtype=np.int64)
         np.add.at(real, assignment, problem.widths)
         np.add.at(occupancy, assignment, 1)
-        for v in range(problem.n_vertices):
-            lv = int(assignment[v])
-            for w in problem.succ[v]:
-                lw = int(assignment[w])
-                if lv - lw > 1:
-                    crossing[lw + 1 : lv] += 1
+        if len(problem.edge_src):
+            # Every edge spanning more than one layer contributes a crossing
+            # to the layers strictly between its endpoints; accumulate the
+            # interval endpoints and prefix-sum (exact integer arithmetic).
+            tail = assignment[problem.edge_src]
+            head = assignment[problem.edge_dst]
+            long_edge = tail - head > 1
+            delta = np.zeros(n_cols + 1, dtype=np.int64)
+            np.add.at(delta, head[long_edge] + 1, 1)
+            np.add.at(delta, tail[long_edge], -1)
+            np.cumsum(delta[:n_cols], out=crossing)
         return cls(problem, real, crossing, occupancy)
 
     def copy(self) -> "LayerWidths":
@@ -206,16 +212,25 @@ class AssignmentScore:
     dummy_vertex_count: int
 
 
+def compact_ranks(problem: LayeringProblem, assignment: np.ndarray) -> tuple[int, np.ndarray]:
+    """Height and compacted (empty-layers-removed) layer of every vertex."""
+    used = np.unique(assignment)
+    height = len(used)
+    ranks = np.zeros(problem.n_layers + 2, dtype=np.int64)
+    ranks[used] = np.arange(1, height + 1, dtype=np.int64)
+    return height, ranks[assignment]
+
+
 def _dummy_count(problem: LayeringProblem, compact: np.ndarray) -> int:
-    """Dummy-vertex count of a compacted assignment (sum of span − 1 over edges)."""
-    dummies = 0
-    for v in range(problem.n_vertices):
-        lv = int(compact[v])
-        for w in problem.succ[v]:
-            span = lv - int(compact[w])
-            if span > 1:
-                dummies += span - 1
-    return dummies
+    """Dummy-vertex count of a compacted assignment (sum of span − 1 over edges).
+
+    Pure integer arithmetic over the flat edge arrays, exactly equal to the
+    per-edge loop it replaced.
+    """
+    if len(problem.edge_src) == 0:
+        return 0
+    spans = compact[problem.edge_src] - compact[problem.edge_dst]
+    return int(spans.sum()) - len(spans)
 
 
 def evaluate_assignment(problem: LayeringProblem, assignment: np.ndarray) -> AssignmentScore:
@@ -264,19 +279,11 @@ def evaluate_with_widths(
     """
     height = widths.n_nonempty_layers()
     width_incl = widths.max_compacted_width()
-    dummies = 0
-    for v in range(problem.n_vertices):
-        lv = int(assignment[v])
-        for w in problem.succ[v]:
-            span = lv - int(assignment[w])
-            if span > 1:
-                dummies += span - 1
     # Spans measured in the stretched space over-count layers that will be
     # compacted away; correct by re-ranking only when dummies were seen.
+    dummies = _dummy_count(problem, assignment)
     if dummies:
-        used = np.unique(assignment)
-        rank_of = {int(layer): r + 1 for r, layer in enumerate(used)}
-        compact = np.array([rank_of[int(layer)] for layer in assignment], dtype=np.int64)
+        _, compact = compact_ranks(problem, assignment)
         dummies = _dummy_count(problem, compact)
     denom = height + width_incl
     return AssignmentScore(

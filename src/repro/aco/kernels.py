@@ -1,0 +1,400 @@
+"""Array-native kernels for the ACO hot path.
+
+The ant walk is inherently sequential — every construction step re-reads the
+layer widths left behind by the previous step — so the vectorization axis is
+*across ants*: all ants of a tour advance one vertex per kernel step, and
+every per-step quantity (layer spans, candidate widths, heuristic values,
+scores, selections) is computed for the whole colony with a handful of
+``(n_ants, n_layers + 1)`` NumPy operations instead of thousands of tiny
+per-vertex calls.
+
+Bit-identical engines
+---------------------
+
+The per-vertex reference walk (``ACOParams(engine="python")``) and the
+batched walk (``engine="vectorized"``) must produce *bit-identical*
+assignments, objectives and tour histories for a fixed seed.  Three shared
+protocols guarantee this:
+
+1. **Randomness** — :func:`draw_walk_randomness` draws, per walk, the vertex
+   order followed by one uniform array ``u`` (only when the effective
+   exploitation probability ``q0 < 1``).  ``numpy``'s ``Generator.random(n)``
+   produces the same doubles as ``n`` successive scalar draws, so both
+   engines consume the generator identically, and pre-drawing decouples the
+   randomness from the execution order (which is what lets the batched
+   engine interleave ants).
+2. **Scoring** — :func:`fused_pow` is the single definition of
+   ``x ** exponent`` used by both engines.  Small integer exponents are
+   decomposed into multiplications (``x*x*x`` is faster than, and not
+   bit-equal to, ``np.power(x, 3.0)``, so the decomposition must be shared).
+   All other score arithmetic keeps the exact element-wise operation order of
+   :meth:`repro.aco.heuristic.LayerWidths.eta`.
+3. **Selection** — :func:`select_from_scores` implements the degenerate
+   fallback, the pseudo-random-proportional exploit test and roulette
+   sampling (``searchsorted`` on the sequential cumulative sum).  The batched
+   engine evaluates the same decisions on zero-masked full layer rows; a
+   zero prefix leaves a sequential cumulative sum bit-unchanged, so the
+   roulette index is the same in both views.
+
+Degenerate scores (all-zero, non-finite) fall back to a uniform choice from
+``u`` when it exists and to the lower span bound in pure-argmax mode; the
+latter is the one deliberate behaviour change versus the historical code
+(which consumed an extra generator draw on a path that finite ``tau``/``eta``
+floors make unreachable in practice).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aco import _native
+from repro.aco.heuristic import AssignmentScore, LayerWidths, compact_ranks
+from repro.aco.params import ACOParams
+from repro.aco.pheromone import PheromoneMatrix
+from repro.aco.problem import LayeringProblem
+
+__all__ = [
+    "fused_pow",
+    "select_from_scores",
+    "draw_walk_randomness",
+    "batched_layer_spans",
+    "run_tour_vectorized",
+    "evaluate_assignment_vectorized",
+]
+
+
+# ---------------------------------------------------------------------- #
+# shared scoring / selection primitives
+# ---------------------------------------------------------------------- #
+
+
+def fused_pow(x: np.ndarray, exponent: float) -> np.ndarray:
+    """``x ** exponent`` with small integer exponents decomposed into products.
+
+    This is the single power implementation shared by both walk engines, so
+    the decomposition (which is not bit-equal to ``np.power`` for exponents
+    above 2) cannot cause engine divergence.  ``exponent`` is validated to be
+    non-negative by :class:`~repro.aco.params.ACOParams`.
+    """
+    if exponent == 1.0:
+        return x
+    if exponent == 0.0:
+        return np.ones_like(x)
+    if exponent == 2.0:
+        return x * x
+    if exponent == 3.0:
+        return x * x * x
+    if exponent == 4.0:
+        sq = x * x
+        return sq * sq
+    if exponent == 5.0:
+        sq = x * x
+        return sq * sq * x
+    return np.power(x, exponent)
+
+
+def select_from_scores(
+    scores: np.ndarray, k: int, q0: float, u: float | None
+) -> int:
+    """Pick a span-relative index from a non-negative score vector of length *k*.
+
+    The shared selection protocol:
+
+    * all-zero / non-finite scores fall back to ``int(u * k)`` (or index 0
+      when no uniform was drawn, i.e. in pure-argmax mode);
+    * with probability ``q0`` (decided by ``u < q0``) the best index wins;
+    * otherwise roulette: ``searchsorted`` of ``t * total`` on the sequential
+      cumulative sum, with ``t = (u - q0) / (1 - q0)`` the exploration
+      uniform rescaled to ``[0, 1)``.
+    """
+    best = int(scores.argmax())
+    m = scores[best]
+    if not (m > 0.0) or m == np.inf:  # not-> also catches NaN
+        if u is None:
+            return 0
+        idx = int(u * k)
+        return k - 1 if idx >= k else idx
+    if q0 >= 1.0 or (q0 > 0.0 and u < q0):
+        return best
+    cumulative = np.cumsum(scores)
+    total = cumulative[-1]
+    if not np.isfinite(total) or total <= 0.0:
+        idx = int(u * k)
+        return k - 1 if idx >= k else idx
+    t = (u - q0) / (1.0 - q0)
+    idx = int(np.searchsorted(cumulative, t * total, side="right"))
+    return k - 1 if idx >= k else idx
+
+
+def draw_walk_randomness(
+    problem: LayeringProblem, params: ACOParams, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Draw everything one walk consumes from *rng*: the vertex order, then
+    one uniform per visit (skipped entirely in pure-argmax mode).
+
+    Both engines call this at the start of every walk, in ant order, so the
+    generator stream is consumed identically no matter how the walks are
+    executed afterwards.
+    """
+    if params.vertex_order == "bfs":
+        order = problem.random_bfs_order(rng)
+    elif params.vertex_order == "topological":
+        order = problem.random_topological_order(rng)
+    else:
+        order = problem.random_order(rng)
+    u = rng.random(problem.n_vertices) if params.exploitation_probability < 1.0 else None
+    return order, u
+
+
+# ---------------------------------------------------------------------- #
+# batched primitives
+# ---------------------------------------------------------------------- #
+
+
+def batched_layer_spans(
+    problem: LayeringProblem, assignment_ext: np.ndarray, v: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Feasible layer spans of vertex ``v[a]`` under each ant's assignment.
+
+    *assignment_ext* is the ``(n_ants, n_vertices + 2)`` extended assignment
+    matrix whose two sentinel columns hold layer ``0`` (successor padding)
+    and ``n_layers + 1`` (predecessor padding), turning the span bounds into
+    one padded gather plus a row ``max``/``min`` per side.
+    """
+    rows = np.arange(assignment_ext.shape[0])[:, None]
+    lo = assignment_ext[rows, problem.succ_pad[v]].max(axis=1) + 1
+    hi = assignment_ext[rows, problem.pred_pad[v]].min(axis=1) - 1
+    return lo, hi
+
+
+def evaluate_assignment_vectorized(
+    problem: LayeringProblem, assignment: np.ndarray
+) -> AssignmentScore:
+    """Score an assignment from scratch with array-native operations.
+
+    Height, dummy count and the per-layer dummy occupancy are exact integer
+    computations; the real-width sums use ``np.bincount`` and can differ from
+    the sequential reference :func:`repro.aco.heuristic.evaluate_assignment`
+    in the last float ulp (the two are interchangeable everywhere the
+    reference's ``pytest.approx``-level accuracy is).
+    """
+    height, compact = compact_ranks(problem, assignment)
+    real = np.bincount(compact, weights=problem.widths, minlength=height + 1)
+    dummies = 0
+    totals = real
+    if len(problem.edge_src):
+        spans = compact[problem.edge_src] - compact[problem.edge_dst]
+        dummies = int(spans.sum()) - len(spans)
+        if problem.nd_width > 0 and dummies:
+            # One dummy on every layer strictly between head and tail:
+            # accumulate interval endpoints, then prefix-sum.
+            delta = np.zeros(height + 2, dtype=np.int64)
+            np.add.at(delta, compact[problem.edge_dst] + 1, 1)
+            np.add.at(delta, compact[problem.edge_src], -1)
+            crossing = np.cumsum(delta[: height + 1])
+            totals = real + problem.nd_width * crossing
+    width_incl = float(totals[1:].max()) if height else 0.0
+    denom = height + width_incl
+    return AssignmentScore(
+        objective=1.0 / denom if denom > 0 else 0.0,
+        height=height,
+        width_including_dummies=width_incl,
+        dummy_vertex_count=dummies,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# the lockstep tour
+# ---------------------------------------------------------------------- #
+
+
+def run_tour_vectorized(
+    problem: LayeringProblem,
+    params: ACOParams,
+    pheromone: PheromoneMatrix,
+    base_assignment: np.ndarray,
+    base_widths: LayerWidths,
+    rng: np.random.Generator,
+    ant_ids: list[int],
+):
+    """Run one tour — every ant's complete walk — in lockstep.
+
+    Returns one :class:`~repro.aco.ant.AntSolution` per ant, in ant order,
+    bit-identical to running :meth:`repro.aco.ant.Ant.perform_walk`
+    sequentially with the same generator.
+    """
+    n_ants = len(ant_ids)
+    n = problem.n_vertices
+    n_cols = problem.n_layers + 1
+
+    # Pre-draw each walk's randomness in ant order (the stream protocol).
+    draws = [draw_walk_randomness(problem, params, rng) for _ in range(n_ants)]
+    orders = np.stack([order for order, _ in draws])
+    uniforms = None if draws[0][1] is None else np.stack([u for _, u in draws])
+
+    alpha, beta = params.alpha, params.beta
+    epsilon = params.eta_epsilon
+    nd_width = problem.nd_width
+    q0 = params.exploitation_probability
+    explore_possible = q0 < 1.0
+    # tau^alpha over the whole matrix once per tour; element-wise equal to
+    # powering each span slice (the trails are read-only during the tour).
+    tau_pow = pheromone.values if alpha == 1.0 else fused_pow(pheromone.values, alpha)
+
+    real = np.tile(base_widths.real, (n_ants, 1))
+    crossing = np.tile(base_widths.crossing, (n_ants, 1))
+    occupancy = np.tile(base_widths.occupancy, (n_ants, 1))
+
+    # Prefer the compiled backend (one C call per tour, same bit-exact
+    # protocol); fall back to the NumPy lockstep below when it is absent or
+    # cannot replicate a non-integer beta exponent.
+    native_lib = _native.load_native() if _native.native_supports(beta) else None
+    if native_lib is not None:
+        assignment = np.tile(base_assignment, (n_ants, 1))
+        _native.run_walks_native(
+            native_lib,
+            orders=orders,
+            uniforms=uniforms,
+            succ_indptr=problem.succ_indptr,
+            succ_indices=problem.succ_indices,
+            pred_indptr=problem.pred_indptr,
+            pred_indices=problem.pred_indices,
+            out_degree=problem.out_degree,
+            in_degree=problem.in_degree,
+            vertex_widths=problem.widths,
+            tau=np.ascontiguousarray(tau_pow),
+            beta=beta,
+            nd_width=nd_width,
+            epsilon=epsilon,
+            q0=q0,
+            assignment=assignment,
+            real=real,
+            crossing=crossing,
+            occupancy=occupancy,
+        )
+        return _collect_solutions(
+            problem, assignment, real, crossing, occupancy, ant_ids
+        )
+
+    # Per-ant working state.  Two sentinel assignment columns serve the
+    # padded span gathers (see LayeringProblem.succ_pad / pred_pad).
+    assignment = np.empty((n_ants, n + 2), dtype=np.int64)
+    assignment[:, :n] = base_assignment
+    assignment[:, n] = 0
+    assignment[:, n + 1] = problem.n_layers + 1
+
+    rows = np.arange(n_ants)
+    cols = np.arange(n_cols)
+    vertex_widths = problem.widths
+    out_degree = problem.out_degree
+    in_degree = problem.in_degree
+
+    for step in range(n):
+        v = orders[:, step]
+        current = assignment[rows, v]
+        lo, hi = batched_layer_spans(problem, assignment, v)
+        wv = vertex_widths[v]
+
+        # Candidate widths / heuristic, same element-wise order as
+        # LayerWidths.eta: real + nd*crossing + w_v, minus w_v on the
+        # current layer, floored at epsilon, inverted.
+        candidate = real + nd_width * crossing
+        candidate += wv[:, None]
+        candidate[rows, current] -= wv
+        np.maximum(candidate, epsilon, out=candidate)
+        eta = np.divide(1.0, candidate, out=candidate)
+
+        scores = tau_pow[v] * fused_pow(eta, beta)
+        inside = (cols >= lo[:, None]) & (cols <= hi[:, None])
+        scores = np.where(inside, scores, 0.0)
+
+        best = scores.argmax(axis=1)
+        m = scores[rows, best]
+        valid = (m > 0.0) & (m != np.inf)
+
+        new_layer = best
+        if not explore_possible:
+            if not valid.all():
+                # Unreachable with finite positive trails; deterministic
+                # lower-bound fallback, mirrored by select_from_scores.
+                new_layer = np.where(valid, best, lo)
+        else:
+            u = uniforms[:, step]
+            exploit = u < q0 if q0 > 0.0 else np.zeros(n_ants, dtype=bool)
+            explore = valid & ~exploit
+            if explore.any():
+                cumulative = np.cumsum(scores, axis=1)
+                totals = cumulative[:, -1]
+                targets = (u - q0) / (1.0 - q0) * totals
+                for a in np.flatnonzero(explore):
+                    total = totals[a]
+                    if not np.isfinite(total) or total <= 0.0:
+                        span = int(hi[a] - lo[a] + 1)
+                        idx = int(u[a] * span)
+                        idx = span - 1 if idx >= span else idx
+                        new_layer[a] = lo[a] + idx
+                    else:
+                        picked = int(
+                            np.searchsorted(cumulative[a], targets[a], side="right")
+                        )
+                        new_layer[a] = picked if picked <= hi[a] else hi[a]
+            if not valid.all():
+                for a in np.flatnonzero(~valid):
+                    span = int(hi[a] - lo[a] + 1)
+                    idx = int(u[a] * span)
+                    idx = span - 1 if idx >= span else idx
+                    new_layer[a] = lo[a] + idx
+
+        moved = np.flatnonzero(new_layer != current)
+        if len(moved):
+            moved_v = v[moved]
+            old = current[moved]
+            new = new_layer[moved]
+            w_moved = wv[moved]
+            real[moved, old] -= w_moved
+            real[moved, new] += w_moved
+            occupancy[moved, old] -= 1
+            occupancy[moved, new] += 1
+            assignment[moved, moved_v] = new
+            # Crossing-count range updates (Algorithm 5) stay per-ant: the
+            # affected layer intervals differ per ant, but integer range
+            # adds are exact, so any execution order matches the reference.
+            for a, vertex, old_l, new_l in zip(moved, moved_v, old, new):
+                outdeg = int(out_degree[vertex])
+                indeg = int(in_degree[vertex])
+                row = crossing[a]
+                if new_l > old_l:
+                    if outdeg:
+                        row[old_l:new_l] += outdeg
+                    if indeg:
+                        row[old_l + 1 : new_l + 1] -= indeg
+                else:
+                    if indeg:
+                        row[new_l + 1 : old_l + 1] += indeg
+                    if outdeg:
+                        row[new_l:old_l] -= outdeg
+
+    return _collect_solutions(
+        problem, assignment[:, :n], real, crossing, occupancy, ant_ids
+    )
+
+
+def _collect_solutions(problem, assignment, real, crossing, occupancy, ant_ids):
+    """Wrap the per-ant final state into scored :class:`AntSolution` objects."""
+    from repro.aco.ant import AntSolution  # local import breaks the module cycle
+    from repro.aco.heuristic import evaluate_with_widths
+
+    solutions = []
+    for a in range(len(ant_ids)):
+        final_assignment = assignment[a].copy()
+        widths = LayerWidths(problem, real[a], crossing[a], occupancy[a])
+        score = evaluate_with_widths(problem, final_assignment, widths)
+        solutions.append(
+            AntSolution(
+                assignment=final_assignment,
+                score=score,
+                ant_id=ant_ids[a],
+                widths=widths,
+            )
+        )
+    return solutions

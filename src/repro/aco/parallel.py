@@ -25,6 +25,7 @@ end and worker count.
 from __future__ import annotations
 
 import concurrent.futures
+import itertools
 from dataclasses import dataclass
 from typing import Any
 
@@ -40,6 +41,9 @@ from repro.utils.exceptions import ValidationError
 __all__ = ["ColonyRunSummary", "ParallelAcoResult", "parallel_aco_layering", "run_single_colony"]
 
 _EXECUTORS = ("process", "thread", "serial")
+
+#: Monotonically increasing tokens distinguishing concurrent runs.
+_RUN_TOKENS = itertools.count()
 
 
 @dataclass(frozen=True)
@@ -74,15 +78,10 @@ def _derive_colony_seeds(seed: int | None, n_colonies: int) -> list[int]:
     return [int(child.generate_state(1)[0]) for child in seq.spawn(n_colonies)]
 
 
-def run_single_colony(
-    graph_json: dict[str, Any], params_dict: dict[str, Any], colony_index: int, seed: int
+def _colony_summary(
+    graph: DiGraph, params_dict: dict[str, Any], colony_index: int, seed: int
 ) -> ColonyRunSummary:
-    """Worker entry point: run one colony on a JSON-encoded graph.
-
-    Module-level (and operating only on plain dictionaries) so it can be
-    dispatched through a process pool.
-    """
-    graph = from_json_dict(graph_json)
+    """Run one colony on an already-decoded graph and summarise the result."""
     params = ACOParams(**{**params_dict, "seed": seed})
     result: AcoLayeringResult = aco_layering_detailed(graph, params)
     return ColonyRunSummary(
@@ -93,6 +92,39 @@ def run_single_colony(
         width_including_dummies=result.metrics.width_including_dummies,
         assignment=result.layering.to_dict(),
     )
+
+
+def run_single_colony(
+    graph_json: dict[str, Any], params_dict: dict[str, Any], colony_index: int, seed: int
+) -> ColonyRunSummary:
+    """Worker entry point: run one colony on a JSON-encoded graph.
+
+    Module-level (and operating only on plain dictionaries) so it can be
+    dispatched through a process pool.
+    """
+    return _colony_summary(from_json_dict(graph_json), params_dict, colony_index, seed)
+
+
+#: Per-worker state installed by the pool initializer, so the graph is
+#: shipped and decoded once per worker instead of once per submitted colony.
+#: Keyed by a per-run token: thread-pool workers share this module with the
+#: caller (and with any concurrent runs), process-pool workers get their own
+#: copy that dies with the pool.
+_WORKER_STATE: dict[int, tuple[DiGraph, dict[str, Any]]] = {}
+
+
+def _init_colony_worker(
+    token: int, graph_json: dict[str, Any], params_dict: dict[str, Any]
+) -> None:
+    """Pool initializer: decode the shared graph once for this worker."""
+    if token not in _WORKER_STATE:
+        _WORKER_STATE[token] = (from_json_dict(graph_json), dict(params_dict))
+
+
+def _run_initialized_colony(token: int, colony_index: int, seed: int) -> ColonyRunSummary:
+    """Worker entry point using the state installed by :func:`_init_colony_worker`."""
+    graph, params_dict = _WORKER_STATE[token]
+    return _colony_summary(graph, params_dict, colony_index, seed)
 
 
 def parallel_aco_layering(
@@ -125,22 +157,40 @@ def parallel_aco_layering(
         raise ValidationError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
     params = params if params is not None else ACOParams()
     seeds = _derive_colony_seeds(params.seed, n_colonies)
-    graph_json = to_json_dict(graph)
     params_dict = params.as_dict()
 
-    jobs = [(graph_json, params_dict, i, seeds[i]) for i in range(n_colonies)]
     summaries: list[ColonyRunSummary]
     if executor == "serial" or n_colonies == 1:
-        summaries = [run_single_colony(*job) for job in jobs]
+        # In-process: the caller's graph is used directly, no JSON round trip.
+        summaries = [
+            _colony_summary(graph, params_dict, i, seeds[i])
+            for i in range(n_colonies)
+        ]
     else:
+        graph_json = to_json_dict(graph)
+        # The graph travels to each worker exactly once (as initializer
+        # arguments); the per-colony submissions carry only an index and a
+        # seed, so multi-colony runs no longer pay O(colonies x graph)
+        # serialisation cost.
         pool_cls = (
             concurrent.futures.ProcessPoolExecutor
             if executor == "process"
             else concurrent.futures.ThreadPoolExecutor
         )
-        with pool_cls(max_workers=max_workers) as pool:
-            futures = [pool.submit(run_single_colony, *job) for job in jobs]
-            summaries = [f.result() for f in futures]
+        token = next(_RUN_TOKENS)
+        try:
+            with pool_cls(
+                max_workers=max_workers,
+                initializer=_init_colony_worker,
+                initargs=(token, graph_json, params_dict),
+            ) as pool:
+                futures = [
+                    pool.submit(_run_initialized_colony, token, i, seeds[i])
+                    for i in range(n_colonies)
+                ]
+                summaries = [f.result() for f in futures]
+        finally:
+            _WORKER_STATE.pop(token, None)  # thread workers share this module
 
     summaries.sort(key=lambda s: s.colony_index)
     best = max(summaries, key=lambda s: s.objective)

@@ -15,7 +15,7 @@ from typing import Any
 
 from repro.utils.exceptions import ValidationError
 
-__all__ = ["ACOParams", "SELECTION_RULES", "VERTEX_ORDERS"]
+__all__ = ["ACOParams", "ENGINES", "SELECTION_RULES", "VERTEX_ORDERS"]
 
 #: Supported layer-selection rules for an ant's construction step.
 #: ``"argmax"`` is what the paper implements ("the layer that corresponds to
@@ -28,6 +28,14 @@ SELECTION_RULES = ("argmax", "roulette")
 #: that a BFS-style linear order is an equally valid alternative, and a random
 #: topological order is provided as a third natural choice.
 VERTEX_ORDERS = ("random", "bfs", "topological")
+
+#: Supported execution engines for the ant walks.  ``"vectorized"`` (default)
+#: runs every ant of a tour in lockstep over batched NumPy arrays (see
+#: :mod:`repro.aco.kernels`); ``"python"`` is the per-vertex reference
+#: implementation kept for A/B determinism tests.  Both engines follow the
+#: same randomness and selection protocol and produce bit-identical results
+#: for a fixed seed.
+ENGINES = ("vectorized", "python")
 
 
 @dataclass(frozen=True)
@@ -85,6 +93,10 @@ class ACOParams:
         Floor applied to layer widths before inverting them, so empty layers
         (width 0) yield a large-but-finite heuristic value instead of a
         division by zero.
+    engine:
+        ``"vectorized"`` (default) runs all ants of a tour in lockstep on the
+        batched array kernels of :mod:`repro.aco.kernels`; ``"python"`` keeps
+        the per-vertex reference walk.  Identical results either way.
     seed:
         Optional RNG seed making the whole run deterministic.
     """
@@ -103,6 +115,7 @@ class ACOParams:
     q0: float | None = None
     vertex_order: str = "random"
     eta_epsilon: float = 0.1
+    engine: str = "vectorized"
     seed: int | None = None
 
     def __post_init__(self) -> None:
@@ -144,6 +157,10 @@ class ACOParams:
             )
         if self.eta_epsilon <= 0:
             raise ValidationError(f"eta_epsilon must be positive, got {self.eta_epsilon}")
+        if self.engine not in ENGINES:
+            raise ValidationError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )
 
     @property
     def exploitation_probability(self) -> float:

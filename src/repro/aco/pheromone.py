@@ -24,7 +24,7 @@ class PheromoneMatrix:
     to column ``l`` directly; column 0 is unused and kept at zero.
     """
 
-    __slots__ = ("n_vertices", "n_layers", "values")
+    __slots__ = ("n_vertices", "n_layers", "values", "_row_index")
 
     def __init__(self, n_vertices: int, n_layers: int, tau0: float) -> None:
         if n_vertices < 1 or n_layers < 1:
@@ -37,6 +37,9 @@ class PheromoneMatrix:
         self.n_layers = n_layers
         self.values = np.full((n_vertices, n_layers + 1), tau0, dtype=np.float64)
         self.values[:, 0] = 0.0
+        # Cached row index for deposit(): allocating an arange per tour is
+        # measurable on large matrices.
+        self._row_index = np.arange(n_vertices)
 
     def trail(self, v: int, lo: int, hi: int) -> np.ndarray:
         """Pheromone values of vertex *v* over the inclusive layer range ``[lo, hi]``."""
@@ -54,7 +57,7 @@ class PheromoneMatrix:
         """Add *amount* of pheromone on every (vertex, assigned-layer) coupling."""
         if amount < 0:
             raise ValidationError(f"deposit amount must be >= 0, got {amount}")
-        self.values[np.arange(self.n_vertices), assignment] += amount
+        self.values[self._row_index, assignment] += amount
 
     def copy(self) -> "PheromoneMatrix":
         """Independent copy (used by tests and by the parallel colonies)."""

@@ -24,6 +24,27 @@ from repro.utils.exceptions import ValidationError
 __all__ = ["LayeringProblem"]
 
 
+def _csr_arrays(adjacency: list[list[int]]) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten a list-of-lists adjacency into CSR ``(indptr, indices)`` arrays."""
+    indptr = np.zeros(len(adjacency) + 1, dtype=np.int64)
+    np.cumsum([len(nbrs) for nbrs in adjacency], out=indptr[1:])
+    indices = np.fromiter(
+        (w for nbrs in adjacency for w in nbrs), dtype=np.int64, count=int(indptr[-1])
+    )
+    return indptr, indices
+
+
+def _padded_neighbours(adjacency: list[list[int]], *, sentinel: int) -> np.ndarray:
+    """Rectangular neighbour matrix, short rows padded with *sentinel*."""
+    width = max((len(nbrs) for nbrs in adjacency), default=1)
+    width = max(width, 1)
+    pad = np.full((len(adjacency), width), sentinel, dtype=np.int64)
+    for v, nbrs in enumerate(adjacency):
+        if nbrs:
+            pad[v, : len(nbrs)] = nbrs
+    return pad
+
+
 @dataclass
 class LayeringProblem:
     """Flat, index-based view of one DAG-layering instance.
@@ -39,6 +60,21 @@ class LayeringProblem:
         (``|V|`` with the paper's stretching strategy).
     succ, pred:
         Integer adjacency lists (successors / predecessors per vertex index).
+    succ_indptr, succ_indices, pred_indptr, pred_indices:
+        The same adjacency in CSR form: the neighbours of vertex ``v`` are
+        ``succ_indices[succ_indptr[v]:succ_indptr[v + 1]]`` (flat ``int64``
+        arrays, used by the vectorized kernels).
+    succ_pad, pred_pad:
+        Rectangular ``(n_vertices, max_degree)`` neighbour matrices padded
+        with the sentinel columns ``n_vertices`` (successors) and
+        ``n_vertices + 1`` (predecessors).  The kernels keep two extra
+        entries per assignment row — layer ``0`` for the successor sentinel
+        and ``n_layers + 1`` for the predecessor sentinel — so batched layer
+        spans reduce to one gather + one ``max``/``min`` per side.
+    edge_src, edge_dst:
+        Flat edge list (``edge_src[e]`` is the tail / upper vertex,
+        ``edge_dst[e]`` the head / lower vertex of edge ``e``), aligned with
+        ``succ_indices``.
     out_degree, in_degree:
         Degree arrays (``int64``).
     widths:
@@ -58,6 +94,14 @@ class LayeringProblem:
     n_layers: int
     succ: list[list[int]]
     pred: list[list[int]]
+    succ_indptr: np.ndarray
+    succ_indices: np.ndarray
+    pred_indptr: np.ndarray
+    pred_indices: np.ndarray
+    succ_pad: np.ndarray
+    pred_pad: np.ndarray
+    edge_src: np.ndarray
+    edge_dst: np.ndarray
     out_degree: np.ndarray
     in_degree: np.ndarray
     widths: np.ndarray
@@ -120,6 +164,13 @@ class LayeringProblem:
         widths = np.array([graph.vertex_width(v) for v in vertices], dtype=np.float64)
         initial = np.array([stretched.layer_of(v) for v in vertices], dtype=np.int64)
 
+        succ_indptr, succ_indices = _csr_arrays(succ)
+        pred_indptr, pred_indices = _csr_arrays(pred)
+        # Flat edge list aligned with succ_indices: edge e runs from the
+        # (upper) tail edge_src[e] to the (lower) head edge_dst[e].
+        edge_src = np.repeat(np.arange(n, dtype=np.int64), out_degree)
+        edge_dst = succ_indices
+
         return cls(
             graph=graph,
             vertices=vertices,
@@ -127,6 +178,14 @@ class LayeringProblem:
             n_layers=total_layers,
             succ=succ,
             pred=pred,
+            succ_indptr=succ_indptr,
+            succ_indices=succ_indices,
+            pred_indptr=pred_indptr,
+            pred_indices=pred_indices,
+            succ_pad=_padded_neighbours(succ, sentinel=n),
+            pred_pad=_padded_neighbours(pred, sentinel=n + 1),
+            edge_src=edge_src,
+            edge_dst=edge_dst,
             out_degree=out_degree,
             in_degree=in_degree,
             widths=widths,

@@ -44,8 +44,21 @@ class SweepResult:
     points: list[SweepPoint]
 
     def best(self) -> SweepPoint:
-        """The point with the highest mean objective (ties: lower running time)."""
-        return max(self.points, key=lambda p: (p.mean_objective, -p.mean_running_time))
+        """The point with the highest mean objective (ties: cheapest setting).
+
+        Equal-quality settings are ordered by ascending setting sum, then
+        ascending setting tuple — the paper's "nearly as good but cheaper"
+        preference made deterministic.  (Measured running time is too noisy
+        to order exact ties reproducibly.)
+        """
+        return max(
+            self.points,
+            key=lambda p: (
+                p.mean_objective,
+                -sum(p.setting),
+                tuple(-s for s in p.setting),
+            ),
+        )
 
     def as_dict(self) -> dict[tuple[float, ...], SweepPoint]:
         """Points keyed by their setting tuple."""

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.graph.digraph import DiGraph, Vertex
 from repro.layering.base import Layering
 from repro.utils.exceptions import ValidationError
@@ -44,6 +46,33 @@ __all__ = [
 def _check_nd_width(nd_width: float) -> None:
     if nd_width < 0:
         raise ValidationError(f"dummy vertex width must be >= 0, got {nd_width}")
+
+
+def _edge_layers(graph: DiGraph, layering: Layering) -> tuple[np.ndarray, np.ndarray]:
+    """Tail and head layers of every edge as flat ``int64`` arrays."""
+    tails = np.empty(graph.n_edges, dtype=np.int64)
+    heads = np.empty(graph.n_edges, dtype=np.int64)
+    for e, (u, v) in enumerate(graph.edges()):
+        tails[e] = layering.layer_of(u)
+        heads[e] = layering.layer_of(v)
+    return tails, heads
+
+
+def _interval_counts(
+    starts: np.ndarray, stops: np.ndarray, lo: int, hi: int
+) -> np.ndarray:
+    """How many half-open intervals ``[starts[e], stops[e])`` cover each of
+    ``lo..hi`` — the classic difference-array + prefix-sum replacement for a
+    per-interval inner loop (exact integer arithmetic).
+
+    Returns an array indexed ``0..hi - lo`` (position ``i`` is layer
+    ``lo + i``); intervals are clipped to the ``[lo, hi + 1)`` window.
+    """
+    size = hi - lo + 2
+    delta = np.zeros(size, dtype=np.int64)
+    np.add.at(delta, np.clip(starts - lo, 0, size - 1), 1)
+    np.add.at(delta, np.clip(stops - lo, 0, size - 1), -1)
+    return np.cumsum(delta[:-1])
 
 
 def layering_height(layering: Layering) -> int:
@@ -77,10 +106,12 @@ def layer_widths(
     widths = {layer: 0.0 for layer in range(lo, hi + 1)}
     for v in graph.vertices():
         widths[layering.layer_of(v)] += graph.vertex_width(v)
-    if nd_width > 0:
-        for u, v in graph.edges():
-            for layer in range(layering.layer_of(v) + 1, layering.layer_of(u)):
-                widths[layer] += nd_width
+    if nd_width > 0 and graph.n_edges:
+        tails, heads = _edge_layers(graph, layering)
+        # One dummy per edge on every layer strictly between its endpoints.
+        dummies = _interval_counts(heads + 1, tails, lo, hi)
+        for i in np.flatnonzero(dummies):
+            widths[lo + int(i)] += nd_width * int(dummies[i])
     return widths
 
 
@@ -100,12 +131,18 @@ def width_excluding_dummies(graph: DiGraph, layering: Layering) -> float:
 
 def dummy_vertex_count(graph: DiGraph, layering: Layering) -> int:
     """Total number of dummy vertices a proper layering would need: ``Σ (span - 1)``."""
-    return sum(layering.edge_span(u, v) - 1 for u, v in graph.edges())
+    if graph.n_edges == 0:
+        return 0
+    tails, heads = _edge_layers(graph, layering)
+    return int((tails - heads).sum()) - graph.n_edges
 
 
 def total_edge_span(graph: DiGraph, layering: Layering) -> int:
     """Sum of edge spans (the quantity minimised by the network-simplex layering)."""
-    return sum(layering.edge_span(u, v) for u, v in graph.edges())
+    if graph.n_edges == 0:
+        return 0
+    tails, heads = _edge_layers(graph, layering)
+    return int((tails - heads).sum())
 
 
 def edge_density(graph: DiGraph, layering: Layering) -> int:
@@ -121,11 +158,11 @@ def edge_density(graph: DiGraph, layering: Layering) -> int:
     lo, hi = layering.min_layer, layering.height
     if hi == lo:
         return 0
-    crossing = {i: 0 for i in range(lo, hi)}  # gap between i and i+1
-    for u, v in graph.edges():
-        for i in range(layering.layer_of(v), layering.layer_of(u)):
-            crossing[i] += 1
-    return max(crossing.values()) if crossing else 0
+    # An edge contributes to every gap i between head and tail (layers
+    # head..tail-1); count gap coverage with one difference-array pass.
+    tails, heads = _edge_layers(graph, layering)
+    crossing = _interval_counts(heads, tails, lo, hi - 1)
+    return int(crossing.max())
 
 
 def edge_density_normalized(graph: DiGraph, layering: Layering) -> float:
