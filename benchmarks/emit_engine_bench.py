@@ -1,0 +1,137 @@
+"""Measure the experiment-engine speedup on the figure workload.
+
+The workload is the one every figure benchmark runs: the paper's LPL-family
+comparison (LPL, LPL+PL, AntColony) over the AT&T-like corpus subset — the
+data behind Figs. 4/6/8.  Three configurations are timed end to end:
+
+* ``serial_cold_s`` — the historical baseline: serial engine, no cache;
+* ``process_cold_s`` — process executor with >= 4 workers, cold cache
+  (the multi-core win; on a single-CPU container this is roughly break-even,
+  which the record reports honestly via ``cpu_count``);
+* ``process_warm_s`` — the same process engine again with the now-warm
+  content-addressed result cache: every cell is served from disk, which is
+  what makes repeated ``repro-dag figures``/``compare``/tuning runs
+  incremental on any machine.
+
+All three configurations are asserted to produce identical metrics before
+the record is written (the engine's determinism contract).  Results land in
+``BENCH_experiment_engine.json`` at the repository root, the checked-in perf
+record tracked across PRs (refresh with
+``PYTHONPATH=src python benchmarks/emit_engine_bench.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from repro.aco.params import ACOParams
+from repro.datasets.corpus import att_like_corpus
+from repro.experiments.cache import ResultCache
+from repro.experiments.engine import ExperimentEngine, default_method_specs
+from repro.experiments.runner import run_comparison
+
+__all__ = ["BENCH_PATH", "measure_engine_speedup", "write_bench_json"]
+
+#: Where the benchmark record is checked in (repository root).
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_experiment_engine.json"
+
+#: The paper's LPL-family figure workload (Figs. 4/6/8).
+FIGURE_ALGORITHMS = ("LPL", "LPL+PL", "AntColony")
+
+#: The acceptance bar asks for >= 4 workers.
+MIN_JOBS = 4
+
+
+def _workload(graphs_per_group: int):
+    corpus = att_like_corpus(graphs_per_group=graphs_per_group)
+    specs = default_method_specs(aco_params=ACOParams(seed=0))
+    selected = {name: specs[name] for name in FIGURE_ALGORITHMS}
+    return corpus, selected
+
+
+def _timed_run(corpus, algorithms, engine):
+    start = time.perf_counter()
+    comparison = run_comparison(corpus, algorithms, engine=engine)
+    return time.perf_counter() - start, comparison
+
+
+def _deterministic_view(comparison):
+    return [
+        (r.algorithm, r.graph_name, r.vertex_count, r.metrics)
+        for r in comparison.results
+    ]
+
+
+def measure_engine_speedup(*, graphs_per_group: int = 2, jobs: int | None = None) -> dict:
+    """Time the figure workload serial/parallel/warm-cache and summarise."""
+    corpus, algorithms = _workload(graphs_per_group)
+    jobs = jobs if jobs is not None else max(MIN_JOBS, os.cpu_count() or 1)
+
+    serial_s, serial = _timed_run(corpus, algorithms, ExperimentEngine())
+
+    with tempfile.TemporaryDirectory(prefix="repro-engine-bench-") as cache_dir:
+        cache = ResultCache(cache_dir)
+        process_engine = ExperimentEngine(executor="process", jobs=jobs, cache=cache)
+        process_cold_s, process_cold = _timed_run(corpus, algorithms, process_engine)
+        process_warm_s, process_warm = _timed_run(corpus, algorithms, process_engine)
+        cache_entries = len(cache)
+
+    # Determinism contract: executor and cache must not change any metric.
+    baseline = _deterministic_view(serial)
+    assert _deterministic_view(process_cold) == baseline, "process run diverged"
+    assert _deterministic_view(process_warm) == baseline, "warm-cache run diverged"
+
+    return {
+        "benchmark": "experiment_engine_speedup",
+        "description": (
+            "End-to-end wall-clock of the LPL-family figure workload "
+            "(%d corpus graphs x %d algorithms = %d cells) through the "
+            "shared experiment engine: serial cold baseline, process "
+            "executor with %d workers (cold cache), and the same process "
+            "engine with a warm content-addressed result cache, seconds."
+            % (len(corpus), len(algorithms), len(corpus) * len(algorithms), jobs)
+        ),
+        "cpu_count": os.cpu_count(),
+        "jobs": jobs,
+        "cells": len(corpus) * len(algorithms),
+        "graphs_per_group": graphs_per_group,
+        "cache_entries": cache_entries,
+        "serial_cold_s": round(serial_s, 6),
+        "process_cold_s": round(process_cold_s, 6),
+        "process_warm_s": round(process_warm_s, 6),
+        "parallel_speedup": round(serial_s / process_cold_s, 2),
+        "warm_cache_speedup": round(serial_s / process_warm_s, 2),
+    }
+
+
+def write_bench_json(results: dict, path: Path = BENCH_PATH) -> Path:
+    """Write the benchmark record (stable key order, trailing newline)."""
+    path.write_text(json.dumps(results, indent=2) + "\n")
+    return path
+
+
+def main() -> None:
+    results = measure_engine_speedup()
+    path = write_bench_json(results)
+    print(f"wrote {path}")
+    print(
+        f"  cells={results['cells']} jobs={results['jobs']} "
+        f"(cpu_count={results['cpu_count']})"
+    )
+    print(f"  serial cold   {results['serial_cold_s']*1e3:9.1f} ms")
+    print(
+        f"  process cold  {results['process_cold_s']*1e3:9.1f} ms   "
+        f"speedup {results['parallel_speedup']:6.2f}x"
+    )
+    print(
+        f"  process warm  {results['process_warm_s']*1e3:9.1f} ms   "
+        f"speedup {results['warm_cache_speedup']:6.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -61,7 +61,7 @@ from repro.layering import (
 )
 from repro.sugiyama import SugiyamaDrawing, sugiyama_layout
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",

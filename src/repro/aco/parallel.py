@@ -20,12 +20,15 @@ Determinism: given ``params.seed`` the per-colony seeds are derived with
 :func:`repro.utils.rng.spawn_generators`-style seed spawning, so the set of
 colony results (and therefore the best layering) is the same for every back
 end and worker count.
+
+The pool plumbing itself (ship the shared payload once per worker via the
+pool initializer, submit only small per-task arguments) lives in
+:mod:`repro.utils.pool` and is shared with the experiment engine
+(:mod:`repro.experiments.engine`).
 """
 
 from __future__ import annotations
 
-import concurrent.futures
-import itertools
 from dataclasses import dataclass
 from typing import Any
 
@@ -37,13 +40,11 @@ from repro.graph.digraph import DiGraph
 from repro.graph.io import from_json_dict, to_json_dict
 from repro.layering.base import Layering
 from repro.utils.exceptions import ValidationError
+from repro.utils.pool import EXECUTORS, map_with_state
 
 __all__ = ["ColonyRunSummary", "ParallelAcoResult", "parallel_aco_layering", "run_single_colony"]
 
-_EXECUTORS = ("process", "thread", "serial")
-
-#: Monotonically increasing tokens distinguishing concurrent runs.
-_RUN_TOKENS = itertools.count()
+_EXECUTORS = EXECUTORS
 
 
 @dataclass(frozen=True)
@@ -105,25 +106,19 @@ def run_single_colony(
     return _colony_summary(from_json_dict(graph_json), params_dict, colony_index, seed)
 
 
-#: Per-worker state installed by the pool initializer, so the graph is
-#: shipped and decoded once per worker instead of once per submitted colony.
-#: Keyed by a per-run token: thread-pool workers share this module with the
-#: caller (and with any concurrent runs), process-pool workers get their own
-#: copy that dies with the pool.
-_WORKER_STATE: dict[int, tuple[DiGraph, dict[str, Any]]] = {}
+def _decode_colony_payload(
+    payload: tuple[dict[str, Any], dict[str, Any]]
+) -> tuple[DiGraph, dict[str, Any]]:
+    """Per-worker state: decode the shared graph JSON once for this worker."""
+    graph_json, params_dict = payload
+    return from_json_dict(graph_json), dict(params_dict)
 
 
-def _init_colony_worker(
-    token: int, graph_json: dict[str, Any], params_dict: dict[str, Any]
-) -> None:
-    """Pool initializer: decode the shared graph once for this worker."""
-    if token not in _WORKER_STATE:
-        _WORKER_STATE[token] = (from_json_dict(graph_json), dict(params_dict))
-
-
-def _run_initialized_colony(token: int, colony_index: int, seed: int) -> ColonyRunSummary:
-    """Worker entry point using the state installed by :func:`_init_colony_worker`."""
-    graph, params_dict = _WORKER_STATE[token]
+def _run_colony_task(
+    state: tuple[DiGraph, dict[str, Any]], colony_index: int, seed: int
+) -> ColonyRunSummary:
+    """Worker entry point operating on the per-worker ``(graph, params)`` state."""
+    graph, params_dict = state
     return _colony_summary(graph, params_dict, colony_index, seed)
 
 
@@ -159,38 +154,30 @@ def parallel_aco_layering(
     seeds = _derive_colony_seeds(params.seed, n_colonies)
     params_dict = params.as_dict()
 
+    tasks = [(i, seeds[i]) for i in range(n_colonies)]
     summaries: list[ColonyRunSummary]
-    if executor == "serial" or n_colonies == 1:
+    if executor != "process" or n_colonies == 1:
         # In-process: the caller's graph is used directly, no JSON round trip.
-        summaries = [
-            _colony_summary(graph, params_dict, i, seeds[i])
-            for i in range(n_colonies)
-        ]
+        summaries = map_with_state(
+            _run_colony_task,
+            tasks,
+            executor="serial" if n_colonies == 1 else executor,
+            max_workers=max_workers,
+            shared_state=(graph, params_dict),
+        )
     else:
-        graph_json = to_json_dict(graph)
         # The graph travels to each worker exactly once (as initializer
         # arguments); the per-colony submissions carry only an index and a
-        # seed, so multi-colony runs no longer pay O(colonies x graph)
+        # seed, so multi-colony runs do not pay O(colonies x graph)
         # serialisation cost.
-        pool_cls = (
-            concurrent.futures.ProcessPoolExecutor
-            if executor == "process"
-            else concurrent.futures.ThreadPoolExecutor
+        summaries = map_with_state(
+            _run_colony_task,
+            tasks,
+            executor="process",
+            max_workers=max_workers,
+            init_fn=_decode_colony_payload,
+            payload=(to_json_dict(graph), params_dict),
         )
-        token = next(_RUN_TOKENS)
-        try:
-            with pool_cls(
-                max_workers=max_workers,
-                initializer=_init_colony_worker,
-                initargs=(token, graph_json, params_dict),
-            ) as pool:
-                futures = [
-                    pool.submit(_run_initialized_colony, token, i, seeds[i])
-                    for i in range(n_colonies)
-                ]
-                summaries = [f.result() for f in futures]
-        finally:
-            _WORKER_STATE.pop(token, None)  # thread workers share this module
 
     summaries.sort(key=lambda s: s.colony_index)
     best = max(summaries, key=lambda s: s.objective)

@@ -14,9 +14,18 @@ Installed as the ``repro-dag`` console script (also reachable via
     one table per metric.
 ``figures``
     Regenerate one or all of the paper's evaluation figures (Fig. 4–9).
+``tune``
+    Reproduce the α/β or ``nd_width`` parameter sweep of Section VIII.
 ``corpus``
     Materialise the synthetic AT&T-like corpus to a directory of JSON graph
     files (for inspection or for use by external tools).
+
+The experiment sub-commands (``compare``, ``figures``, ``tune``) dispatch
+their (graph × algorithm) cells through the shared experiment engine
+(:mod:`repro.experiments.engine`): ``--executor process --jobs N`` spreads
+the cells over N worker processes, and ``--cache-dir DIR`` enables the
+content-addressed result cache so repeated runs over the same corpus and
+parameters are incremental.
 
 Graph files may be in the library's edge-list format (``.edgelist``, see
 :func:`repro.graph.io.write_edgelist`) or JSON (``.json``,
@@ -33,9 +42,11 @@ from typing import Sequence
 
 from repro.aco.params import ACOParams
 from repro.datasets.corpus import GROUP_VERTEX_COUNTS, att_like_corpus
+from repro.experiments.engine import ExperimentEngine, default_method_specs
 from repro.experiments.figures import FIGURES
-from repro.experiments.reporting import format_comparison, format_figure
-from repro.experiments.runner import default_algorithms, run_comparison
+from repro.experiments.reporting import format_comparison, format_figure, format_sweep
+from repro.experiments.runner import run_comparison
+from repro.experiments.tuning import alpha_beta_sweep, nd_width_sweep
 from repro.graph.digraph import DiGraph
 from repro.graph.io import read_edgelist, read_json, write_json
 from repro.layering.metrics import evaluate_layering
@@ -88,6 +99,29 @@ def _layering_method(name: str, params: ACOParams):
     return LAYERING_METHODS[name]
 
 
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--executor",
+        choices=("serial", "thread", "process"),
+        default="serial",
+        help="how experiment cells are dispatched (default serial)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, help="worker count for the pool executors"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="enable the content-addressed result cache in this directory",
+    )
+
+
+def _engine(args: argparse.Namespace) -> ExperimentEngine:
+    return ExperimentEngine.from_options(
+        executor=args.executor, jobs=args.jobs, cache_dir=args.cache_dir
+    )
+
+
 def _add_aco_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--alpha", type=float, default=1.0, help="pheromone exponent (default 1)")
     parser.add_argument("--beta", type=float, default=3.0, help="heuristic exponent (default 3)")
@@ -125,7 +159,9 @@ def _cmd_draw(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     params = _aco_params(args)
     method = _layering_method(args.method, params)
-    drawing = sugiyama_layout(graph, layering_method=method, nd_width=max(args.nd_width, 1e-6))
+    # The raw nd_width keeps `draw` metrics identical to `layer` for the same
+    # graph; the layout itself clamps its dummy width internally.
+    drawing = sugiyama_layout(graph, layering_method=method, nd_width=args.nd_width)
     print(
         f"height={drawing.height} width={drawing.width:.2f} "
         f"crossings={drawing.crossings} reversed_edges={len(drawing.reversed_edges)}"
@@ -146,9 +182,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         graphs_per_group=args.graphs_per_group, vertex_counts=vertex_counts
     )
     params = _aco_params(args)
-    algorithms = default_algorithms(aco_params=params, include_aco=not args.no_aco)
+    algorithms = default_method_specs(aco_params=params, include_aco=not args.no_aco)
     print(f"corpus: {len(corpus)} graphs over groups {sorted(set(vertex_counts))}")
-    comparison = run_comparison(corpus, algorithms, nd_width=args.nd_width)
+    comparison = run_comparison(
+        corpus, algorithms, nd_width=args.nd_width, engine=_engine(args)
+    )
     for metric in _CLI_METRICS:
         print()
         print(format_comparison(comparison, metric))
@@ -159,10 +197,30 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     wanted = list(FIGURES) if args.figure == "all" else [args.figure]
     params = _aco_params(args)
     corpus = att_like_corpus(graphs_per_group=args.graphs_per_group)
+    engine = _engine(args)
     for figure_id in wanted:
-        figure = FIGURES[figure_id](corpus=corpus, aco_params=params, nd_width=args.nd_width)
+        figure = FIGURES[figure_id](
+            corpus=corpus, aco_params=params, nd_width=args.nd_width, engine=engine
+        )
         print()
         print(format_figure(figure))
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    vertex_counts = (
+        tuple(args.vertex_counts) if args.vertex_counts else (20, 40, 60)
+    )
+    corpus = att_like_corpus(
+        graphs_per_group=args.graphs_per_group, vertex_counts=vertex_counts
+    )
+    params = _aco_params(args)
+    print(f"corpus: {len(corpus)} graphs over groups {sorted(set(vertex_counts))}")
+    if args.sweep == "alpha-beta":
+        sweep = alpha_beta_sweep(corpus, base_params=params, engine=_engine(args))
+    else:
+        sweep = nd_width_sweep(corpus, base_params=params, engine=_engine(args))
+    print(format_sweep(sweep))
     return 0
 
 
@@ -214,13 +272,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_compare.add_argument("--no-aco", action="store_true", help="baselines only")
     _add_aco_options(p_compare)
+    _add_engine_options(p_compare)
     p_compare.set_defaults(func=_cmd_compare)
 
     p_figures = sub.add_parser("figures", help="regenerate the paper's evaluation figures")
     p_figures.add_argument("--figure", choices=sorted(FIGURES) + ["all"], default="all")
     p_figures.add_argument("--graphs-per-group", type=int, default=2)
     _add_aco_options(p_figures)
+    _add_engine_options(p_figures)
     p_figures.set_defaults(func=_cmd_figures)
+
+    p_tune = sub.add_parser("tune", help="reproduce a Section VIII parameter sweep")
+    p_tune.add_argument(
+        "--sweep",
+        choices=("alpha-beta", "nd-width"),
+        default="alpha-beta",
+        help="which parameter sweep to run (default alpha-beta)",
+    )
+    p_tune.add_argument("--graphs-per-group", type=int, default=1)
+    p_tune.add_argument(
+        "--vertex-counts",
+        type=int,
+        nargs="*",
+        help="vertex-count groups for the sweep corpus (default: 20 40 60)",
+    )
+    _add_aco_options(p_tune)
+    _add_engine_options(p_tune)
+    p_tune.set_defaults(func=_cmd_tune)
 
     p_corpus = sub.add_parser("corpus", help="write the synthetic corpus to a directory")
     p_corpus.add_argument("output_dir")

@@ -1,5 +1,9 @@
 """Experiment harness: regenerate every figure of the paper's evaluation.
 
+* :mod:`repro.experiments.engine` — the shared parallel experiment engine:
+  every comparison/figure/sweep cell is dispatched over a process, thread or
+  serial executor, with an optional content-addressed result cache;
+* :mod:`repro.experiments.cache` — the on-disk cache backing the engine;
 * :mod:`repro.experiments.runner` — run any set of layering algorithms over a
   corpus and aggregate the paper's metrics per vertex-count group;
 * :mod:`repro.experiments.figures` — one function per figure (Fig. 4–9),
@@ -10,6 +14,14 @@
   benchmarks and the examples.
 """
 
+from repro.experiments.cache import CachedCell, ResultCache
+from repro.experiments.engine import (
+    CellResult,
+    ExperimentEngine,
+    MethodSpec,
+    WorkUnit,
+    default_method_specs,
+)
 from repro.experiments.figures import (
     FIGURES,
     FigureData,
@@ -34,9 +46,18 @@ from repro.experiments.tuning import (
     alpha_beta_sweep,
     best_sweep_setting,
     nd_width_sweep,
+    parameter_sweep,
 )
 
 __all__ = [
+    "CachedCell",
+    "ResultCache",
+    "CellResult",
+    "ExperimentEngine",
+    "MethodSpec",
+    "WorkUnit",
+    "default_method_specs",
+    "parameter_sweep",
     "AlgorithmResult",
     "ComparisonResult",
     "default_algorithms",

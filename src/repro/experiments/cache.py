@@ -1,0 +1,149 @@
+"""Content-addressed on-disk cache for experiment cell results.
+
+A *cell* is one ``(graph, layering method, nd_width)`` work unit of the
+experiment engine (:mod:`repro.experiments.engine`).  Its cache key is the
+SHA-256 digest of a canonical JSON payload combining
+
+* the digest of the graph's own canonical JSON serialisation
+  (:func:`repro.graph.io.to_json_dict`),
+* the method's cache token (its name plus, for the Ant Colony, the full
+  ``ACOParams`` dictionary — so changing any parameter, including the seed,
+  changes the key), and
+* the ``nd_width`` used by the metrics.
+
+Because the key is derived purely from content, a different corpus seed,
+parameter set or graph produces a different key, and repeated ``repro-dag
+figures`` / ``compare`` / tuning runs over the same inputs become
+incremental — no invalidation logic is needed for *input* changes.  Changes
+to the *algorithms themselves* are covered by hashing ``repro.__version__``
+into every key: a release that alters any layering algorithm's behaviour
+must bump the package version (or :data:`CACHE_VERSION`), which orphans all
+previous entries instead of silently serving stale metrics from a
+persistent ``--cache-dir``.
+
+Layout on disk: ``<cache-dir>/<first two hex chars>/<full key>.json``, one
+small JSON document per cell holding the :class:`~repro.layering.metrics.
+LayeringMetrics` fields plus the originally measured running time.  Files
+are written atomically (temp file + rename) so concurrent runs sharing a
+cache directory never observe torn entries; unreadable or foreign files are
+treated as misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import repro
+from repro.layering.metrics import LayeringMetrics
+
+__all__ = ["CachedCell", "ResultCache", "canonical_json", "content_digest", "cache_key"]
+
+#: Format marker stored in every cache entry.
+CACHE_FORMAT = "repro-cell-result"
+
+#: Bump to invalidate every existing entry when the result schema changes.
+CACHE_VERSION = 1
+
+_METRIC_FIELDS = (
+    "n_vertices",
+    "n_edges",
+    "height",
+    "width_including_dummies",
+    "width_excluding_dummies",
+    "dummy_vertex_count",
+    "edge_density",
+    "objective",
+    "nd_width",
+)
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace) used for hashing."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def content_digest(obj: Any) -> str:
+    """SHA-256 hex digest of an object's canonical JSON encoding."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+def cache_key(graph_digest: str, method_token: Any, nd_width: float) -> str:
+    """The content-addressed key of one experiment cell."""
+    return content_digest(
+        {
+            "version": CACHE_VERSION,
+            "package": repro.__version__,
+            "graph": graph_digest,
+            "method": method_token,
+            "nd_width": nd_width,
+        }
+    )
+
+
+@dataclass(frozen=True)
+class CachedCell:
+    """A cache hit: the stored metrics plus the originally measured running time."""
+
+    metrics: LayeringMetrics
+    running_time: float
+
+
+class ResultCache:
+    """Directory-backed content-addressed store of :class:`CachedCell` entries."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+
+    def path_for(self, key: str) -> Path:
+        """Where the entry for *key* lives (two-character shard directories)."""
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> CachedCell | None:
+        """Look up a cell result; any unreadable or foreign file is a miss."""
+        path = self.path_for(key)
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(record, dict) or record.get("format") != CACHE_FORMAT:
+            return None
+        try:
+            metrics = LayeringMetrics(**{f: record["metrics"][f] for f in _METRIC_FIELDS})
+            running_time = float(record["running_time"])
+        except (KeyError, TypeError, ValueError):
+            return None
+        return CachedCell(metrics=metrics, running_time=running_time)
+
+    def put(self, key: str, metrics: LayeringMetrics, running_time: float) -> None:
+        """Store one cell result atomically."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = {
+            "format": CACHE_FORMAT,
+            "version": CACHE_VERSION,
+            "metrics": metrics.as_dict(),
+            "running_time": running_time,
+        }
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        """Number of entries currently stored (walks the shard directories)."""
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("??/*.json"))

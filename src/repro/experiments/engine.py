@@ -1,0 +1,425 @@
+"""Shared parallel experiment engine.
+
+Every experiment in the repo — the five-algorithm comparison
+(:func:`repro.experiments.runner.run_comparison`), the six figure builders
+(:mod:`repro.experiments.figures`) and the parameter sweeps
+(:mod:`repro.experiments.tuning`) — reduces to the same workload: a list of
+independent *cells* ``(graph, layering method, nd_width) -> LayeringMetrics``.
+This module provides the one dispatcher they all share:
+
+* :class:`MethodSpec` — a layering method in a declarative form that can
+  cross a process boundary (builtin registry name, Ant Colony parameters) or
+  wrap an arbitrary in-process callable;
+* :class:`WorkUnit` / :class:`CellResult` — one cell of work and its outcome;
+* :class:`ExperimentEngine` — runs cells over the ``"process"``, ``"thread"``
+  or ``"serial"`` back ends of :mod:`repro.utils.pool` (the graph table is
+  shipped to each process-pool worker exactly once via the pool initializer,
+  the per-cell submissions carry only a graph reference and a method spec)
+  with an optional content-addressed on-disk cache
+  (:mod:`repro.experiments.cache`) making repeated runs incremental.
+
+Determinism: cells are submitted in order and results are returned in
+submission order, and every layering algorithm in the repo is deterministic
+for a fixed seed, so the engine returns identical metrics for every executor
+and worker count.  Only the measured ``running_time`` of a cell varies
+between runs (a cache hit reports the originally measured time).
+
+Callable-backed method specs cannot be pickled; the engine runs them in the
+parent process (under ``executor="thread"`` they still use the pool), so
+custom algorithms keep working with any executor — they just do not gain
+multi-core speed-up unless registered in :data:`BUILTIN_METHODS`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.aco.layering_aco import aco_layering
+from repro.aco.params import ACOParams
+from repro.experiments.cache import ResultCache, cache_key, content_digest
+from repro.graph.digraph import DiGraph
+from repro.graph.io import from_json_dict, to_json_dict
+from repro.layering.base import Layering
+from repro.layering.longest_path import longest_path_layering
+from repro.layering.metrics import LayeringMetrics, evaluate_layering
+from repro.layering.minwidth import minwidth_layering_sweep
+from repro.layering.promote import promote_layering
+from repro.utils.exceptions import ValidationError
+from repro.utils.pool import EXECUTORS, map_with_state
+
+__all__ = [
+    "BUILTIN_METHODS",
+    "MethodSpec",
+    "WorkUnit",
+    "CellResult",
+    "ExperimentEngine",
+    "default_method_specs",
+]
+
+LayeringAlgorithm = Callable[[DiGraph], Layering]
+
+
+def _lpl_with_promotion(graph: DiGraph) -> Layering:
+    return promote_layering(graph, longest_path_layering(graph))
+
+
+def _minwidth_with_promotion(graph: DiGraph) -> Layering:
+    return promote_layering(graph, minwidth_layering_sweep(graph))
+
+
+#: Worker-resolvable registry of the paper's deterministic baseline methods.
+#: Entries are module-level functions, so a bare name is enough to rebuild
+#: the algorithm inside a process-pool worker.
+BUILTIN_METHODS: dict[str, LayeringAlgorithm] = {
+    "LPL": longest_path_layering,
+    "LPL+PL": _lpl_with_promotion,
+    "MinWidth": minwidth_layering_sweep,
+    "MinWidth+PL": _minwidth_with_promotion,
+}
+
+#: Display name of the paper's Ant Colony entry.
+ANT_COLONY = "AntColony"
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """A layering method in a declarative, executor-portable form.
+
+    Exactly one of three shapes:
+
+    * a **builtin** — ``name`` keys :data:`BUILTIN_METHODS`;
+    * an **Ant Colony** — ``aco_params`` holds the full ``ACOParams`` field
+      dictionary (seed included, so the spec is deterministic);
+    * a **callable** — ``func`` wraps an arbitrary in-process algorithm.
+      Not shippable to process-pool workers and never cached (its behaviour
+      cannot be identified by content).
+    """
+
+    name: str
+    aco_params: Mapping[str, Any] | None = None
+    func: LayeringAlgorithm | None = None
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def builtin(cls, name: str) -> "MethodSpec":
+        """Spec for one of the registered baseline methods."""
+        if name not in BUILTIN_METHODS:
+            raise ValidationError(
+                f"unknown builtin method {name!r}; choose from {sorted(BUILTIN_METHODS)}"
+            )
+        return cls(name=name)
+
+    @classmethod
+    def ant_colony(
+        cls, params: ACOParams | None = None, *, name: str = ANT_COLONY
+    ) -> "MethodSpec":
+        """Spec for the Ant Colony with explicit parameters (default: paper config, seed 0)."""
+        params = params if params is not None else ACOParams(seed=0)
+        return cls(name=name, aco_params=params.as_dict())
+
+    @classmethod
+    def from_callable(cls, name: str, func: LayeringAlgorithm) -> "MethodSpec":
+        """Spec wrapping an arbitrary ``graph -> Layering`` callable."""
+        return cls(name=name, func=func)
+
+    # ------------------------------------------------------------------ #
+    # capabilities
+    # ------------------------------------------------------------------ #
+
+    @property
+    def shippable(self) -> bool:
+        """Whether the spec can cross a process boundary."""
+        return self.func is None
+
+    @property
+    def cacheable(self) -> bool:
+        """Whether results of this method may be stored in the result cache."""
+        return self.func is None
+
+    def resolve(self) -> LayeringAlgorithm:
+        """Materialise the actual ``graph -> Layering`` callable."""
+        if self.func is not None:
+            return self.func
+        if self.aco_params is not None:
+            params = ACOParams(**dict(self.aco_params))
+            return lambda g: aco_layering(g, params)
+        if self.name in BUILTIN_METHODS:
+            return BUILTIN_METHODS[self.name]
+        raise ValidationError(f"cannot resolve method spec {self.name!r}")
+
+    # ------------------------------------------------------------------ #
+    # serialisation
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form shipped to process-pool workers."""
+        if not self.shippable:
+            raise ValidationError(
+                f"method {self.name!r} wraps a callable and cannot cross a process boundary"
+            )
+        return {
+            "name": self.name,
+            "aco_params": dict(self.aco_params) if self.aco_params is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MethodSpec":
+        """Inverse of :meth:`to_dict`."""
+        return cls(name=data["name"], aco_params=data.get("aco_params"))
+
+    def cache_token(self) -> dict[str, Any]:
+        """The method's contribution to the content-addressed cache key."""
+        if not self.cacheable:
+            raise ValidationError(f"method {self.name!r} wraps a callable and is not cacheable")
+        return self.to_dict()
+
+
+def default_method_specs(
+    *,
+    aco_params: ACOParams | None = None,
+    include_aco: bool = True,
+) -> dict[str, MethodSpec]:
+    """The paper's five algorithms as executor-portable method specs.
+
+    The spec-based twin of
+    :func:`repro.experiments.runner.default_algorithms`: same names, same
+    defaults, but the Ant Colony parameters travel declaratively so every
+    entry can be dispatched to process-pool workers and cached.
+    """
+    specs = {name: MethodSpec.builtin(name) for name in BUILTIN_METHODS}
+    if include_aco:
+        specs[ANT_COLONY] = MethodSpec.ant_colony(aco_params)
+    return specs
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One experiment cell: apply one method to one graph at one ``nd_width``."""
+
+    graph: DiGraph
+    method: MethodSpec
+    nd_width: float = 1.0
+    graph_name: str = ""
+    vertex_count: int | None = None
+    label: str = ""
+
+    @property
+    def algorithm(self) -> str:
+        """Display name of the method (explicit label wins over the spec name)."""
+        return self.label or self.method.name
+
+    @property
+    def resolved_graph_name(self) -> str:
+        return self.graph_name or f"graph-n{self.graph.n_vertices}"
+
+    @property
+    def resolved_vertex_count(self) -> int:
+        return self.vertex_count if self.vertex_count is not None else self.graph.n_vertices
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Outcome of one work unit."""
+
+    algorithm: str
+    graph_name: str
+    vertex_count: int
+    nd_width: float
+    metrics: LayeringMetrics
+    running_time: float
+    cached: bool = False
+
+
+def _execute_unit(unit: WorkUnit) -> tuple[LayeringMetrics, float]:
+    """Run one cell: time the algorithm, then evaluate the paper's metrics."""
+    algorithm = unit.method.resolve()
+    start = time.perf_counter()
+    layering = algorithm(unit.graph)
+    elapsed = time.perf_counter() - start
+    metrics = evaluate_layering(unit.graph, layering, nd_width=unit.nd_width)
+    return metrics, elapsed
+
+
+def _decode_graph_table(payload: Mapping[str, dict[str, Any]]) -> dict[str, DiGraph]:
+    """Per-worker state: decode the shared ``ref -> graph JSON`` table once."""
+    return {ref: from_json_dict(graph_json) for ref, graph_json in payload.items()}
+
+
+def _run_cell(
+    state: Mapping[str, DiGraph], ref: str, spec_dict: dict[str, Any], nd_width: float
+) -> tuple[LayeringMetrics, float]:
+    """Process-pool worker entry point for one shippable cell."""
+    unit = WorkUnit(
+        graph=state[ref], method=MethodSpec.from_dict(spec_dict), nd_width=nd_width
+    )
+    return _execute_unit(unit)
+
+
+def _run_indexed_unit(
+    state: Sequence[WorkUnit], index: int
+) -> tuple[LayeringMetrics, float]:
+    """Thread-pool / serial worker entry point: run the *index*-th pending unit."""
+    return _execute_unit(state[index])
+
+
+@dataclass
+class ExperimentEngine:
+    """Dispatch experiment cells over an executor, with optional result caching.
+
+    Parameters
+    ----------
+    executor:
+        ``"serial"`` (default), ``"thread"`` or ``"process"``.
+    jobs:
+        Worker cap for the pool back ends (default: pool default, i.e. the
+        CPU count for processes).
+    cache:
+        Optional :class:`~repro.experiments.cache.ResultCache`; cacheable
+        cells found in it are returned without recomputation
+        (``CellResult.cached`` is ``True``) and fresh results are stored.
+    """
+
+    executor: str = "serial"
+    jobs: int | None = None
+    cache: ResultCache | None = None
+
+    def __post_init__(self) -> None:
+        if self.executor not in EXECUTORS:
+            raise ValidationError(
+                f"executor must be one of {EXECUTORS}, got {self.executor!r}"
+            )
+        if self.jobs is not None and self.jobs < 1:
+            raise ValidationError(f"jobs must be >= 1, got {self.jobs}")
+
+    @classmethod
+    def from_options(
+        cls,
+        *,
+        executor: str | None = None,
+        jobs: int | None = None,
+        cache_dir: str | None = None,
+    ) -> "ExperimentEngine":
+        """Build an engine from CLI-style options (``None`` means default)."""
+        return cls(
+            executor=executor or "serial",
+            jobs=jobs,
+            cache=ResultCache(cache_dir) if cache_dir else None,
+        )
+
+    def run(self, units: Sequence[WorkUnit]) -> list[CellResult]:
+        """Run every unit and return one :class:`CellResult` per unit, in order."""
+        units = list(units)
+        results: list[CellResult | None] = [None] * len(units)
+        keys: list[str | None] = [None] * len(units)
+
+        # The graph JSON (and its digest) is computed once per distinct graph
+        # object, shared by the cache keys and the process-pool payload.
+        json_memo: dict[int, dict[str, Any]] = {}
+        digest_memo: dict[int, str] = {}
+
+        def graph_json(graph: DiGraph) -> dict[str, Any]:
+            key = id(graph)
+            if key not in json_memo:
+                json_memo[key] = to_json_dict(graph)
+            return json_memo[key]
+
+        def graph_digest(graph: DiGraph) -> str:
+            key = id(graph)
+            if key not in digest_memo:
+                digest_memo[key] = content_digest(graph_json(graph))
+            return digest_memo[key]
+
+        def finished(unit: WorkUnit, metrics: LayeringMetrics, elapsed: float, cached: bool) -> CellResult:
+            return CellResult(
+                algorithm=unit.algorithm,
+                graph_name=unit.resolved_graph_name,
+                vertex_count=unit.resolved_vertex_count,
+                nd_width=unit.nd_width,
+                metrics=metrics,
+                running_time=elapsed,
+                cached=cached,
+            )
+
+        pending: list[tuple[int, WorkUnit]] = []
+        for i, unit in enumerate(units):
+            if self.cache is not None and unit.method.cacheable:
+                key = cache_key(
+                    graph_digest(unit.graph), unit.method.cache_token(), unit.nd_width
+                )
+                keys[i] = key
+                hit = self.cache.get(key)
+                if hit is not None:
+                    results[i] = finished(unit, hit.metrics, hit.running_time, True)
+                    continue
+            pending.append((i, unit))
+
+        if pending:
+            computed = self._dispatch(pending, graph_json)
+            for (i, unit), (metrics, elapsed) in zip(pending, computed):
+                results[i] = finished(unit, metrics, elapsed, False)
+                if keys[i] is not None:
+                    assert self.cache is not None
+                    self.cache.put(keys[i], metrics, elapsed)
+
+        return [r for r in results if r is not None]
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _dispatch(
+        self,
+        pending: Sequence[tuple[int, WorkUnit]],
+        graph_json: Callable[[DiGraph], dict[str, Any]],
+    ) -> list[tuple[LayeringMetrics, float]]:
+        """Compute the pending units, preserving their order."""
+        if self.executor != "process":
+            pending_units = [unit for _, unit in pending]
+            return map_with_state(
+                _run_indexed_unit,
+                [(k,) for k in range(len(pending_units))],
+                executor=self.executor,
+                max_workers=self.jobs,
+                shared_state=pending_units,
+            )
+
+        shippable = [(slot, unit) for slot, (_, unit) in enumerate(pending) if unit.method.shippable]
+        local = [(slot, unit) for slot, (_, unit) in enumerate(pending) if not unit.method.shippable]
+        computed: list[tuple[LayeringMetrics, float] | None] = [None] * len(pending)
+
+        if shippable:
+            # Build the shared graph table: each distinct graph is serialised
+            # once and shipped to each worker once (pool initializer).
+            ref_by_graph: dict[int, str] = {}
+            table: dict[str, dict[str, Any]] = {}
+            for _, unit in shippable:
+                gid = id(unit.graph)
+                if gid not in ref_by_graph:
+                    ref = f"g{len(ref_by_graph)}"
+                    ref_by_graph[gid] = ref
+                    table[ref] = graph_json(unit.graph)
+            tasks = [
+                (ref_by_graph[id(unit.graph)], unit.method.to_dict(), unit.nd_width)
+                for _, unit in shippable
+            ]
+            outcomes = map_with_state(
+                _run_cell,
+                tasks,
+                executor="process",
+                max_workers=self.jobs,
+                init_fn=_decode_graph_table,
+                payload=table,
+            )
+            for (slot, _), outcome in zip(shippable, outcomes):
+                computed[slot] = outcome
+
+        # Callable-backed methods cannot be pickled; run them in-process.
+        for slot, unit in local:
+            computed[slot] = _execute_unit(unit)
+
+        return [c for c in computed if c is not None]

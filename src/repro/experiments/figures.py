@@ -25,7 +25,8 @@ from typing import Callable, Sequence
 
 from repro.aco.params import ACOParams
 from repro.datasets.corpus import CorpusGraph, att_like_corpus
-from repro.experiments.runner import ComparisonResult, default_algorithms, run_comparison
+from repro.experiments.engine import ExperimentEngine, default_method_specs
+from repro.experiments.runner import ComparisonResult, run_comparison
 
 __all__ = [
     "FigurePanel",
@@ -79,11 +80,12 @@ def _comparison(
     algorithm_names: Sequence[str],
     aco_params: ACOParams | None,
     nd_width: float,
+    engine: ExperimentEngine | None,
 ) -> ComparisonResult:
     entries = list(corpus) if corpus is not None else _default_corpus(graphs_per_group)
-    algorithms = default_algorithms(aco_params=aco_params)
-    selected = {name: algorithms[name] for name in algorithm_names}
-    return run_comparison(entries, selected, nd_width=nd_width)
+    specs = default_method_specs(aco_params=aco_params)
+    selected = {name: specs[name] for name in algorithm_names}
+    return run_comparison(entries, selected, nd_width=nd_width, engine=engine)
 
 
 def _two_panel_figure(
@@ -96,8 +98,11 @@ def _two_panel_figure(
     graphs_per_group: int | None,
     aco_params: ACOParams | None,
     nd_width: float,
+    engine: ExperimentEngine | None,
 ) -> FigureData:
-    comparison = _comparison(corpus, graphs_per_group, algorithm_names, aco_params, nd_width)
+    comparison = _comparison(
+        corpus, graphs_per_group, algorithm_names, aco_params, nd_width, engine
+    )
     panels = tuple(
         FigurePanel(metric=metric, ylabel=ylabel, series=comparison.all_series(metric))
         for metric, ylabel in metrics
@@ -111,6 +116,7 @@ def figure4(
     graphs_per_group: int | None = 4,
     aco_params: ACOParams | None = None,
     nd_width: float = 1.0,
+    engine: ExperimentEngine | None = None,
 ) -> FigureData:
     """Fig. 4: layering width of AntColony vs LPL and LPL+PL (incl. and excl. dummies)."""
     return _two_panel_figure(
@@ -125,6 +131,7 @@ def figure4(
         graphs_per_group=graphs_per_group,
         aco_params=aco_params,
         nd_width=nd_width,
+        engine=engine,
     )
 
 
@@ -134,6 +141,7 @@ def figure5(
     graphs_per_group: int | None = 4,
     aco_params: ACOParams | None = None,
     nd_width: float = 1.0,
+    engine: ExperimentEngine | None = None,
 ) -> FigureData:
     """Fig. 5: layering width of AntColony vs MinWidth and MinWidth+PL."""
     return _two_panel_figure(
@@ -148,6 +156,7 @@ def figure5(
         graphs_per_group=graphs_per_group,
         aco_params=aco_params,
         nd_width=nd_width,
+        engine=engine,
     )
 
 
@@ -157,6 +166,7 @@ def figure6(
     graphs_per_group: int | None = 4,
     aco_params: ACOParams | None = None,
     nd_width: float = 1.0,
+    engine: ExperimentEngine | None = None,
 ) -> FigureData:
     """Fig. 6: height and dummy-vertex count of AntColony vs LPL and LPL+PL."""
     return _two_panel_figure(
@@ -171,6 +181,7 @@ def figure6(
         graphs_per_group=graphs_per_group,
         aco_params=aco_params,
         nd_width=nd_width,
+        engine=engine,
     )
 
 
@@ -180,6 +191,7 @@ def figure7(
     graphs_per_group: int | None = 4,
     aco_params: ACOParams | None = None,
     nd_width: float = 1.0,
+    engine: ExperimentEngine | None = None,
 ) -> FigureData:
     """Fig. 7: height and dummy-vertex count of AntColony vs MinWidth and MinWidth+PL."""
     return _two_panel_figure(
@@ -194,6 +206,7 @@ def figure7(
         graphs_per_group=graphs_per_group,
         aco_params=aco_params,
         nd_width=nd_width,
+        engine=engine,
     )
 
 
@@ -203,6 +216,7 @@ def figure8(
     graphs_per_group: int | None = 4,
     aco_params: ACOParams | None = None,
     nd_width: float = 1.0,
+    engine: ExperimentEngine | None = None,
 ) -> FigureData:
     """Fig. 8: edge density and running time of AntColony vs LPL and LPL+PL."""
     return _two_panel_figure(
@@ -217,6 +231,7 @@ def figure8(
         graphs_per_group=graphs_per_group,
         aco_params=aco_params,
         nd_width=nd_width,
+        engine=engine,
     )
 
 
@@ -226,6 +241,7 @@ def figure9(
     graphs_per_group: int | None = 4,
     aco_params: ACOParams | None = None,
     nd_width: float = 1.0,
+    engine: ExperimentEngine | None = None,
 ) -> FigureData:
     """Fig. 9: edge density and running time of AntColony vs MinWidth and MinWidth+PL."""
     return _two_panel_figure(
@@ -240,6 +256,7 @@ def figure9(
         graphs_per_group=graphs_per_group,
         aco_params=aco_params,
         nd_width=nd_width,
+        engine=engine,
     )
 
 

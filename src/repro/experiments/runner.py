@@ -18,6 +18,12 @@ from typing import Callable, Iterable, Mapping, Sequence
 from repro.aco.layering_aco import aco_layering
 from repro.aco.params import ACOParams
 from repro.datasets.corpus import CorpusGraph
+from repro.experiments.engine import (
+    ExperimentEngine,
+    MethodSpec,
+    WorkUnit,
+    default_method_specs,
+)
 from repro.graph.digraph import DiGraph
 from repro.layering.base import Layering
 from repro.layering.longest_path import longest_path_layering
@@ -31,6 +37,7 @@ __all__ = [
     "AlgorithmResult",
     "ComparisonResult",
     "default_algorithms",
+    "default_method_specs",
     "run_on_graph",
     "run_comparison",
 ]
@@ -166,35 +173,72 @@ def run_on_graph(
     )
 
 
+def _coerce_method_specs(
+    algorithms: Mapping[str, LayeringAlgorithm | MethodSpec] | None,
+) -> dict[str, MethodSpec]:
+    """Normalise the *algorithms* argument of :func:`run_comparison` to specs.
+
+    ``None`` means the paper's five algorithms (as executor-portable specs);
+    bare callables are wrapped per-name and run in the parent process.
+    """
+    if algorithms is None:
+        return default_method_specs()
+    specs: dict[str, MethodSpec] = {}
+    for name, method in algorithms.items():
+        if isinstance(method, MethodSpec):
+            specs[name] = method
+        else:
+            specs[name] = MethodSpec.from_callable(name, method)
+    return specs
+
+
 def run_comparison(
     corpus: Iterable[CorpusGraph] | Sequence[CorpusGraph],
-    algorithms: Mapping[str, LayeringAlgorithm] | None = None,
+    algorithms: Mapping[str, LayeringAlgorithm | MethodSpec] | None = None,
     *,
     nd_width: float = 1.0,
+    engine: ExperimentEngine | None = None,
 ) -> ComparisonResult:
     """Run every algorithm on every corpus graph and collect the results.
 
     Parameters
     ----------
     corpus: corpus entries (e.g. from :func:`repro.datasets.att_like_corpus`).
-    algorithms: name → ``graph -> Layering`` mapping; defaults to the paper's
-        five algorithms.
+    algorithms: name → method mapping; values may be
+        :class:`~repro.experiments.engine.MethodSpec` instances (portable to
+        process-pool workers and cacheable) or plain ``graph -> Layering``
+        callables (always executed in the parent process).  Defaults to the
+        paper's five algorithms as specs.
     nd_width: dummy-vertex width used by the metrics.
+    engine: the :class:`~repro.experiments.engine.ExperimentEngine` to
+        dispatch cells through; defaults to a serial, uncached engine, which
+        reproduces the historical in-process behaviour exactly.
     """
-    algs = dict(algorithms) if algorithms is not None else default_algorithms()
-    if not algs:
+    specs = _coerce_method_specs(algorithms)
+    if not specs:
         raise ValidationError("at least one algorithm is required")
+    engine = engine if engine is not None else ExperimentEngine()
+    units = [
+        WorkUnit(
+            graph=entry.graph,
+            method=spec,
+            nd_width=nd_width,
+            graph_name=entry.name,
+            vertex_count=entry.vertex_count,
+            label=name,
+        )
+        for entry in corpus
+        for name, spec in specs.items()
+    ]
     comparison = ComparisonResult(nd_width=nd_width)
-    for entry in corpus:
-        for name, algorithm in algs.items():
-            comparison.results.append(
-                run_on_graph(
-                    name,
-                    algorithm,
-                    entry.graph,
-                    graph_name=entry.name,
-                    vertex_count=entry.vertex_count,
-                    nd_width=nd_width,
-                )
+    for cell in engine.run(units):
+        comparison.results.append(
+            AlgorithmResult(
+                algorithm=cell.algorithm,
+                graph_name=cell.graph_name,
+                vertex_count=cell.vertex_count,
+                metrics=cell.metrics,
+                running_time=cell.running_time,
             )
+        )
     return comparison

@@ -12,17 +12,22 @@ uses to justify its choices.
 from __future__ import annotations
 
 import statistics
-import time
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.aco.layering_aco import aco_layering
 from repro.aco.params import ACOParams
 from repro.datasets.corpus import CorpusGraph
-from repro.layering.metrics import evaluate_layering
+from repro.experiments.engine import ExperimentEngine, MethodSpec, WorkUnit
 from repro.utils.exceptions import ValidationError
 
-__all__ = ["SweepPoint", "SweepResult", "alpha_beta_sweep", "nd_width_sweep", "best_sweep_setting"]
+__all__ = [
+    "SweepPoint",
+    "SweepResult",
+    "parameter_sweep",
+    "alpha_beta_sweep",
+    "nd_width_sweep",
+    "best_sweep_setting",
+]
 
 
 @dataclass(frozen=True)
@@ -65,28 +70,55 @@ class SweepResult:
         return {p.setting: p for p in self.points}
 
 
-def _evaluate_setting(
-    corpus: Sequence[CorpusGraph], params: ACOParams, setting: tuple[float, ...]
-) -> SweepPoint:
-    objectives: list[float] = []
-    widths: list[float] = []
-    heights: list[float] = []
-    times: list[float] = []
-    for entry in corpus:
-        start = time.perf_counter()
-        layering = aco_layering(entry.graph, params)
-        times.append(time.perf_counter() - start)
-        metrics = evaluate_layering(entry.graph, layering, nd_width=params.nd_width)
-        objectives.append(metrics.objective)
-        widths.append(metrics.width_including_dummies)
-        heights.append(metrics.height)
-    return SweepPoint(
-        setting=setting,
-        mean_objective=statistics.fmean(objectives),
-        mean_width_including_dummies=statistics.fmean(widths),
-        mean_height=statistics.fmean(heights),
-        mean_running_time=statistics.fmean(times),
-    )
+def parameter_sweep(
+    corpus: Sequence[CorpusGraph],
+    parameter_names: tuple[str, ...],
+    settings: Sequence[tuple[tuple[float, ...], ACOParams]],
+    *,
+    engine: ExperimentEngine | None = None,
+) -> SweepResult:
+    """Run the Ant Colony over ``corpus`` for every parameter setting.
+
+    The generic core shared by :func:`alpha_beta_sweep` and
+    :func:`nd_width_sweep`: every ``(setting, graph)`` cell is submitted
+    through the experiment engine — so the whole sweep parallelises across
+    settings *and* graphs, and a warm result cache turns repeated sweeps
+    into pure lookups — and the cells of each setting are aggregated into
+    one :class:`SweepPoint`.
+    """
+    if not corpus:
+        raise ValidationError("parameter sweep needs at least one corpus graph")
+    if not settings:
+        raise ValidationError("parameter sweep needs at least one setting")
+    engine = engine if engine is not None else ExperimentEngine()
+    units = [
+        WorkUnit(
+            graph=entry.graph,
+            method=MethodSpec.ant_colony(params),
+            nd_width=params.nd_width,
+            graph_name=entry.name,
+            vertex_count=entry.vertex_count,
+        )
+        for setting, params in settings
+        for entry in corpus
+    ]
+    cells = engine.run(units)
+    points: list[SweepPoint] = []
+    per_setting = len(corpus)
+    for j, (setting, _params) in enumerate(settings):
+        chunk = cells[j * per_setting : (j + 1) * per_setting]
+        points.append(
+            SweepPoint(
+                setting=setting,
+                mean_objective=statistics.fmean(c.metrics.objective for c in chunk),
+                mean_width_including_dummies=statistics.fmean(
+                    c.metrics.width_including_dummies for c in chunk
+                ),
+                mean_height=statistics.fmean(c.metrics.height for c in chunk),
+                mean_running_time=statistics.fmean(c.running_time for c in chunk),
+            )
+        )
+    return SweepResult(parameter_names=parameter_names, points=points)
 
 
 def alpha_beta_sweep(
@@ -95,21 +127,20 @@ def alpha_beta_sweep(
     alphas: Sequence[float] = (1, 2, 3, 4, 5),
     betas: Sequence[float] = (1, 2, 3, 4, 5),
     base_params: ACOParams | None = None,
+    engine: ExperimentEngine | None = None,
 ) -> SweepResult:
     """Sweep the (α, β) grid of Section VIII over *corpus*.
 
     Every setting shares the seed (and every other parameter) of
     *base_params*, so differences come only from the exponents.
     """
-    if not corpus:
-        raise ValidationError("alpha/beta sweep needs at least one corpus graph")
     base = base_params if base_params is not None else ACOParams(seed=0)
-    points = [
-        _evaluate_setting(corpus, base.replace(alpha=float(a), beta=float(b)), (float(a), float(b)))
+    settings = [
+        ((float(a), float(b)), base.replace(alpha=float(a), beta=float(b)))
         for a in alphas
         for b in betas
     ]
-    return SweepResult(parameter_names=("alpha", "beta"), points=points)
+    return parameter_sweep(corpus, ("alpha", "beta"), settings, engine=engine)
 
 
 def nd_width_sweep(
@@ -117,20 +148,16 @@ def nd_width_sweep(
     *,
     nd_widths: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2),
     base_params: ACOParams | None = None,
+    engine: ExperimentEngine | None = None,
 ) -> SweepResult:
     """Sweep the dummy-vertex width as in Section VIII.
 
     Note that ``nd_width`` affects both the search (heuristic information and
     objective) and the reported width metric, exactly as in the paper.
     """
-    if not corpus:
-        raise ValidationError("nd_width sweep needs at least one corpus graph")
     base = base_params if base_params is not None else ACOParams(seed=0)
-    points = [
-        _evaluate_setting(corpus, base.replace(nd_width=float(w)), (float(w),))
-        for w in nd_widths
-    ]
-    return SweepResult(parameter_names=("nd_width",), points=points)
+    settings = [((float(w),), base.replace(nd_width=float(w))) for w in nd_widths]
+    return parameter_sweep(corpus, ("nd_width",), settings, engine=engine)
 
 
 def best_sweep_setting(result: SweepResult) -> tuple[float, ...]:

@@ -16,6 +16,7 @@ Formats
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
 from typing import Any
 
@@ -77,6 +78,68 @@ def from_networkx(g: nx.DiGraph) -> DiGraph:
 # edge-list format
 # --------------------------------------------------------------------------- #
 
+# Whitespace is what separates the fields of a record, so any whitespace
+# *inside* an id or label must be escaped — the previous writer emitted it
+# raw, which silently corrupted the read-back (``read_edgelist`` took only
+# the first whitespace-delimited token of a label).  The escapes must cover
+# *every* character ``str.isspace()`` accepts (``str.split`` and
+# ``str.splitlines`` honour Unicode whitespace such as NBSP or U+2028, not
+# just ASCII), so anything spacey without a one-letter escape becomes a
+# ``\\uXXXX`` / ``\\UXXXXXXXX`` code-point escape.  Backslash is escaped to
+# keep the scheme reversible, and a label consisting of the single character
+# ``-`` is written ``\\-`` to distinguish it from the ``-`` placeholder
+# meaning "no label", and an empty string is written ``\\e`` so the field
+# does not vanish from the record.
+_FIELD_ESCAPES = {"\\": "\\\\", " ": "\\s", "\t": "\\t", "\n": "\\n", "\r": "\\r"}
+_FIELD_UNESCAPES = {"\\": "\\", "s": " ", "t": "\t", "n": "\n", "r": "\r", "-": "-", "e": ""}
+
+
+def _escape_field(text: str) -> str:
+    if text == "-":
+        return "\\-"
+    if text == "":
+        return "\\e"
+    out: list[str] = []
+    for ch in text:
+        if ch in _FIELD_ESCAPES:
+            out.append(_FIELD_ESCAPES[ch])
+        elif ch.isspace():
+            code = ord(ch)
+            out.append(f"\\u{code:04x}" if code <= 0xFFFF else f"\\U{code:08x}")
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def _unescape_field(token: str, context: str) -> str:
+    out: list[str] = []
+    i = 0
+    while i < len(token):
+        ch = token[i]
+        if ch != "\\":
+            out.append(ch)
+            i += 1
+            continue
+        if i + 1 >= len(token):
+            raise GraphError(f"{context}: invalid escape in field {token!r}")
+        kind = token[i + 1]
+        if kind in _FIELD_UNESCAPES:
+            out.append(_FIELD_UNESCAPES[kind])
+            i += 2
+        elif kind in ("u", "U"):
+            width = 4 if kind == "u" else 8
+            digits = token[i + 2 : i + 2 + width]
+            if len(digits) != width:
+                raise GraphError(f"{context}: invalid escape in field {token!r}")
+            try:
+                out.append(chr(int(digits, 16)))
+            except ValueError:
+                raise GraphError(f"{context}: invalid escape in field {token!r}") from None
+            i += 2 + width
+        else:
+            raise GraphError(f"{context}: invalid escape in field {token!r}")
+    return "".join(out)
+
 
 def write_edgelist(graph: DiGraph, path: str | Path) -> None:
     """Write *graph* as a plain-text edge list with a vertex-attribute header.
@@ -91,14 +154,22 @@ def write_edgelist(graph: DiGraph, path: str | Path) -> None:
 
     Vertex names are written with ``str()``; reading back therefore yields
     string vertex ids (documented behaviour, matching common edge-list tools).
+    Whitespace and backslashes inside ids and labels are escaped (``\\s``,
+    ``\\t``, ``\\n``, ``\\r``, ``\\\\``; a literal ``-`` label is written
+    ``\\-``), so ``write -> read`` preserves them instead of corrupting the
+    fields; files written before the escaping existed read back unchanged as
+    long as their fields contained no backslash.
     """
     path = Path(path)
     lines = ["# repro edgelist v1"]
     for v in graph.vertices():
         label = graph.vertex_label(v)
-        lines.append(f"V {v} {graph.vertex_width(v)} {label if label is not None else '-'}")
+        encoded_label = "-" if label is None else _escape_field(label)
+        lines.append(
+            f"V {_escape_field(str(v))} {graph.vertex_width(v)} {encoded_label}"
+        )
     for u, v in graph.edges():
-        lines.append(f"E {u} {v}")
+        lines.append(f"E {_escape_field(str(u))} {_escape_field(str(v))}")
     path.write_text("\n".join(lines) + "\n", encoding="utf-8")
 
 
@@ -111,17 +182,26 @@ def read_edgelist(path: str | Path) -> DiGraph:
         if not line or line.startswith("#"):
             continue
         parts = line.split()
+        context = f"{path}:{lineno}"
         if parts[0] == "V":
-            if len(parts) < 3:
-                raise GraphError(f"{path}:{lineno}: malformed vertex line {raw!r}")
-            label = None if len(parts) < 4 or parts[3] == "-" else parts[3]
-            g.add_vertex(parts[1], width=float(parts[2]), label=label)
+            if len(parts) < 3 or len(parts) > 4:
+                raise GraphError(f"{context}: malformed vertex line {raw!r}")
+            label = (
+                None
+                if len(parts) < 4 or parts[3] == "-"
+                else _unescape_field(parts[3], context)
+            )
+            g.add_vertex(
+                _unescape_field(parts[1], context), width=float(parts[2]), label=label
+            )
         elif parts[0] == "E":
             if len(parts) != 3:
-                raise GraphError(f"{path}:{lineno}: malformed edge line {raw!r}")
-            g.add_edge(parts[1], parts[2])
+                raise GraphError(f"{context}: malformed edge line {raw!r}")
+            g.add_edge(
+                _unescape_field(parts[1], context), _unescape_field(parts[2], context)
+            )
         else:
-            raise GraphError(f"{path}:{lineno}: unknown record type {parts[0]!r}")
+            raise GraphError(f"{context}: unknown record type {parts[0]!r}")
     return g
 
 
@@ -178,16 +258,52 @@ def read_json(path: str | Path) -> DiGraph:
 # --------------------------------------------------------------------------- #
 
 
+def _dot_quote(value: Any) -> str:
+    """Quote a string per the DOT grammar.
+
+    Inside a double-quoted DOT ID only ``"`` needs escaping, but a trailing
+    backslash (or any backslash sequence Graphviz treats as an escape) would
+    change meaning or break the closing quote, so backslashes are escaped
+    too; newlines become the ``\\n`` escape Graphviz renders as a line break.
+    """
+    escaped = (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\r\n", "\\n")
+        .replace("\n", "\\n")
+        .replace("\r", "\\n")
+    )
+    return f'"{escaped}"'
+
+
+#: Words the DOT grammar reserves (case-insensitively); they must be quoted
+#: even though they look like legal bare identifiers.
+_DOT_KEYWORDS = frozenset({"graph", "digraph", "subgraph", "node", "edge", "strict"})
+
+
+def _dot_id(value: str) -> str:
+    """A DOT ID: bare when it is a legal bare identifier, quoted otherwise."""
+    if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", value) and value.lower() not in _DOT_KEYWORDS:
+        return value
+    return _dot_quote(value)
+
+
 def write_dot(graph: DiGraph, path: str | Path, *, name: str = "G") -> None:
-    """Write a Graphviz DOT representation (labels and widths become attributes)."""
-    lines = [f"digraph {name} {{"]
+    """Write a Graphviz DOT representation (labels and widths become attributes).
+
+    Vertex ids, labels and the graph *name* are quoted and escaped per the
+    DOT grammar, so ids or labels containing ``"``, backslashes or newlines
+    produce well-formed output.
+    """
+    lines = [f"digraph {_dot_id(name)} {{"]
     for v in graph.vertices():
         label = graph.vertex_label(v)
         attrs = [f'width="{graph.vertex_width(v)}"']
         if label is not None:
-            attrs.append(f'label="{label}"')
-        lines.append(f'  "{v}" [{", ".join(attrs)}];')
+            attrs.append(f"label={_dot_quote(label)}")
+        lines.append(f'  {_dot_quote(v)} [{", ".join(attrs)}];')
     for u, v in graph.edges():
-        lines.append(f'  "{u}" -> "{v}";')
+        lines.append(f"  {_dot_quote(u)} -> {_dot_quote(v)};")
     lines.append("}")
     Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")

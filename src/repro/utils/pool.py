@@ -1,0 +1,119 @@
+"""Reusable process/thread/serial pool plumbing with per-worker shared state.
+
+This generalises the worker-initializer pattern introduced for the
+multi-colony ACO driver (:mod:`repro.aco.parallel`): a payload describing the
+shared, read-only inputs of a run is shipped to every worker exactly once (as
+pool-initializer arguments) and decoded into per-worker state; the individual
+task submissions then carry only small per-task arguments.  For process pools
+this avoids paying O(tasks x payload) serialisation cost; for thread pools
+and the serial executor the state can be used directly without any
+serialisation at all (``shared_state``).
+
+Determinism: tasks are submitted in order and results are collected in
+submission order, so the returned list is independent of the executor kind
+and the worker count.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import itertools
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.utils.exceptions import ValidationError
+
+__all__ = ["EXECUTORS", "map_with_state"]
+
+#: The supported execution back ends.
+EXECUTORS = ("process", "thread", "serial")
+
+#: Monotonically increasing tokens distinguishing concurrent runs.
+_RUN_TOKENS = itertools.count()
+
+#: Per-worker state installed by the pool initializer.  Keyed by a per-run
+#: token: thread-pool workers share this module with the caller (and with any
+#: concurrent runs), process-pool workers get their own copy that dies with
+#: the pool.
+_WORKER_STATE: dict[int, Any] = {}
+
+#: Sentinel distinguishing "no shared state given" from ``None`` state.
+_UNSET = object()
+
+
+def _init_worker(token: int, init_fn: Callable[[Any], Any], payload: Any) -> None:
+    """Pool initializer: decode the shared payload once for this worker."""
+    if token not in _WORKER_STATE:
+        _WORKER_STATE[token] = init_fn(payload)
+
+
+def _run_task(token: int, task_fn: Callable[..., Any], args: Sequence[Any]) -> Any:
+    """Worker entry point using the state installed by :func:`_init_worker`."""
+    return task_fn(_WORKER_STATE[token], *args)
+
+
+def map_with_state(
+    task_fn: Callable[..., Any],
+    tasks: Iterable[Sequence[Any]],
+    *,
+    executor: str = "serial",
+    max_workers: int | None = None,
+    init_fn: Callable[[Any], Any] | None = None,
+    payload: Any = None,
+    shared_state: Any = _UNSET,
+) -> list[Any]:
+    """Run ``task_fn(state, *task)`` for every task and return results in task order.
+
+    Parameters
+    ----------
+    task_fn:
+        Module-level callable (so it can cross a process boundary) receiving
+        the per-worker state followed by the task's own arguments.
+    tasks:
+        Argument tuples, one per task.
+    executor:
+        ``"process"``, ``"thread"`` or ``"serial"``.
+    max_workers:
+        Worker cap for the pool back ends (default: pool default).
+    init_fn / payload:
+        Build the per-worker state as ``init_fn(payload)``.  Both must be
+        picklable for the process back end.  Required for ``"process"``;
+        optional for the in-process back ends when *shared_state* is given.
+    shared_state:
+        Ready-made state for the in-process back ends (``"serial"`` and
+        ``"thread"``), short-circuiting the payload round trip.  Ignored by
+        the process back end, which always decodes *payload* worker-side.
+    """
+    if executor not in EXECUTORS:
+        raise ValidationError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+    task_list = [tuple(t) for t in tasks]
+
+    if executor == "serial" or len(task_list) <= 1:
+        if shared_state is not _UNSET:
+            state = shared_state
+        else:
+            if init_fn is None:
+                raise ValidationError("map_with_state needs init_fn or shared_state")
+            state = init_fn(payload)
+        return [task_fn(state, *t) for t in task_list]
+
+    token = next(_RUN_TOKENS)
+    use_shared = executor == "thread" and shared_state is not _UNSET
+    if not use_shared and init_fn is None:
+        raise ValidationError("map_with_state needs init_fn for pool executors")
+    pool_cls = (
+        concurrent.futures.ProcessPoolExecutor
+        if executor == "process"
+        else concurrent.futures.ThreadPoolExecutor
+    )
+    pool_kwargs: dict[str, Any] = {"max_workers": max_workers}
+    if use_shared:
+        _WORKER_STATE[token] = shared_state
+    else:
+        pool_kwargs["initializer"] = _init_worker
+        pool_kwargs["initargs"] = (token, init_fn, payload)
+    try:
+        with pool_cls(**pool_kwargs) as pool:
+            futures = [pool.submit(_run_task, token, task_fn, t) for t in task_list]
+            return [f.result() for f in futures]
+    finally:
+        _WORKER_STATE.pop(token, None)  # thread workers share this module

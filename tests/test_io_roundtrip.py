@@ -1,0 +1,277 @@
+"""Round-trip property coverage for every serialisation path.
+
+The edge-list, JSON and networkx paths must preserve awkward vertex ids and
+labels — whitespace (ASCII and Unicode), quotes, backslashes, newlines,
+unicode text, tuple ids — and the DOT writer must emit well-formed output for
+all of them (quoted strings properly escaped and terminated).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.digraph import DiGraph
+from repro.graph.io import (
+    from_json_dict,
+    from_networkx,
+    read_edgelist,
+    read_json,
+    to_json_dict,
+    to_networkx,
+    write_dot,
+    write_edgelist,
+    write_json,
+)
+from repro.utils.exceptions import GraphError
+
+#: A gallery of deliberately awkward identifiers and labels.
+AWKWARD_TEXTS = (
+    "plain",
+    "two words",
+    "double  space",
+    " leading and trailing ",
+    "tab\there",
+    "line1\nline2",
+    "carriage\rreturn",
+    'quo"ted',
+    "back\\slash",
+    "trailing backslash\\",
+    "-",
+    "",
+    "ünïcode-émoji-✓",
+    "nb sp",
+    "line sep",
+)
+
+
+def _awkward_graph() -> DiGraph:
+    g = DiGraph()
+    previous = None
+    for i, text in enumerate(AWKWARD_TEXTS):
+        vid = f"v{i}:{text}"
+        g.add_vertex(vid, width=1.0 + i * 0.25, label=text)
+        if previous is not None:
+            g.add_edge(previous, vid)
+        previous = vid
+    g.add_vertex(("tuple", 1), label="tuple id")
+    g.add_edge(previous, ("tuple", 1))
+    return g
+
+
+class TestEdgelistRoundTrip:
+    def test_awkward_labels_and_ids_survive(self, tmp_path):
+        g = _awkward_graph()
+        path = tmp_path / "g.edgelist"
+        write_edgelist(g, path)
+        back = read_edgelist(path)
+        assert set(back.vertices()) == {str(v) for v in g.vertices()}
+        for v in g.vertices():
+            assert back.vertex_label(str(v)) == g.vertex_label(v)
+            assert back.vertex_width(str(v)) == g.vertex_width(v)
+        assert back.n_edges == g.n_edges
+        for u, v in g.edges():
+            assert back.has_edge(str(u), str(v))
+
+    def test_whitespace_label_preserved(self, tmp_path):
+        # The regression of the issue: a label containing a space used to be
+        # truncated to its first word on read-back.
+        g = DiGraph()
+        g.add_vertex("a", label="hello world")
+        path = tmp_path / "ws.edgelist"
+        write_edgelist(g, path)
+        assert read_edgelist(path).vertex_label("a") == "hello world"
+
+    def test_newline_label_round_trips_instead_of_corrupting(self, tmp_path):
+        g = DiGraph()
+        g.add_vertex("a", label="two\nlines")
+        path = tmp_path / "nl.edgelist"
+        write_edgelist(g, path)
+        assert read_edgelist(path).vertex_label("a") == "two\nlines"
+
+    def test_dash_label_distinct_from_no_label(self, tmp_path):
+        g = DiGraph()
+        g.add_vertex("dash", label="-")
+        g.add_vertex("none")
+        g.add_vertex("empty", label="")
+        path = tmp_path / "dash.edgelist"
+        write_edgelist(g, path)
+        back = read_edgelist(path)
+        assert back.vertex_label("dash") == "-"
+        assert back.vertex_label("none") is None
+        assert back.vertex_label("empty") == ""
+
+    def test_legacy_unescaped_files_still_read(self, tmp_path):
+        path = tmp_path / "legacy.edgelist"
+        path.write_text(
+            "# repro edgelist v1\nV a 1.0 alpha\nV b 2.0 -\nE a b\n", encoding="utf-8"
+        )
+        g = read_edgelist(path)
+        assert g.vertex_label("a") == "alpha"
+        assert g.vertex_label("b") is None
+        assert g.has_edge("a", "b")
+
+    def test_legacy_corrupt_multiword_label_raises(self, tmp_path):
+        # A file produced by the old writer from a spacey label cannot be
+        # decoded unambiguously: reject it instead of silently truncating.
+        path = tmp_path / "corrupt.edgelist"
+        path.write_text("V a 1.0 hello world\n", encoding="utf-8")
+        with pytest.raises(GraphError):
+            read_edgelist(path)
+
+    def test_invalid_escape_raises(self, tmp_path):
+        path = tmp_path / "bad.edgelist"
+        path.write_text("V a\\q 1.0 -\n", encoding="utf-8")
+        with pytest.raises(GraphError):
+            read_edgelist(path)
+
+    @given(
+        labels=st.lists(
+            st.one_of(st.none(), st.text(max_size=12)), min_size=1, max_size=6
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_labels_round_trip(self, labels, tmp_path_factory):
+        g = DiGraph()
+        for i, label in enumerate(labels):
+            g.add_vertex(f"v{i}", label=label)
+        path = tmp_path_factory.mktemp("rt") / "g.edgelist"
+        write_edgelist(g, path)
+        back = read_edgelist(path)
+        for i, label in enumerate(labels):
+            assert back.vertex_label(f"v{i}") == label
+
+    @given(ids=st.lists(st.text(min_size=0, max_size=10), min_size=1, max_size=6, unique=True))
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_string_ids_round_trip(self, ids, tmp_path_factory):
+        g = DiGraph()
+        for vid in ids:
+            g.add_vertex(vid)
+        for u, v in zip(ids, ids[1:]):
+            g.add_edge(u, v)
+        path = tmp_path_factory.mktemp("rt") / "g.edgelist"
+        write_edgelist(g, path)
+        back = read_edgelist(path)
+        assert set(back.vertices()) == set(ids)
+        assert back.n_edges == g.n_edges
+
+
+class TestJsonRoundTrip:
+    def test_awkward_graph_round_trips_exactly(self, tmp_path):
+        g = _awkward_graph()
+        path = tmp_path / "g.json"
+        write_json(g, path)
+        back = read_json(path)
+        assert set(back.vertices()) == set(g.vertices())
+        for v in g.vertices():
+            assert back.vertex_label(v) == g.vertex_label(v)
+            assert back.vertex_width(v) == g.vertex_width(v)
+        assert set(back.edges()) == set(g.edges())
+
+    @given(labels=st.lists(st.one_of(st.none(), st.text(max_size=12)), min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_labels_round_trip(self, labels):
+        g = DiGraph()
+        for i, label in enumerate(labels):
+            g.add_vertex(f"v{i}", label=label)
+        back = from_json_dict(to_json_dict(g))
+        for i, label in enumerate(labels):
+            assert back.vertex_label(f"v{i}") == label
+
+
+class TestNetworkxRoundTrip:
+    def test_awkward_graph_round_trips(self):
+        g = _awkward_graph()
+        back = from_networkx(to_networkx(g))
+        assert set(back.vertices()) == set(g.vertices())
+        for v in g.vertices():
+            assert back.vertex_label(v) == g.vertex_label(v)
+        assert set(back.edges()) == set(g.edges())
+
+
+def _scan_dot_quoted_strings(text: str) -> list[str]:
+    """Extract every double-quoted DOT string, raising on malformed quoting.
+
+    This is the grammar-level check: every ``"`` must open a string that is
+    terminated, with ``\\"`` and ``\\\\`` handled as escapes, and the
+    unescaped content is returned for comparison against the source values.
+    """
+    strings: list[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        assert ch != "}" or text.count("{") >= 1
+        if ch != '"':
+            i += 1
+            continue
+        i += 1
+        out: list[str] = []
+        terminated = False
+        while i < len(text):
+            ch = text[i]
+            if ch == "\\":
+                assert i + 1 < len(text), "dangling backslash in DOT string"
+                nxt = text[i + 1]
+                out.append({"\\": "\\", '"': '"', "n": "\n"}.get(nxt, "\\" + nxt))
+                i += 2
+            elif ch == '"':
+                terminated = True
+                i += 1
+                break
+            else:
+                assert ch != "\n", "raw newline inside DOT quoted string"
+                out.append(ch)
+                i += 1
+        assert terminated, "unterminated DOT quoted string"
+        strings.append("".join(out))
+    return strings
+
+
+class TestDotWellFormedness:
+    def test_awkward_graph_emits_parseable_dot(self, tmp_path):
+        g = _awkward_graph()
+        path = tmp_path / "g.dot"
+        write_dot(g, path, name='weird "name"\\')
+        text = path.read_text(encoding="utf-8")
+        strings = _scan_dot_quoted_strings(text)
+        # Every vertex id must appear, correctly unescaped, as a quoted string
+        # (newlines are rendered as the \n escape, which Graphviz shows as a
+        # line break).
+        expected = {str(v).replace("\r\n", "\n").replace("\r", "\n") for v in g.vertices()}
+        assert expected <= set(strings)
+        assert text.startswith("digraph ")
+        assert text.rstrip().endswith("}")
+
+    def test_quote_and_backslash_in_label(self, tmp_path):
+        g = DiGraph()
+        g.add_vertex("v", label='say "hi" \\ bye')
+        path = tmp_path / "q.dot"
+        write_dot(g, path)
+        strings = _scan_dot_quoted_strings(path.read_text(encoding="utf-8"))
+        assert 'say "hi" \\ bye' in strings
+
+    def test_simple_names_stay_bare(self, tmp_path):
+        g = DiGraph(edges=[("a", "b")])
+        path = tmp_path / "s.dot"
+        write_dot(g, path, name="Simple")
+        text = path.read_text(encoding="utf-8")
+        assert text.startswith("digraph Simple {")
+
+    def test_reserved_keyword_names_are_quoted(self, tmp_path):
+        # "digraph node {" is a DOT syntax error: keywords are reserved
+        # case-insensitively and must be quoted.
+        g = DiGraph(edges=[("a", "b")])
+        for name in ("node", "Graph", "EDGE", "digraph", "subgraph", "strict"):
+            path = tmp_path / f"{name}.dot"
+            write_dot(g, path, name=name)
+            assert path.read_text(encoding="utf-8").startswith(f'digraph "{name}" {{')
+
+    @given(label=st.text(max_size=16))
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_labels_emit_wellformed_strings(self, label, tmp_path_factory):
+        g = DiGraph()
+        g.add_vertex("v", label=label)
+        path = tmp_path_factory.mktemp("dot") / "g.dot"
+        write_dot(g, path)
+        _scan_dot_quoted_strings(path.read_text(encoding="utf-8"))
