@@ -8,7 +8,9 @@ trajectory of the hot path is tracked across PRs.
 
 from __future__ import annotations
 
+import argparse
 import json
+import tempfile
 import time
 from pathlib import Path
 
@@ -77,9 +79,25 @@ def write_bench_json(results: dict, path: Path = BENCH_PATH) -> Path:
     return path
 
 
-def main() -> None:
-    results = measure_kernel_speedup()
-    path = write_bench_json(results)
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description="refresh BENCH_aco_kernels.json")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "tiny CI-sized run (two small graphs, one repeat) written to a "
+            "temporary file instead of the checked-in record"
+        ),
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        results = measure_kernel_speedup(sizes=(20, 40), repeats=1)
+        path = write_bench_json(
+            results, Path(tempfile.gettempdir()) / "BENCH_aco_kernels.smoke.json"
+        )
+    else:
+        results = measure_kernel_speedup()
+        path = write_bench_json(results)
     print(f"wrote {path}")
     for entry in results["sizes"]:
         print(

@@ -22,6 +22,7 @@ record tracked across PRs (refresh with
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import tempfile
@@ -114,9 +115,26 @@ def write_bench_json(results: dict, path: Path = BENCH_PATH) -> Path:
     return path
 
 
-def main() -> None:
-    results = measure_engine_speedup()
-    path = write_bench_json(results)
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description="refresh BENCH_experiment_engine.json")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "tiny CI-sized run (one graph per corpus group, two workers) "
+            "written to a temporary file instead of the checked-in record"
+        ),
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        results = measure_engine_speedup(graphs_per_group=1, jobs=2)
+        path = write_bench_json(
+            results,
+            Path(tempfile.gettempdir()) / "BENCH_experiment_engine.smoke.json",
+        )
+    else:
+        results = measure_engine_speedup()
+        path = write_bench_json(results)
     print(f"wrote {path}")
     print(
         f"  cells={results['cells']} jobs={results['jobs']} "

@@ -9,10 +9,37 @@ those statements about ``{vertex_count: value}`` series.
 
 from __future__ import annotations
 
+import os
+import tempfile
+from pathlib import Path
 from statistics import fmean
 from typing import Mapping
 
-__all__ = ["series_mean", "assert_dominates", "assert_close", "print_series"]
+__all__ = [
+    "series_mean",
+    "assert_dominates",
+    "assert_close",
+    "print_series",
+    "record_path",
+]
+
+#: Environment variable opting a benchmark test into refreshing the
+#: checked-in ``BENCH_*.json`` record at the repository root.
+WRITE_BENCH_ENV = "REPRO_WRITE_BENCH"
+
+
+def record_path(default: Path) -> Path:
+    """Where a benchmark test writes its record.
+
+    A plain test run must leave the working tree clean: machine-local
+    timings from a laptop or CI box would otherwise dirty (and risk being
+    committed over) the tracked perf records.  Set ``REPRO_WRITE_BENCH=1``
+    (or run the ``emit_*`` script directly) to refresh the checked-in file;
+    otherwise the record lands in the temp directory and is discarded.
+    """
+    if os.environ.get(WRITE_BENCH_ENV):
+        return default
+    return Path(tempfile.gettempdir()) / default.name
 
 
 def series_mean(series: Mapping[int, float]) -> float:

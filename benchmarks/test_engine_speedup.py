@@ -3,9 +3,10 @@
 Times the LPL-family figure workload (Figs. 4/6/8) end to end through the
 shared experiment engine — serial cold baseline, process executor with >= 4
 workers, and the same process engine with a warm content-addressed result
-cache — refreshes ``BENCH_experiment_engine.json`` at the repository root,
-and asserts the acceptance bar: with >= 4 workers the workload runs >= 2x
-faster than the serial cold baseline.  The warm-cache run provides that on
+cache — refreshes ``BENCH_experiment_engine.json`` (at the repository root
+with ``REPRO_WRITE_BENCH=1``, else in the temp directory so plain test runs
+do not dirty the tracked record), and asserts the acceptance bar: with
+>= 4 workers the workload runs >= 2x faster than the serial cold baseline.  The warm-cache run provides that on
 any machine (every cell is served from disk); the pure multi-core win is
 additionally asserted when the container actually has >= 4 CPUs.
 """
@@ -14,13 +15,17 @@ from __future__ import annotations
 
 import os
 
-from benchmarks.emit_engine_bench import measure_engine_speedup, write_bench_json
-from benchmarks.shape import print_series
+from benchmarks.emit_engine_bench import (
+    BENCH_PATH,
+    measure_engine_speedup,
+    write_bench_json,
+)
+from benchmarks.shape import print_series, record_path
 
 
 def test_engine_speedup(benchmark):
     results = benchmark.pedantic(measure_engine_speedup, rounds=1, iterations=1)
-    write_bench_json(results)
+    write_bench_json(results, record_path(BENCH_PATH))
 
     print_series(
         "experiment engine speedup (BENCH_experiment_engine.json)",

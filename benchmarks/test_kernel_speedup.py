@@ -2,22 +2,23 @@
 
 Times one full ``AntColony.run`` (single colony, default parameters, fixed
 seed) per engine on 50/200/500-vertex corpus-style graphs, refreshes
-``BENCH_aco_kernels.json`` at the repository root, and asserts the speedup
-the kernel refactor is accountable for.  Both engines produce bit-identical
-layerings (see ``tests/test_aco_kernels.py``), so this measures pure
-execution efficiency.
+``BENCH_aco_kernels.json`` (at the repository root with
+``REPRO_WRITE_BENCH=1``, else in the temp directory so plain test runs do
+not dirty the tracked record), and asserts the speedup the kernel refactor
+is accountable for.  Both engines produce bit-identical layerings (see
+``tests/test_aco_kernels.py``), so this measures pure execution efficiency.
 """
 
 from __future__ import annotations
 
-from benchmarks.emit_bench import measure_kernel_speedup, write_bench_json
-from benchmarks.shape import print_series
+from benchmarks.emit_bench import BENCH_PATH, measure_kernel_speedup, write_bench_json
+from benchmarks.shape import print_series, record_path
 from repro.aco import _native
 
 
 def test_kernel_speedup(benchmark):
     results = benchmark.pedantic(measure_kernel_speedup, rounds=1, iterations=1)
-    write_bench_json(results)
+    write_bench_json(results, record_path(BENCH_PATH))
 
     lines = [
         f"n={e['n_vertices']:>4}: python {e['python_s']*1e3:8.1f} ms   "

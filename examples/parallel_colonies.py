@@ -5,8 +5,10 @@ Run with::
 
     python examples/parallel_colonies.py [n_colonies] [executor]
 
-where ``executor`` is ``process`` (default, uses multiple cores), ``thread``
-or ``serial``.  The script compares the single-colony result with the
+where ``executor`` is ``colonies`` (default: the shared-memory runtime —
+one problem build, lockstep kernel calls across all colonies, zero-copy
+process sharding on multi-core machines), ``process``, ``thread`` or
+``serial``.  The script compares the single-colony result with the
 portfolio result and reports the wall-clock time of each, demonstrating the
 coarse-grained parallelisation that suits the algorithm on multi-core
 machines.
@@ -23,7 +25,7 @@ from repro.aco.parallel import parallel_aco_layering
 
 def main() -> None:
     n_colonies = int(sys.argv[1]) if len(sys.argv) > 1 else 4
-    executor = sys.argv[2] if len(sys.argv) > 2 else "process"
+    executor = sys.argv[2] if len(sys.argv) > 2 else "colonies"
 
     graph = att_like_dag(100, seed=123)
     params = ACOParams(n_ants=10, n_tours=10, seed=7)

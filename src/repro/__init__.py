@@ -36,6 +36,7 @@ from repro.aco import (
     AcoLayeringResult,
     aco_layering,
     aco_layering_detailed,
+    colonies_aco_layering,
     parallel_aco_layering,
 )
 from repro.graph import (
@@ -61,7 +62,7 @@ from repro.layering import (
 )
 from repro.sugiyama import SugiyamaDrawing, sugiyama_layout
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -89,6 +90,7 @@ __all__ = [
     "aco_layering",
     "aco_layering_detailed",
     "AcoLayeringResult",
+    "colonies_aco_layering",
     "parallel_aco_layering",
     # sugiyama
     "sugiyama_layout",

@@ -11,7 +11,12 @@ The public entry points are:
   tours, α, β, evaporation rate, initial pheromone, dummy-vertex width,
   selection rule);
 * :func:`repro.aco.parallel.parallel_aco_layering` — run several independent
-  colonies concurrently (processes or threads) and keep the best layering.
+  colonies concurrently (processes, threads, or the shared-memory lockstep
+  runtime via ``executor="colonies"``) and keep the best layering;
+* :func:`repro.aco.runtime.colonies_aco_layering` — the shared-memory
+  multi-colony runtime itself: one problem build, batched lockstep tours
+  across all colonies, zero-copy worker attachment and optional periodic
+  pheromone exchange (``ACOParams(exchange_every=k)``).
 
 Internally the algorithm follows the paper's two phases: an *initialisation
 phase* (LPL, stretching to ``|V|`` layers, pheromone/heuristic matrices) and a
@@ -36,6 +41,11 @@ from repro.aco.parallel import parallel_aco_layering
 from repro.aco.params import ACOParams
 from repro.aco.pheromone import PheromoneMatrix
 from repro.aco.problem import LayeringProblem
+from repro.aco.runtime import (
+    colonies_aco_layering,
+    publish_problem,
+    run_colonies_batch,
+)
 
 __all__ = [
     "ACOParams",
@@ -55,6 +65,9 @@ __all__ = [
     "aco_layering",
     "aco_layering_detailed",
     "parallel_aco_layering",
+    "colonies_aco_layering",
+    "publish_problem",
+    "run_colonies_batch",
     # analysis
     "convergence_curve",
     "tours_to_convergence",

@@ -34,6 +34,7 @@ import os
 import shutil
 import subprocess
 import tempfile
+import warnings
 
 import numpy as np
 
@@ -86,7 +87,8 @@ void run_walks(
     const int64_t *out_degree,
     const int64_t *in_degree,
     const double *vertex_widths,
-    const double *tau,              /* n_vertices x n_cols, pre-powered by alpha */
+    const double *tau,              /* n_matrices x n_vertices x n_cols, pre-powered by alpha */
+    const int64_t *tau_index,       /* n_ants: which tau matrix each walk reads */
     int64_t beta_mode,              /* 0..5: decomposed integer exponent */
     double nd_width,
     double epsilon,
@@ -105,6 +107,7 @@ void run_walks(
         int64_t *oc = occupancy + a * n_cols;
         const int64_t *order = orders + a * n_vertices;
         const double *u_row = uniforms ? uniforms + a * n_vertices : 0;
+        const double *tau_mat = tau + tau_index[a] * n_vertices * n_cols;
 
         for (int64_t step = 0; step < n_vertices; step++) {
             int64_t v = order[step];
@@ -126,7 +129,7 @@ void run_walks(
                 chosen = lo;
             } else {
                 double wv = vertex_widths[v];
-                const double *tau_row = tau + v * n_cols;
+                const double *tau_row = tau_mat + v * n_cols;
                 int64_t k = hi - lo + 1;
 
                 /* scores[l - lo] = tau^alpha[l] * eta[l]^beta, with the exact
@@ -215,6 +218,14 @@ _status = "not loaded"
 
 
 def _cache_dir() -> str:
+    """Directory for the compiled kernel cache.
+
+    ``REPRO_ACO_NATIVE_CACHE`` (explicit override) wins over
+    ``XDG_CACHE_HOME`` wins over ``~/.cache``.
+    """
+    override = os.environ.get("REPRO_ACO_NATIVE_CACHE")
+    if override:
+        return override
     base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
         os.path.expanduser("~"), ".cache"
     )
@@ -268,6 +279,16 @@ def load_native() -> ctypes.CDLL | None:
     path = _compile_library()
     if path is None:
         _status = "no C compiler or compilation failed"
+        # One warning per process, never a retry: _load_attempted keeps every
+        # later call on the cached NumPy fallback without re-running the
+        # compiler probe.
+        warnings.warn(
+            "native ACO kernel unavailable (no C compiler, or compilation "
+            "failed); falling back to the NumPy lockstep kernel.  Set "
+            "REPRO_ACO_NATIVE=0 to silence this warning.",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return None
     try:
         lib = ctypes.CDLL(path)
@@ -285,7 +306,8 @@ def load_native() -> ctypes.CDLL | None:
             _I64,  # out_degree
             _I64,  # in_degree
             _F64,  # vertex_widths
-            _F64,  # tau
+            _F64,  # tau (stack of matrices)
+            _I64,  # tau_index
             ctypes.c_int64,  # beta_mode
             ctypes.c_double,  # nd_width
             ctypes.c_double,  # epsilon
@@ -327,6 +349,7 @@ def run_walks_native(
     in_degree: np.ndarray,
     vertex_widths: np.ndarray,
     tau: np.ndarray,
+    tau_index: np.ndarray,
     beta: float,
     nd_width: float,
     epsilon: float,
@@ -336,7 +359,13 @@ def run_walks_native(
     crossing: np.ndarray,
     occupancy: np.ndarray,
 ) -> None:
-    """Run all walks of one tour in C, mutating the per-ant state in place."""
+    """Run all walks of one tour in C, mutating the per-ant state in place.
+
+    *tau* is a contiguous stack of one or more pre-powered pheromone matrices
+    (``(n_matrices, n_vertices, n_cols)``); ``tau_index[a]`` names the matrix
+    walk *a* reads, which is what lets one call sweep the ants of several
+    independent colonies in lockstep.
+    """
     n_ants, n_vertices = orders.shape
     n_cols = real.shape[1]
     scratch = np.empty(n_cols, dtype=np.float64)
@@ -358,7 +387,8 @@ def run_walks_native(
         out_degree,
         in_degree,
         vertex_widths,
-        tau,
+        tau.reshape(-1, n_cols),
+        tau_index,
         int(beta),
         nd_width,
         epsilon,

@@ -58,6 +58,7 @@ __all__ = [
     "select_from_scores",
     "draw_walk_randomness",
     "batched_layer_spans",
+    "run_walks_batch",
     "run_tour_vectorized",
     "evaluate_assignment_vectorized",
 ]
@@ -208,49 +209,50 @@ def evaluate_assignment_vectorized(
 # ---------------------------------------------------------------------- #
 
 
-def run_tour_vectorized(
+def run_walks_batch(
     problem: LayeringProblem,
     params: ACOParams,
-    pheromone: PheromoneMatrix,
+    tau_pow: np.ndarray,
+    tau_index: np.ndarray,
+    orders: np.ndarray,
+    uniforms: np.ndarray | None,
     base_assignment: np.ndarray,
-    base_widths: LayerWidths,
-    rng: np.random.Generator,
-    ant_ids: list[int],
-):
-    """Run one tour — every ant's complete walk — in lockstep.
+    real: np.ndarray,
+    crossing: np.ndarray,
+    occupancy: np.ndarray,
+) -> np.ndarray:
+    """Run a batch of complete walks in lockstep and return the assignments.
 
-    Returns one :class:`~repro.aco.ant.AntSolution` per ant, in ant order,
-    bit-identical to running :meth:`repro.aco.ant.Ant.perform_walk`
-    sequentially with the same generator.
+    The batch axis is *walks*, not ants of one colony: ``tau_pow`` is a
+    contiguous ``(n_matrices, n_vertices, n_cols)`` stack of pre-powered
+    pheromone matrices and ``tau_index[a]`` names the matrix walk ``a``
+    reads, so one call can sweep the ants of several independent colonies
+    (the shared-memory multi-colony runtime batches 8 colonies × 10 ants
+    into one 80-walk call).  ``base_assignment`` is either one row
+    (broadcast to every walk) or one row per walk; ``real``/``crossing``/
+    ``occupancy`` are per-walk ``(n_walks, n_cols)`` arrays mutated in
+    place.  Returns the final ``(n_walks, n_vertices)`` assignments.
+
+    Every walk is bit-identical to :meth:`repro.aco.ant.Ant.perform_walk`
+    run sequentially on its own colony's generator stream.
     """
-    n_ants = len(ant_ids)
+    n_ants = orders.shape[0]
     n = problem.n_vertices
     n_cols = problem.n_layers + 1
 
-    # Pre-draw each walk's randomness in ant order (the stream protocol).
-    draws = [draw_walk_randomness(problem, params, rng) for _ in range(n_ants)]
-    orders = np.stack([order for order, _ in draws])
-    uniforms = None if draws[0][1] is None else np.stack([u for _, u in draws])
-
-    alpha, beta = params.alpha, params.beta
+    beta = params.beta
     epsilon = params.eta_epsilon
     nd_width = problem.nd_width
     q0 = params.exploitation_probability
     explore_possible = q0 < 1.0
-    # tau^alpha over the whole matrix once per tour; element-wise equal to
-    # powering each span slice (the trails are read-only during the tour).
-    tau_pow = pheromone.values if alpha == 1.0 else fused_pow(pheromone.values, alpha)
 
-    real = np.tile(base_widths.real, (n_ants, 1))
-    crossing = np.tile(base_widths.crossing, (n_ants, 1))
-    occupancy = np.tile(base_widths.occupancy, (n_ants, 1))
-
-    # Prefer the compiled backend (one C call per tour, same bit-exact
+    # Prefer the compiled backend (one C call per batch, same bit-exact
     # protocol); fall back to the NumPy lockstep below when it is absent or
     # cannot replicate a non-integer beta exponent.
     native_lib = _native.load_native() if _native.native_supports(beta) else None
     if native_lib is not None:
-        assignment = np.tile(base_assignment, (n_ants, 1))
+        assignment = np.empty((n_ants, n), dtype=np.int64)
+        assignment[:] = base_assignment
         _native.run_walks_native(
             native_lib,
             orders=orders,
@@ -262,7 +264,8 @@ def run_tour_vectorized(
             out_degree=problem.out_degree,
             in_degree=problem.in_degree,
             vertex_widths=problem.widths,
-            tau=np.ascontiguousarray(tau_pow),
+            tau=tau_pow,
+            tau_index=tau_index,
             beta=beta,
             nd_width=nd_width,
             epsilon=epsilon,
@@ -272,9 +275,7 @@ def run_tour_vectorized(
             crossing=crossing,
             occupancy=occupancy,
         )
-        return _collect_solutions(
-            problem, assignment, real, crossing, occupancy, ant_ids
-        )
+        return assignment
 
     # Per-ant working state.  Two sentinel assignment columns serve the
     # padded span gathers (see LayeringProblem.succ_pad / pred_pad).
@@ -304,7 +305,7 @@ def run_tour_vectorized(
         np.maximum(candidate, epsilon, out=candidate)
         eta = np.divide(1.0, candidate, out=candidate)
 
-        scores = tau_pow[v] * fused_pow(eta, beta)
+        scores = tau_pow[tau_index, v] * fused_pow(eta, beta)
         inside = (cols >= lo[:, None]) & (cols <= hi[:, None])
         scores = np.where(inside, scores, 0.0)
 
@@ -374,9 +375,54 @@ def run_tour_vectorized(
                     if outdeg:
                         row[new_l:old_l] -= outdeg
 
-    return _collect_solutions(
-        problem, assignment[:, :n], real, crossing, occupancy, ant_ids
+    return assignment[:, :n]
+
+
+def run_tour_vectorized(
+    problem: LayeringProblem,
+    params: ACOParams,
+    pheromone: PheromoneMatrix,
+    base_assignment: np.ndarray,
+    base_widths: LayerWidths,
+    rng: np.random.Generator,
+    ant_ids: list[int],
+):
+    """Run one tour — every ant's complete walk — in lockstep.
+
+    Returns one :class:`~repro.aco.ant.AntSolution` per ant, in ant order,
+    bit-identical to running :meth:`repro.aco.ant.Ant.perform_walk`
+    sequentially with the same generator.
+    """
+    n_ants = len(ant_ids)
+
+    # Pre-draw each walk's randomness in ant order (the stream protocol).
+    draws = [draw_walk_randomness(problem, params, rng) for _ in range(n_ants)]
+    orders = np.stack([order for order, _ in draws])
+    uniforms = None if draws[0][1] is None else np.stack([u for _, u in draws])
+
+    alpha = params.alpha
+    # tau^alpha over the whole matrix once per tour; element-wise equal to
+    # powering each span slice (the trails are read-only during the tour).
+    tau_pow = pheromone.values if alpha == 1.0 else fused_pow(pheromone.values, alpha)
+    tau_stack = np.ascontiguousarray(tau_pow)[None]
+
+    real = np.tile(base_widths.real, (n_ants, 1))
+    crossing = np.tile(base_widths.crossing, (n_ants, 1))
+    occupancy = np.tile(base_widths.occupancy, (n_ants, 1))
+
+    assignment = run_walks_batch(
+        problem,
+        params,
+        tau_stack,
+        np.zeros(n_ants, dtype=np.int64),
+        orders,
+        uniforms,
+        base_assignment,
+        real,
+        crossing,
+        occupancy,
     )
+    return _collect_solutions(problem, assignment, real, crossing, occupancy, ant_ids)
 
 
 def _collect_solutions(problem, assignment, real, crossing, occupancy, ant_ids):

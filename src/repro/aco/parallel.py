@@ -15,6 +15,11 @@ exactly that, with three execution back ends:
 * ``"serial"`` — run the colonies one after another in-process; the
   deterministic reference used by tests to check that the parallel back ends
   return equivalent results.
+* ``"colonies"`` — the shared-memory runtime of :mod:`repro.aco.runtime`:
+  the problem is built once, every tour sweeps all colonies' ants in one
+  lockstep kernel call, and on multi-core machines the colonies are sharded
+  over processes that attach the problem arrays zero-copy.  Bit-identical to
+  ``"serial"`` for a fixed seed while ``params.exchange_every == 0``.
 
 Determinism: given ``params.seed`` the per-colony seeds are derived with
 :func:`repro.utils.rng.spawn_generators`-style seed spawning, so the set of
@@ -44,7 +49,7 @@ from repro.utils.pool import EXECUTORS, map_with_state
 
 __all__ = ["ColonyRunSummary", "ParallelAcoResult", "parallel_aco_layering", "run_single_colony"]
 
-_EXECUTORS = EXECUTORS
+_EXECUTORS = EXECUTORS + ("colonies",)
 
 
 @dataclass(frozen=True)
@@ -137,8 +142,11 @@ def parallel_aco_layering(
     graph: the DAG to layer.
     params: shared algorithm parameters; ``params.seed`` seeds the whole run.
     n_colonies: how many independent colonies to run.
-    max_workers: worker cap for the pool back ends (default: pool default).
-    executor: ``"process"``, ``"thread"`` or ``"serial"``.
+    max_workers: worker cap for the pool back ends (default: resolved via
+        :func:`repro.utils.pool.effective_workers`, i.e. ``REPRO_JOBS`` or
+        the CPU count, clamped to the colony count).
+    executor: ``"process"``, ``"thread"``, ``"serial"`` or ``"colonies"``
+        (the shared-memory batched runtime, see :mod:`repro.aco.runtime`).
 
     Returns
     -------
@@ -150,6 +158,12 @@ def parallel_aco_layering(
         raise ValidationError(f"n_colonies must be >= 1, got {n_colonies}")
     if executor not in _EXECUTORS:
         raise ValidationError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
+    if executor == "colonies":
+        from repro.aco.runtime import colonies_aco_layering  # avoid module cycle
+
+        return colonies_aco_layering(
+            graph, params, n_colonies=n_colonies, max_workers=max_workers
+        )
     params = params if params is not None else ACOParams()
     seeds = _derive_colony_seeds(params.seed, n_colonies)
     params_dict = params.as_dict()

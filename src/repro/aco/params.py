@@ -97,6 +97,14 @@ class ACOParams:
         ``"vectorized"`` (default) runs all ants of a tour in lockstep on the
         batched array kernels of :mod:`repro.aco.kernels`; ``"python"`` keeps
         the per-vertex reference walk.  Identical results either way.
+    exchange_every:
+        Multi-colony only (see :mod:`repro.aco.runtime`): every
+        ``exchange_every`` tours the overall best layering across the
+        colonies deposits pheromone on *every* colony's matrix, migrating
+        the elite solution between otherwise independent colonies.  ``0``
+        (default) disables the exchange, which keeps a multi-colony run
+        bit-identical to running the colonies separately.  Ignored by
+        single-colony runs.
     seed:
         Optional RNG seed making the whole run deterministic.
     """
@@ -116,6 +124,7 @@ class ACOParams:
     vertex_order: str = "random"
     eta_epsilon: float = 0.1
     engine: str = "vectorized"
+    exchange_every: int = 0
     seed: int | None = None
 
     def __post_init__(self) -> None:
@@ -160,6 +169,10 @@ class ACOParams:
         if self.engine not in ENGINES:
             raise ValidationError(
                 f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )
+        if self.exchange_every < 0:
+            raise ValidationError(
+                f"exchange_every must be >= 0, got {self.exchange_every}"
             )
 
     @property

@@ -41,6 +41,25 @@ class PheromoneMatrix:
         # measurable on large matrices.
         self._row_index = np.arange(n_vertices)
 
+    @classmethod
+    def wrap(cls, values: np.ndarray) -> "PheromoneMatrix":
+        """Wrap an existing ``(n_vertices, n_layers + 1)`` trail array, no copy.
+
+        Used by the multi-colony runtime, whose matrices are views into one
+        contiguous stack; the caller is responsible for the array's contents
+        (column 0 zeroed, trails initialised).
+        """
+        if values.ndim != 2 or values.shape[0] < 1 or values.shape[1] < 2:
+            raise ValidationError(
+                f"trail array must be (n_vertices, n_layers + 1), got shape {values.shape}"
+            )
+        out = cls.__new__(cls)
+        out.n_vertices = values.shape[0]
+        out.n_layers = values.shape[1] - 1
+        out.values = values
+        out._row_index = np.arange(out.n_vertices)
+        return out
+
     def trail(self, v: int, lo: int, hi: int) -> np.ndarray:
         """Pheromone values of vertex *v* over the inclusive layer range ``[lo, hi]``."""
         return self.values[v, lo : hi + 1]

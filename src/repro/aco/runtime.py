@@ -1,0 +1,569 @@
+"""Shared-memory multi-colony runtime.
+
+The classic multi-colony driver (:mod:`repro.aco.parallel`) treats each colony
+as an opaque job: the graph is JSON-serialised to every worker, every colony
+re-runs the initialisation phase (LPL, stretching, CSR indexing), and every
+colony pays its own per-tour Python overhead.  This module removes all three
+costs:
+
+1. **One problem build.**  The :class:`~repro.aco.problem.LayeringProblem` is
+   constructed once; its flat arrays are either used directly (in-process
+   batch) or published into a single :mod:`multiprocessing.shared_memory`
+   block (:func:`publish_problem`) that worker processes attach **zero-copy**
+   (:func:`attach_problem`) — no JSON, no re-parse, no per-colony
+   initialisation.
+
+2. **Lockstep colony batching.**  :func:`run_colonies_batch` advances *all*
+   colonies together: each tour is one
+   :func:`repro.aco.kernels.run_walks_batch` call sweeping every ant of every
+   colony (8 colonies × 10 ants = one 80-walk kernel call), with each walk
+   reading its own colony's pheromone matrix through the kernel's
+   ``tau_index`` indirection.  Per-colony randomness, evaporation, deposit
+   and best-tracking are untouched, so with ``exchange_every = 0`` (the
+   default) the outcome is **bit-identical** to running the colonies one by
+   one — the property the seed-stability tests pin down.
+
+3. **Optional pheromone exchange.**  ``ACOParams(exchange_every=k)`` migrates
+   the overall best layering across colonies every *k* tours: the elite
+   assignment deposits pheromone on *every* colony's matrix, the standard
+   coarse-grained cooperation scheme for parallel ant colonies.  Because this
+   couples the colonies it deliberately changes results (usually for the
+   better) and forces the in-process batch (no sharding).
+
+On multi-core machines :func:`colonies_aco_layering` shards the colonies over
+worker processes (each shard runs its own lockstep batch against the shared
+problem buffers); on a single CPU — or under ``REPRO_JOBS=1`` — everything
+runs as one in-process batch, which is already substantially faster than the
+per-process driver because the problem is built once and the kernel is called
+``n_tours`` times instead of ``n_colonies × n_tours`` times.
+"""
+
+from __future__ import annotations
+
+import inspect
+import threading
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.aco.heuristic import AssignmentScore, LayerWidths, evaluate_with_widths
+from repro.aco.kernels import draw_walk_randomness, fused_pow, run_walks_batch
+from repro.aco.params import ACOParams
+from repro.aco.pheromone import PheromoneMatrix
+from repro.aco.problem import LayeringProblem
+from repro.graph.digraph import DiGraph
+from repro.layering.base import Layering
+from repro.layering.metrics import evaluate_layering
+from repro.utils.exceptions import ValidationError
+from repro.utils.pool import effective_workers, map_with_state
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "SharedProblem",
+    "publish_problem",
+    "attach_problem",
+    "ColonyOutcome",
+    "run_colonies_batch",
+    "colonies_aco_layering",
+]
+
+#: The flat arrays of a LayeringProblem that travel through shared memory.
+#: ``edge_dst`` is deliberately absent: it is the same array object as
+#: ``succ_indices`` and is re-aliased on attach.
+_SHARED_ARRAYS = (
+    "succ_indptr",
+    "succ_indices",
+    "pred_indptr",
+    "pred_indices",
+    "succ_pad",
+    "pred_pad",
+    "edge_src",
+    "out_degree",
+    "in_degree",
+    "widths",
+    "initial_assignment",
+)
+
+#: Byte alignment of each array inside the shared block.
+_ALIGN = 64
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+#: Whether SharedMemory supports opting out of resource tracking directly
+#: (Python 3.13+); older interpreters fall back to a lock-guarded patch.
+_SHM_SUPPORTS_TRACK = (
+    "track" in inspect.signature(shared_memory.SharedMemory.__init__).parameters
+)
+
+#: Serialises the registration-suppression window on pre-3.13 interpreters.
+_ATTACH_LOCK = threading.Lock()
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing block without registering it with the tracker.
+
+    CPython's resource tracker registers *every* SharedMemory mapping, not
+    just the creating one (bpo-38119).  Left in place, an attaching worker
+    either clobbers the publisher's registration (fork: shared tracker, the
+    final unlink logs spurious KeyErrors) or destroys the block when the
+    worker exits (spawn: the worker's own tracker "cleans up" a segment the
+    publisher still uses).  Ownership lives with the publisher, so the
+    attach must not be tracked: Python 3.13+ supports this directly via
+    ``track=False``; earlier interpreters suppress ``register`` for the
+    duration of the attach under a module lock (the narrow remaining window
+    only affects multiprocessing resources created concurrently by *other*
+    threads while an attach is in flight).
+    """
+    if _SHM_SUPPORTS_TRACK:
+        return shared_memory.SharedMemory(name=name, track=False)
+    with _ATTACH_LOCK:
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+
+
+@dataclass
+class SharedProblem:
+    """Owner handle for a problem published into a shared-memory block.
+
+    ``manifest`` is a small picklable dictionary (block name, array offsets/
+    shapes/dtypes, problem scalars) — the only thing that crosses the process
+    boundary.  The creating process must call :meth:`close` and
+    :meth:`unlink` (or use the handle as a context manager) once every worker
+    is done.
+    """
+
+    manifest: dict[str, Any]
+    shm: shared_memory.SharedMemory
+
+    def close(self) -> None:
+        """Release this process's mapping of the block."""
+        self.shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the block (idempotent)."""
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "SharedProblem":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+        self.unlink()
+
+
+def publish_problem(problem: LayeringProblem) -> SharedProblem:
+    """Copy the problem's flat arrays into one shared-memory block.
+
+    Workers re-materialise a kernel-ready :class:`LayeringProblem` from the
+    returned manifest with :func:`attach_problem` without touching the graph
+    JSON or re-running the initialisation phase.
+    """
+    arrays = {
+        name: np.ascontiguousarray(getattr(problem, name)) for name in _SHARED_ARRAYS
+    }
+    layout: dict[str, dict[str, Any]] = {}
+    offset = 0
+    for name, arr in arrays.items():
+        offset = _aligned(offset)
+        layout[name] = {
+            "offset": offset,
+            "shape": list(arr.shape),
+            "dtype": arr.dtype.str,
+        }
+        offset += arr.nbytes
+    shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    for name, arr in arrays.items():
+        spec = layout[name]
+        view = np.ndarray(
+            arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=spec["offset"]
+        )
+        view[...] = arr
+    manifest = {
+        "shm_name": shm.name,
+        "arrays": layout,
+        "n_vertices": problem.n_vertices,
+        "n_layers": problem.n_layers,
+        "nd_width": problem.nd_width,
+        "lpl_height": problem.lpl_height,
+    }
+    return SharedProblem(manifest=manifest, shm=shm)
+
+
+def attach_problem(
+    manifest: dict[str, Any]
+) -> tuple[LayeringProblem, shared_memory.SharedMemory]:
+    """Rebuild a worker-side :class:`LayeringProblem` over the shared block.
+
+    The returned problem's arrays are zero-copy views into the block; the
+    accompanying :class:`~multiprocessing.shared_memory.SharedMemory` handle
+    must stay referenced for as long as the problem is used.  ``graph`` is
+    ``None`` on the attached instance (labels never cross the boundary);
+    callers convert index assignments back to labels in the parent.
+    """
+    shm = _attach_untracked(manifest["shm_name"])
+
+    views: dict[str, np.ndarray] = {}
+    for name, spec in manifest["arrays"].items():
+        views[name] = np.ndarray(
+            tuple(spec["shape"]),
+            dtype=np.dtype(spec["dtype"]),
+            buffer=shm.buf,
+            offset=spec["offset"],
+        )
+
+    n = manifest["n_vertices"]
+    succ = [
+        piece.tolist()
+        for piece in np.split(views["succ_indices"], views["succ_indptr"][1:-1])
+    ]
+    pred = [
+        piece.tolist()
+        for piece in np.split(views["pred_indices"], views["pred_indptr"][1:-1])
+    ]
+    problem = LayeringProblem(
+        graph=None,  # type: ignore[arg-type] — labels stay in the parent
+        vertices=list(range(n)),
+        n_vertices=n,
+        n_layers=manifest["n_layers"],
+        succ=succ,
+        pred=pred,
+        succ_indptr=views["succ_indptr"],
+        succ_indices=views["succ_indices"],
+        pred_indptr=views["pred_indptr"],
+        pred_indices=views["pred_indices"],
+        succ_pad=views["succ_pad"],
+        pred_pad=views["pred_pad"],
+        edge_src=views["edge_src"],
+        edge_dst=views["succ_indices"],
+        out_degree=views["out_degree"],
+        in_degree=views["in_degree"],
+        widths=views["widths"],
+        nd_width=manifest["nd_width"],
+        initial_assignment=views["initial_assignment"],
+        lpl_height=manifest["lpl_height"],
+    )
+    return problem, shm
+
+
+# ---------------------------------------------------------------------- #
+# the lockstep multi-colony loop
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class ColonyOutcome:
+    """Best solution of one colony, in stretched layer coordinates."""
+
+    colony_index: int
+    seed: int
+    score: AssignmentScore
+    assignment: np.ndarray
+
+
+def run_colonies_batch(
+    problem: LayeringProblem,
+    params: ACOParams,
+    colony_seeds: Sequence[int],
+    *,
+    colony_indices: Sequence[int] | None = None,
+) -> list[ColonyOutcome]:
+    """Run several colonies in lockstep over one problem instance.
+
+    Every tour performs exactly one :func:`run_walks_batch` call covering all
+    ``len(colony_seeds) × params.n_ants`` walks; each walk reads its own
+    colony's pheromone matrix via the ``tau_index`` indirection.  Each colony
+    keeps its own generator (seeded from *colony_seeds*), pheromone matrix,
+    base layering and global best, consumed in exactly the order the
+    single-colony :class:`~repro.aco.colony.AntColony` would, so with
+    ``params.exchange_every == 0`` the outcomes are bit-identical to running
+    the colonies independently.
+    """
+    n_colonies = len(colony_seeds)
+    if colony_indices is None:
+        colony_indices = list(range(n_colonies))
+    n_ants = params.n_ants
+    n_layers = problem.n_layers
+
+    rngs = [as_generator(seed) for seed in colony_seeds]
+    # All colonies' pheromone matrices live as views into one contiguous
+    # (n_colonies, n_vertices, n_layers + 1) stack: evaporation and deposit
+    # mutate the stack through the views, so with alpha == 1 the kernel call
+    # reads the stack directly — no per-tour copy of the trails.
+    tau_values = np.full(
+        (n_colonies, problem.n_vertices, n_layers + 1), params.tau0, dtype=np.float64
+    )
+    tau_values[:, :, 0] = 0.0
+    pheromones = [PheromoneMatrix.wrap(tau_values[c]) for c in range(n_colonies)]
+
+    init_assignment = problem.initial_assignment
+    init_widths = LayerWidths.from_assignment(problem, init_assignment)
+    initial_score = evaluate_with_widths(problem, init_assignment, init_widths)
+    # Same deposit normalisation as AntColony.run: a tour-best ant as good as
+    # the stretched-LPL start deposits exactly `params.deposit`.
+    deposit_scale = (
+        params.deposit / initial_score.objective
+        if initial_score.objective > 0
+        else params.deposit
+    )
+
+    base_assignment = np.tile(init_assignment, (n_colonies, 1))
+    base_real = np.tile(init_widths.real, (n_colonies, 1))
+    base_crossing = np.tile(init_widths.crossing, (n_colonies, 1))
+    base_occupancy = np.tile(init_widths.occupancy, (n_colonies, 1))
+
+    # The starting layering seeds every colony's global best, so no colony
+    # can return something worse than its seed (AntColony invariant).
+    best_assignment = base_assignment.copy()
+    best_scores: list[AssignmentScore] = [initial_score] * n_colonies
+
+    tau_index = np.repeat(np.arange(n_colonies, dtype=np.int64), n_ants)
+    alpha = params.alpha
+    exchange = params.exchange_every if n_colonies > 1 else 0
+    reference_engine = params.engine == "python"
+    if reference_engine:
+        from repro.aco.ant import Ant  # local import breaks the module cycle
+
+        ants = [Ant(i, problem, params) for i in range(n_ants)]
+
+    for tour in range(1, params.n_tours + 1):
+        # One tour-best tuple per colony: (assignment, score, real, crossing,
+        # occupancy), selected as the first maximum in ant order exactly like
+        # max(solutions, key=objective).
+        tour_best: list[tuple[np.ndarray, AssignmentScore, np.ndarray, np.ndarray, np.ndarray]] = []
+
+        if reference_engine:
+            # The per-vertex reference walk, kept selectable through the
+            # colonies executor so engine="python" stays a usable escape
+            # hatch for cross-checking the kernels on multi-colony runs.
+            for c in range(n_colonies):
+                base_w = LayerWidths(
+                    problem, base_real[c], base_crossing[c], base_occupancy[c]
+                )
+                solutions = [
+                    ant.perform_walk(base_assignment[c], base_w, pheromones[c], rngs[c])
+                    for ant in ants
+                ]
+                best = max(solutions, key=lambda s: s.objective)
+                tour_best.append(
+                    (
+                        best.assignment,
+                        best.score,
+                        best.widths.real,
+                        best.widths.crossing,
+                        best.widths.occupancy,
+                    )
+                )
+        else:
+            # Per-walk randomness, drawn colony by colony in ant order —
+            # exactly how each colony's own generator stream would be
+            # consumed.
+            draws = [
+                draw_walk_randomness(problem, params, rngs[c])
+                for c in range(n_colonies)
+                for _ in range(n_ants)
+            ]
+            orders = np.stack([order for order, _ in draws])
+            uniforms = None if draws[0][1] is None else np.stack([u for _, u in draws])
+
+            tau_stack = tau_values if alpha == 1.0 else fused_pow(tau_values, alpha)
+
+            real = np.repeat(base_real, n_ants, axis=0)
+            crossing = np.repeat(base_crossing, n_ants, axis=0)
+            occupancy = np.repeat(base_occupancy, n_ants, axis=0)
+            base_rows = np.repeat(base_assignment, n_ants, axis=0)
+
+            assignment = run_walks_batch(
+                problem,
+                params,
+                tau_stack,
+                tau_index,
+                orders,
+                uniforms,
+                base_rows,
+                real,
+                crossing,
+                occupancy,
+            )
+
+            for c in range(n_colonies):
+                start = c * n_ants
+                best_row = start
+                best_score: AssignmentScore | None = None
+                for a in range(start, start + n_ants):
+                    widths = LayerWidths(problem, real[a], crossing[a], occupancy[a])
+                    score = evaluate_with_widths(problem, assignment[a], widths)
+                    if best_score is None or score.objective > best_score.objective:
+                        best_row, best_score = a, score
+                assert best_score is not None
+                tour_best.append(
+                    (
+                        assignment[best_row],
+                        best_score,
+                        real[best_row],
+                        crossing[best_row],
+                        occupancy[best_row],
+                    )
+                )
+
+        # Evaporate all colonies in one stack-wide pass: each matrix sees the
+        # exact element-wise operations PheromoneMatrix.evaporate would apply,
+        # and the matrices are independent, so batching preserves bit-identity.
+        tau_values[:, :, 1:] *= 1.0 - params.rho
+        if params.tau_min > 0.0:
+            np.maximum(tau_values[:, :, 1:], params.tau_min, out=tau_values[:, :, 1:])
+
+        for c, (best_asg, best_score, best_real, best_crossing, best_occupancy) in enumerate(
+            tour_best
+        ):
+            pheromones[c].deposit(best_asg, deposit_scale * best_score.objective)
+
+            base_assignment[c] = best_asg
+            base_real[c] = best_real
+            base_crossing[c] = best_crossing
+            base_occupancy[c] = best_occupancy
+            if best_score.objective > best_scores[c].objective:
+                best_scores[c] = best_score
+                best_assignment[c] = best_asg
+
+        if exchange and tour % exchange == 0 and tour < params.n_tours:
+            # Elite migration: the overall best layering so far deposits on
+            # every colony's matrix (first-best tie-breaking by colony order).
+            elite = max(
+                range(n_colonies), key=lambda c: best_scores[c].objective
+            )
+            amount = deposit_scale * best_scores[elite].objective
+            for pheromone in pheromones:
+                pheromone.deposit(best_assignment[elite], amount)
+
+    return [
+        ColonyOutcome(
+            colony_index=int(colony_indices[c]),
+            seed=int(colony_seeds[c]),
+            score=best_scores[c],
+            assignment=best_assignment[c].copy(),
+        )
+        for c in range(n_colonies)
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# process sharding over the shared-memory buffers
+# ---------------------------------------------------------------------- #
+
+
+def _attach_state(payload: tuple[dict[str, Any], dict[str, Any]]):
+    """Pool initializer: attach the shared problem once per worker."""
+    manifest, params_dict = payload
+    problem, shm = attach_problem(manifest)
+    # The SharedMemory handle rides along so the zero-copy views stay valid
+    # for the lifetime of the worker.
+    return problem, ACOParams(**params_dict), shm
+
+
+def _run_shard(state, indices: list[int], seeds: list[int]) -> list[ColonyOutcome]:
+    """Worker entry point: run one shard of colonies against the shared problem."""
+    problem, params, _shm = state
+    return run_colonies_batch(problem, params, seeds, colony_indices=indices)
+
+
+def _run_sharded(
+    problem: LayeringProblem,
+    params: ACOParams,
+    seeds: Sequence[int],
+    workers: int,
+) -> list[ColonyOutcome]:
+    """Split the colonies into contiguous shards and run them over a process pool."""
+    n_colonies = len(seeds)
+    n_shards = min(workers, n_colonies)
+    bounds = np.linspace(0, n_colonies, n_shards + 1).astype(int)
+    tasks = []
+    for s in range(n_shards):
+        indices = list(range(int(bounds[s]), int(bounds[s + 1])))
+        if indices:
+            tasks.append((indices, [seeds[i] for i in indices]))
+
+    shared = publish_problem(problem)
+    try:
+        shards = map_with_state(
+            _run_shard,
+            tasks,
+            executor="process",
+            max_workers=n_shards,
+            init_fn=_attach_state,
+            payload=(shared.manifest, params.as_dict()),
+        )
+    finally:
+        shared.close()
+        shared.unlink()
+    return [outcome for shard in shards for outcome in shard]
+
+
+def colonies_aco_layering(
+    graph: DiGraph,
+    params: ACOParams | None = None,
+    *,
+    n_colonies: int = 4,
+    max_workers: int | None = None,
+):
+    """Run *n_colonies* colonies through the shared-memory runtime.
+
+    The drop-in ``executor="colonies"`` back end of
+    :func:`repro.aco.parallel.parallel_aco_layering`: same seed derivation,
+    same result type, same best-colony selection — but the problem is built
+    once, the tours run as lockstep batches, and (on multi-core machines,
+    when ``params.exchange_every == 0``) the colonies are sharded over
+    processes that attach the problem arrays zero-copy.
+
+    Returns a :class:`repro.aco.parallel.ParallelAcoResult`.
+    """
+    from repro.aco.parallel import (  # local import breaks the module cycle
+        ColonyRunSummary,
+        ParallelAcoResult,
+        _derive_colony_seeds,
+    )
+
+    if n_colonies < 1:
+        raise ValidationError(f"n_colonies must be >= 1, got {n_colonies}")
+    params = params if params is not None else ACOParams()
+    seeds = _derive_colony_seeds(params.seed, n_colonies)
+    problem = LayeringProblem.from_graph(graph, nd_width=params.nd_width)
+
+    workers = effective_workers(max_workers, n_colonies)
+    if workers > 1 and n_colonies > 1 and params.exchange_every == 0:
+        outcomes = _run_sharded(problem, params, seeds, workers)
+    else:
+        # Pheromone exchange couples the colonies, so it always runs as one
+        # in-process batch.
+        outcomes = run_colonies_batch(problem, params, seeds)
+    outcomes.sort(key=lambda o: o.colony_index)
+
+    summaries = []
+    for outcome in outcomes:
+        layering = problem.assignment_to_layering(outcome.assignment, normalize=True)
+        metrics = evaluate_layering(graph, layering, nd_width=params.nd_width)
+        summaries.append(
+            ColonyRunSummary(
+                colony_index=outcome.colony_index,
+                seed=outcome.seed,
+                objective=metrics.objective,
+                height=metrics.height,
+                width_including_dummies=metrics.width_including_dummies,
+                assignment=layering.to_dict(),
+            )
+        )
+    best = max(summaries, key=lambda s: s.objective)
+    layering = Layering(best.assignment)
+    layering.validate(graph)
+    return ParallelAcoResult(layering=layering, best_colony=best, colonies=summaries)

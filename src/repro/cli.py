@@ -23,7 +23,9 @@ Installed as the ``repro-dag`` console script (also reachable via
 The experiment sub-commands (``compare``, ``figures``, ``tune``) dispatch
 their (graph × algorithm) cells through the shared experiment engine
 (:mod:`repro.experiments.engine`): ``--executor process --jobs N`` spreads
-the cells over N worker processes, and ``--cache-dir DIR`` enables the
+the cells over N worker processes, ``--executor colonies --colonies K``
+additionally runs every AntColony cell as a K-colony shared-memory
+portfolio (:mod:`repro.aco.runtime`), and ``--cache-dir DIR`` enables the
 content-addressed result cache so repeated runs over the same corpus and
 parameters are incremental.
 
@@ -102,12 +104,29 @@ def _layering_method(name: str, params: ACOParams):
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--executor",
-        choices=("serial", "thread", "process"),
+        choices=("serial", "thread", "process", "colonies"),
         default="serial",
-        help="how experiment cells are dispatched (default serial)",
+        help=(
+            "how experiment cells are dispatched (default serial); 'colonies' "
+            "dispatches like 'process' and pairs with --colonies to run every "
+            "AntColony cell through the shared-memory multi-colony runtime"
+        ),
     )
     parser.add_argument(
-        "--jobs", type=int, default=None, help="worker count for the pool executors"
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker count for the pool executors (default: REPRO_JOBS or CPU count)",
+    )
+    parser.add_argument(
+        "--colonies",
+        type=int,
+        default=1,
+        dest="n_colonies",
+        help=(
+            "run every AntColony cell as a portfolio of this many independent "
+            "colonies (shared-memory lockstep batch, best colony wins; default 1)"
+        ),
     )
     parser.add_argument(
         "--cache-dir",
@@ -182,7 +201,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         graphs_per_group=args.graphs_per_group, vertex_counts=vertex_counts
     )
     params = _aco_params(args)
-    algorithms = default_method_specs(aco_params=params, include_aco=not args.no_aco)
+    algorithms = default_method_specs(
+        aco_params=params, include_aco=not args.no_aco, n_colonies=args.n_colonies
+    )
     print(f"corpus: {len(corpus)} graphs over groups {sorted(set(vertex_counts))}")
     comparison = run_comparison(
         corpus, algorithms, nd_width=args.nd_width, engine=_engine(args)
@@ -200,7 +221,11 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     engine = _engine(args)
     for figure_id in wanted:
         figure = FIGURES[figure_id](
-            corpus=corpus, aco_params=params, nd_width=args.nd_width, engine=engine
+            corpus=corpus,
+            aco_params=params,
+            nd_width=args.nd_width,
+            engine=engine,
+            n_colonies=args.n_colonies,
         )
         print()
         print(format_figure(figure))
@@ -217,9 +242,13 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     params = _aco_params(args)
     print(f"corpus: {len(corpus)} graphs over groups {sorted(set(vertex_counts))}")
     if args.sweep == "alpha-beta":
-        sweep = alpha_beta_sweep(corpus, base_params=params, engine=_engine(args))
+        sweep = alpha_beta_sweep(
+            corpus, base_params=params, engine=_engine(args), n_colonies=args.n_colonies
+        )
     else:
-        sweep = nd_width_sweep(corpus, base_params=params, engine=_engine(args))
+        sweep = nd_width_sweep(
+            corpus, base_params=params, engine=_engine(args), n_colonies=args.n_colonies
+        )
     print(format_sweep(sweep))
     return 0
 

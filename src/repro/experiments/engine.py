@@ -16,7 +16,12 @@ This module provides the one dispatcher they all share:
   shipped to each process-pool worker exactly once via the pool initializer,
   the per-cell submissions carry only a graph reference and a method spec)
   with an optional content-addressed on-disk cache
-  (:mod:`repro.experiments.cache`) making repeated runs incremental.
+  (:mod:`repro.experiments.cache`) making repeated runs incremental.  The
+  fourth executor name, ``"colonies"``, dispatches cells like ``"process"``
+  and exists so experiment commands advertise the multi-colony runtime:
+  Ant Colony specs carrying ``n_colonies > 1`` run each cell as a
+  shared-memory colony portfolio (:mod:`repro.aco.runtime`), batching all
+  colonies' ants into lockstep kernel calls inside the worker.
 
 Determinism: cells are submitted in order and results are returned in
 submission order, and every layering algorithm in the repo is deterministic
@@ -33,11 +38,13 @@ multi-core speed-up unless registered in :data:`BUILTIN_METHODS`.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.aco.layering_aco import aco_layering
 from repro.aco.params import ACOParams
+from repro.aco.parallel import parallel_aco_layering
 from repro.experiments.cache import ResultCache, cache_key, content_digest
 from repro.graph.digraph import DiGraph
 from repro.graph.io import from_json_dict, to_json_dict
@@ -51,12 +58,18 @@ from repro.utils.pool import EXECUTORS, map_with_state
 
 __all__ = [
     "BUILTIN_METHODS",
+    "ENGINE_EXECUTORS",
     "MethodSpec",
     "WorkUnit",
     "CellResult",
     "ExperimentEngine",
     "default_method_specs",
 ]
+
+#: Executor names accepted by the engine: the generic pool back ends plus
+#: ``"colonies"``, which dispatches cells like ``"process"`` and signals that
+#: multi-colony Ant Colony specs should use the shared-memory runtime.
+ENGINE_EXECUTORS = EXECUTORS + ("colonies",)
 
 LayeringAlgorithm = Callable[[DiGraph], Layering]
 
@@ -92,6 +105,9 @@ class MethodSpec:
     * a **builtin** — ``name`` keys :data:`BUILTIN_METHODS`;
     * an **Ant Colony** — ``aco_params`` holds the full ``ACOParams`` field
       dictionary (seed included, so the spec is deterministic);
+      ``n_colonies > 1`` turns the cell into a multi-colony portfolio run
+      through the shared-memory runtime (:mod:`repro.aco.runtime`), keeping
+      the best colony's layering;
     * a **callable** — ``func`` wraps an arbitrary in-process algorithm.
       Not shippable to process-pool workers and never cached (its behaviour
       cannot be identified by content).
@@ -100,6 +116,7 @@ class MethodSpec:
     name: str
     aco_params: Mapping[str, Any] | None = None
     func: LayeringAlgorithm | None = None
+    n_colonies: int = 1
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -116,11 +133,21 @@ class MethodSpec:
 
     @classmethod
     def ant_colony(
-        cls, params: ACOParams | None = None, *, name: str = ANT_COLONY
+        cls,
+        params: ACOParams | None = None,
+        *,
+        name: str = ANT_COLONY,
+        n_colonies: int = 1,
     ) -> "MethodSpec":
-        """Spec for the Ant Colony with explicit parameters (default: paper config, seed 0)."""
+        """Spec for the Ant Colony with explicit parameters (default: paper config, seed 0).
+
+        ``n_colonies > 1`` runs every cell as an independent-colony portfolio
+        through the shared-memory colony runtime and keeps the best layering.
+        """
+        if n_colonies < 1:
+            raise ValidationError(f"n_colonies must be >= 1, got {n_colonies}")
         params = params if params is not None else ACOParams(seed=0)
-        return cls(name=name, aco_params=params.as_dict())
+        return cls(name=name, aco_params=params.as_dict(), n_colonies=n_colonies)
 
     @classmethod
     def from_callable(cls, name: str, func: LayeringAlgorithm) -> "MethodSpec":
@@ -147,6 +174,18 @@ class MethodSpec:
             return self.func
         if self.aco_params is not None:
             params = ACOParams(**dict(self.aco_params))
+            if self.n_colonies > 1:
+                n_colonies = self.n_colonies
+                # max_workers=1 keeps the portfolio as one in-process
+                # lockstep batch — cells may already be running inside
+                # process-pool workers, which must not spawn grandchildren.
+                return lambda g: parallel_aco_layering(
+                    g,
+                    params,
+                    n_colonies=n_colonies,
+                    executor="colonies",
+                    max_workers=1,
+                ).layering
             return lambda g: aco_layering(g, params)
         if self.name in BUILTIN_METHODS:
             return BUILTIN_METHODS[self.name]
@@ -165,12 +204,17 @@ class MethodSpec:
         return {
             "name": self.name,
             "aco_params": dict(self.aco_params) if self.aco_params is not None else None,
+            "n_colonies": self.n_colonies,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "MethodSpec":
         """Inverse of :meth:`to_dict`."""
-        return cls(name=data["name"], aco_params=data.get("aco_params"))
+        return cls(
+            name=data["name"],
+            aco_params=data.get("aco_params"),
+            n_colonies=data.get("n_colonies", 1),
+        )
 
     def cache_token(self) -> dict[str, Any]:
         """The method's contribution to the content-addressed cache key."""
@@ -183,6 +227,7 @@ def default_method_specs(
     *,
     aco_params: ACOParams | None = None,
     include_aco: bool = True,
+    n_colonies: int = 1,
 ) -> dict[str, MethodSpec]:
     """The paper's five algorithms as executor-portable method specs.
 
@@ -190,10 +235,12 @@ def default_method_specs(
     :func:`repro.experiments.runner.default_algorithms`: same names, same
     defaults, but the Ant Colony parameters travel declaratively so every
     entry can be dispatched to process-pool workers and cached.
+    ``n_colonies > 1`` upgrades the Ant Colony entry to a multi-colony
+    portfolio run through the shared-memory runtime.
     """
     specs = {name: MethodSpec.builtin(name) for name in BUILTIN_METHODS}
     if include_aco:
-        specs[ANT_COLONY] = MethodSpec.ant_colony(aco_params)
+        specs[ANT_COLONY] = MethodSpec.ant_colony(aco_params, n_colonies=n_colonies)
     return specs
 
 
@@ -274,10 +321,12 @@ class ExperimentEngine:
     Parameters
     ----------
     executor:
-        ``"serial"`` (default), ``"thread"`` or ``"process"``.
+        ``"serial"`` (default), ``"thread"``, ``"process"`` or
+        ``"colonies"`` (process-style dispatch; pair with multi-colony
+        Ant Colony specs, see :meth:`MethodSpec.ant_colony`).
     jobs:
-        Worker cap for the pool back ends (default: pool default, i.e. the
-        CPU count for processes).
+        Worker cap for the pool back ends (default: ``REPRO_JOBS`` or the
+        CPU count, clamped to the pending cell count).
     cache:
         Optional :class:`~repro.experiments.cache.ResultCache`; cacheable
         cells found in it are returned without recomputation
@@ -289,9 +338,9 @@ class ExperimentEngine:
     cache: ResultCache | None = None
 
     def __post_init__(self) -> None:
-        if self.executor not in EXECUTORS:
+        if self.executor not in ENGINE_EXECUTORS:
             raise ValidationError(
-                f"executor must be one of {EXECUTORS}, got {self.executor!r}"
+                f"executor must be one of {ENGINE_EXECUTORS}, got {self.executor!r}"
             )
         if self.jobs is not None and self.jobs < 1:
             raise ValidationError(f"jobs must be >= 1, got {self.jobs}")
@@ -314,6 +363,20 @@ class ExperimentEngine:
     def run(self, units: Sequence[WorkUnit]) -> list[CellResult]:
         """Run every unit and return one :class:`CellResult` per unit, in order."""
         units = list(units)
+        if (
+            self.executor == "colonies"
+            and units
+            and not any(unit.method.n_colonies > 1 for unit in units)
+        ):
+            warnings.warn(
+                "executor='colonies' dispatches cells like 'process', and no "
+                "method spec carries n_colonies > 1 — the multi-colony "
+                "runtime is not in play.  Pass --colonies K (or "
+                "MethodSpec.ant_colony(..., n_colonies=K)) to run portfolio "
+                "cells.",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         results: list[CellResult | None] = [None] * len(units)
         keys: list[str | None] = [None] * len(units)
 
@@ -378,7 +441,7 @@ class ExperimentEngine:
         graph_json: Callable[[DiGraph], dict[str, Any]],
     ) -> list[tuple[LayeringMetrics, float]]:
         """Compute the pending units, preserving their order."""
-        if self.executor != "process":
+        if self.executor not in ("process", "colonies"):
             pending_units = [unit for _, unit in pending]
             return map_with_state(
                 _run_indexed_unit,

@@ -81,9 +81,10 @@ def _comparison(
     aco_params: ACOParams | None,
     nd_width: float,
     engine: ExperimentEngine | None,
+    n_colonies: int,
 ) -> ComparisonResult:
     entries = list(corpus) if corpus is not None else _default_corpus(graphs_per_group)
-    specs = default_method_specs(aco_params=aco_params)
+    specs = default_method_specs(aco_params=aco_params, n_colonies=n_colonies)
     selected = {name: specs[name] for name in algorithm_names}
     return run_comparison(entries, selected, nd_width=nd_width, engine=engine)
 
@@ -99,9 +100,10 @@ def _two_panel_figure(
     aco_params: ACOParams | None,
     nd_width: float,
     engine: ExperimentEngine | None,
+    n_colonies: int,
 ) -> FigureData:
     comparison = _comparison(
-        corpus, graphs_per_group, algorithm_names, aco_params, nd_width, engine
+        corpus, graphs_per_group, algorithm_names, aco_params, nd_width, engine, n_colonies
     )
     panels = tuple(
         FigurePanel(metric=metric, ylabel=ylabel, series=comparison.all_series(metric))
@@ -117,6 +119,7 @@ def figure4(
     aco_params: ACOParams | None = None,
     nd_width: float = 1.0,
     engine: ExperimentEngine | None = None,
+    n_colonies: int = 1,
 ) -> FigureData:
     """Fig. 4: layering width of AntColony vs LPL and LPL+PL (incl. and excl. dummies)."""
     return _two_panel_figure(
@@ -132,6 +135,7 @@ def figure4(
         aco_params=aco_params,
         nd_width=nd_width,
         engine=engine,
+        n_colonies=n_colonies,
     )
 
 
@@ -142,6 +146,7 @@ def figure5(
     aco_params: ACOParams | None = None,
     nd_width: float = 1.0,
     engine: ExperimentEngine | None = None,
+    n_colonies: int = 1,
 ) -> FigureData:
     """Fig. 5: layering width of AntColony vs MinWidth and MinWidth+PL."""
     return _two_panel_figure(
@@ -157,6 +162,7 @@ def figure5(
         aco_params=aco_params,
         nd_width=nd_width,
         engine=engine,
+        n_colonies=n_colonies,
     )
 
 
@@ -167,6 +173,7 @@ def figure6(
     aco_params: ACOParams | None = None,
     nd_width: float = 1.0,
     engine: ExperimentEngine | None = None,
+    n_colonies: int = 1,
 ) -> FigureData:
     """Fig. 6: height and dummy-vertex count of AntColony vs LPL and LPL+PL."""
     return _two_panel_figure(
@@ -182,6 +189,7 @@ def figure6(
         aco_params=aco_params,
         nd_width=nd_width,
         engine=engine,
+        n_colonies=n_colonies,
     )
 
 
@@ -192,6 +200,7 @@ def figure7(
     aco_params: ACOParams | None = None,
     nd_width: float = 1.0,
     engine: ExperimentEngine | None = None,
+    n_colonies: int = 1,
 ) -> FigureData:
     """Fig. 7: height and dummy-vertex count of AntColony vs MinWidth and MinWidth+PL."""
     return _two_panel_figure(
@@ -207,6 +216,7 @@ def figure7(
         aco_params=aco_params,
         nd_width=nd_width,
         engine=engine,
+        n_colonies=n_colonies,
     )
 
 
@@ -217,6 +227,7 @@ def figure8(
     aco_params: ACOParams | None = None,
     nd_width: float = 1.0,
     engine: ExperimentEngine | None = None,
+    n_colonies: int = 1,
 ) -> FigureData:
     """Fig. 8: edge density and running time of AntColony vs LPL and LPL+PL."""
     return _two_panel_figure(
@@ -232,6 +243,7 @@ def figure8(
         aco_params=aco_params,
         nd_width=nd_width,
         engine=engine,
+        n_colonies=n_colonies,
     )
 
 
@@ -242,6 +254,7 @@ def figure9(
     aco_params: ACOParams | None = None,
     nd_width: float = 1.0,
     engine: ExperimentEngine | None = None,
+    n_colonies: int = 1,
 ) -> FigureData:
     """Fig. 9: edge density and running time of AntColony vs MinWidth and MinWidth+PL."""
     return _two_panel_figure(
@@ -257,6 +270,7 @@ def figure9(
         aco_params=aco_params,
         nd_width=nd_width,
         engine=engine,
+        n_colonies=n_colonies,
     )
 
 

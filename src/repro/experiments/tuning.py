@@ -76,6 +76,7 @@ def parameter_sweep(
     settings: Sequence[tuple[tuple[float, ...], ACOParams]],
     *,
     engine: ExperimentEngine | None = None,
+    n_colonies: int = 1,
 ) -> SweepResult:
     """Run the Ant Colony over ``corpus`` for every parameter setting.
 
@@ -94,7 +95,7 @@ def parameter_sweep(
     units = [
         WorkUnit(
             graph=entry.graph,
-            method=MethodSpec.ant_colony(params),
+            method=MethodSpec.ant_colony(params, n_colonies=n_colonies),
             nd_width=params.nd_width,
             graph_name=entry.name,
             vertex_count=entry.vertex_count,
@@ -128,6 +129,7 @@ def alpha_beta_sweep(
     betas: Sequence[float] = (1, 2, 3, 4, 5),
     base_params: ACOParams | None = None,
     engine: ExperimentEngine | None = None,
+    n_colonies: int = 1,
 ) -> SweepResult:
     """Sweep the (α, β) grid of Section VIII over *corpus*.
 
@@ -140,7 +142,9 @@ def alpha_beta_sweep(
         for a in alphas
         for b in betas
     ]
-    return parameter_sweep(corpus, ("alpha", "beta"), settings, engine=engine)
+    return parameter_sweep(
+        corpus, ("alpha", "beta"), settings, engine=engine, n_colonies=n_colonies
+    )
 
 
 def nd_width_sweep(
@@ -149,6 +153,7 @@ def nd_width_sweep(
     nd_widths: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2),
     base_params: ACOParams | None = None,
     engine: ExperimentEngine | None = None,
+    n_colonies: int = 1,
 ) -> SweepResult:
     """Sweep the dummy-vertex width as in Section VIII.
 
@@ -157,7 +162,9 @@ def nd_width_sweep(
     """
     base = base_params if base_params is not None else ACOParams(seed=0)
     settings = [((float(w),), base.replace(nd_width=float(w))) for w in nd_widths]
-    return parameter_sweep(corpus, ("nd_width",), settings, engine=engine)
+    return parameter_sweep(
+        corpus, ("nd_width",), settings, engine=engine, n_colonies=n_colonies
+    )
 
 
 def best_sweep_setting(result: SweepResult) -> tuple[float, ...]:

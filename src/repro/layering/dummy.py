@@ -12,11 +12,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable
 
+import numpy as np
+
 from repro.graph.digraph import DiGraph, Vertex
 from repro.layering.base import Layering
 from repro.utils.exceptions import ValidationError
 
 __all__ = ["DummyVertex", "make_proper", "ProperLayeringResult"]
+
+#: Supported implementations of the chain expansion.
+DUMMY_ENGINES = ("vectorized", "python")
 
 
 @dataclass(frozen=True)
@@ -69,6 +74,7 @@ def make_proper(
     *,
     dummy_width: float = 1.0,
     validate: bool = True,
+    engine: str = "vectorized",
 ) -> ProperLayeringResult:
     """Subdivide every long edge of *graph* with dummy vertices.
 
@@ -80,6 +86,12 @@ def make_proper(
         the paper; must be positive because dummies become real graph
         vertices here).
     validate: check the layering first (default ``True``).
+    engine: ``"vectorized"`` (default) precomputes every edge span in one
+        array pass and walks the edges against the plain span list;
+        ``"python"`` is the per-edge reference querying the layering for
+        both endpoints of every edge.  Identical results either way (the
+        insertion order of the proper graph is deliberately preserved, see
+        the inline note).
 
     Returns
     -------
@@ -88,6 +100,8 @@ def make_proper(
     """
     if dummy_width <= 0:
         raise ValidationError(f"dummy_width must be positive, got {dummy_width}")
+    if engine not in DUMMY_ENGINES:
+        raise ValidationError(f"engine must be one of {DUMMY_ENGINES}, got {engine!r}")
     if validate:
         layering.validate(graph)
 
@@ -98,24 +112,58 @@ def make_proper(
     assignment = layering.to_dict()
     chains: dict[tuple[Vertex, Vertex], list[DummyVertex]] = {}
 
+    if engine == "vectorized":
+        edges = list(graph.edges())
+        if edges:
+            # One array pass computes every edge span up front (replacing two
+            # layer_of calls per edge); the ordered insertion loop below is
+            # kept so the proper graph's adjacency insertion order — which
+            # downstream Sugiyama phases iterate — is identical to the
+            # reference engine's.
+            layer_of = np.array([assignment[u] for u, _ in edges], dtype=np.int64)
+            layer_of -= np.array([assignment[v] for _, v in edges], dtype=np.int64)
+            spans = layer_of.tolist()
+            for (u, v), span in zip(edges, spans):
+                if span == 1:
+                    proper.add_edge(u, v)
+                else:
+                    chains[(u, v)] = _expand_edge(proper, assignment, u, v, dummy_width)
+        return ProperLayeringResult(
+            graph=proper, layering=Layering(assignment), dummy_chains=chains
+        )
+
     for u, v in graph.edges():
         lu, lv = layering.layer_of(u), layering.layer_of(v)
         span = lu - lv
         if span == 1:
             proper.add_edge(u, v)
             continue
-        chain: list[DummyVertex] = []
-        prev: Vertex = v
-        # Build the chain bottom-up: v -> d(lv+1) -> ... -> d(lu-1) -> u,
-        # then orient edges downwards (from the higher vertex to the lower).
-        for idx, layer in enumerate(range(lv + 1, lu)):
-            d = DummyVertex(source=u, target=v, index=idx, layer=layer)
-            proper.add_vertex(d, width=dummy_width, label=None)
-            assignment[d] = layer
-            proper.add_edge(d, prev)
-            chain.append(d)
-            prev = d
-        proper.add_edge(u, prev)
-        chains[(u, v)] = chain
+        chains[(u, v)] = _expand_edge(proper, assignment, u, v, dummy_width)
 
     return ProperLayeringResult(graph=proper, layering=Layering(assignment), dummy_chains=chains)
+
+
+def _expand_edge(
+    proper: DiGraph,
+    assignment: dict[Vertex, int],
+    u: Vertex,
+    v: Vertex,
+    dummy_width: float,
+) -> list[DummyVertex]:
+    """Subdivide one long edge, mutating *proper* and *assignment* in place.
+
+    Builds the chain bottom-up: ``v -> d(lv+1) -> ... -> d(lu-1) -> u``, then
+    orients edges downwards (from the higher vertex to the lower).
+    """
+    lu, lv = assignment[u], assignment[v]
+    chain: list[DummyVertex] = []
+    prev: Vertex = v
+    for idx, layer in enumerate(range(lv + 1, lu)):
+        d = DummyVertex(source=u, target=v, index=idx, layer=layer)
+        proper.add_vertex(d, width=dummy_width, label=None)
+        assignment[d] = layer
+        proper.add_edge(d, prev)
+        chain.append(d)
+        prev = d
+    proper.add_edge(u, prev)
+    return chain

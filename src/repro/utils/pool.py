@@ -18,14 +18,57 @@ from __future__ import annotations
 
 import concurrent.futures
 import itertools
+import os
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.utils.exceptions import ValidationError
 
-__all__ = ["EXECUTORS", "map_with_state"]
+__all__ = ["EXECUTORS", "REPRO_JOBS_ENV", "effective_workers", "map_with_state"]
 
 #: The supported execution back ends.
 EXECUTORS = ("process", "thread", "serial")
+
+#: Environment variable capping the default worker count of every pool in the
+#: library (useful on oversubscribed CI boxes where ``os.cpu_count()`` lies
+#: about the cores actually available to the job).
+REPRO_JOBS_ENV = "REPRO_JOBS"
+
+
+def effective_workers(requested: int | None = None, n_tasks: int | None = None) -> int:
+    """Resolve the worker count for a pool.
+
+    An explicit *requested* value always wins.  When it is ``None`` the
+    ``REPRO_JOBS`` environment variable is consulted before falling back to
+    ``os.cpu_count()``, so CI boxes (and users) can cap every pool in the
+    library — the multi-colony driver, the experiment engine, the colony
+    runtime — with one setting instead of each call site reading the raw CPU
+    count.  The result is additionally clamped to *n_tasks* (no point
+    spawning more workers than tasks) and floored at 1.
+
+    Invalid inputs raise: an explicit *requested* below 1, and a
+    ``REPRO_JOBS`` value that is non-integer or below 1, are configuration
+    errors, not something to silently coerce.
+    """
+    if requested is not None and requested < 1:
+        raise ValidationError(f"worker count must be >= 1, got {requested}")
+    if requested is None:
+        env = os.environ.get(REPRO_JOBS_ENV, "").strip()
+        if env:
+            try:
+                requested = int(env)
+            except ValueError:
+                raise ValidationError(
+                    f"{REPRO_JOBS_ENV} must be an integer, got {env!r}"
+                ) from None
+            if requested < 1:
+                raise ValidationError(
+                    f"{REPRO_JOBS_ENV} must be >= 1, got {requested}"
+                )
+    if requested is None:
+        requested = os.cpu_count() or 1
+    if n_tasks is not None:
+        requested = min(requested, n_tasks)
+    return max(1, requested)
 
 #: Monotonically increasing tokens distinguishing concurrent runs.
 _RUN_TOKENS = itertools.count()
@@ -73,7 +116,9 @@ def map_with_state(
     executor:
         ``"process"``, ``"thread"`` or ``"serial"``.
     max_workers:
-        Worker cap for the pool back ends (default: pool default).
+        Worker cap for the pool back ends; ``None`` resolves through
+        :func:`effective_workers` (``REPRO_JOBS`` env override, then the CPU
+        count, clamped to the task count).
     init_fn / payload:
         Build the per-worker state as ``init_fn(payload)``.  Both must be
         picklable for the process back end.  Required for ``"process"``;
@@ -105,7 +150,9 @@ def map_with_state(
         if executor == "process"
         else concurrent.futures.ThreadPoolExecutor
     )
-    pool_kwargs: dict[str, Any] = {"max_workers": max_workers}
+    pool_kwargs: dict[str, Any] = {
+        "max_workers": effective_workers(max_workers, len(task_list))
+    }
     if use_shared:
         _WORKER_STATE[token] = shared_state
     else:

@@ -82,3 +82,27 @@ class TestDummyVertex:
     def test_repr_mentions_edge(self):
         d = DummyVertex("u", "v", 0, 2)
         assert "u" in repr(d) and "v" in repr(d)
+
+
+class TestDummyEngines:
+    """The array-driven expansion must reproduce the per-edge reference exactly."""
+
+    def test_engines_identical(self):
+        from repro.graph.generators import att_like_dag
+        from repro.layering.longest_path import longest_path_layering
+
+        for seed in range(4):
+            g = att_like_dag(40, seed=seed)
+            lay = longest_path_layering(g)
+            ref = make_proper(g, lay, engine="python")
+            vec = make_proper(g, lay, engine="vectorized")
+            assert vec.graph == ref.graph
+            assert list(vec.graph.edges()) == list(ref.graph.edges())
+            assert vec.layering == ref.layering
+            assert vec.dummy_chains == ref.dummy_chains
+
+    def test_unknown_engine_rejected(self, diamond):
+        from repro.layering.longest_path import longest_path_layering
+
+        with pytest.raises(ValidationError):
+            make_proper(diamond, longest_path_layering(diamond), engine="gpu")

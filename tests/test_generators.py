@@ -167,3 +167,28 @@ class TestAttLikeDag:
             att_like_dag(10, depth_ratio=1.5)
         with pytest.raises(ValidationError):
             att_like_dag(10, span_decay=0.0)
+
+
+class TestLayeredRandomDagEngines:
+    """The block-draw engine consumes the RNG stream identically to the scalar loop."""
+
+    def test_engines_identical(self):
+        for seed in (0, 1, 7):
+            for n_layers, layer_size, p, max_span in (
+                (4, 5, 0.3, 3),
+                (6, 3, 0.1, 2),
+                (3, 8, 0.9, 1),
+            ):
+                ref = layered_random_dag(
+                    n_layers, layer_size, p, max_span=max_span, seed=seed, engine="python"
+                )
+                vec = layered_random_dag(
+                    n_layers, layer_size, p, max_span=max_span, seed=seed,
+                    engine="vectorized",
+                )
+                assert vec == ref
+                assert list(vec.edges()) == list(ref.edges())
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValidationError):
+            layered_random_dag(2, 2, 0.5, engine="gpu")

@@ -92,3 +92,32 @@ class TestMinWidthSweep:
     def test_custom_grid(self, diamond):
         lay = minwidth_layering_sweep(diamond, grid=((2, 1),))
         lay.validate(diamond)
+
+
+class TestMinWidthEngines:
+    """The vectorized candidate scan must reproduce the reference exactly."""
+
+    def test_engines_identical_on_sample_graphs(self, sample_graphs):
+        for g in sample_graphs:
+            for ubw, c in ((1, 1), (2, 2), (4, 2)):
+                ref = minwidth_layering(g, ubw=ubw, c=c, engine="python")
+                vec = minwidth_layering(g, ubw=ubw, c=c, engine="vectorized")
+                assert vec == ref
+
+    def test_engines_identical_over_grid_and_nd_width(self):
+        for seed in range(4):
+            g = att_like_dag(40, seed=seed)
+            for nd_width in (0.0, 0.5, 1.0):
+                ref = minwidth_layering(g, nd_width=nd_width, engine="python")
+                vec = minwidth_layering(g, nd_width=nd_width, engine="vectorized")
+                assert vec == ref
+
+    def test_sweep_engines_identical(self):
+        g = att_like_dag(45, seed=9)
+        assert minwidth_layering_sweep(g, engine="vectorized") == minwidth_layering_sweep(
+            g, engine="python"
+        )
+
+    def test_unknown_engine_rejected(self, diamond):
+        with pytest.raises(ValidationError):
+            minwidth_layering(diamond, engine="gpu")
