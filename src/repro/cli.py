@@ -19,6 +19,9 @@ Installed as the ``repro-dag`` console script (also reachable via
 ``corpus``
     Materialise the synthetic AT&T-like corpus to a directory of JSON graph
     files (for inspection or for use by external tools).
+``cache``
+    Inspect (``stats``) or bound (``prune --max-size/--older-than``) a
+    result-cache directory.
 
 The experiment sub-commands (``compare``, ``figures``, ``tune``) dispatch
 their (graph × algorithm) cells through the shared experiment engine
@@ -29,6 +32,13 @@ portfolio (:mod:`repro.aco.runtime`), and ``--cache-dir DIR`` enables the
 content-addressed result cache so repeated runs over the same corpus and
 parameters are incremental.
 
+Full-corpus-scale runs add: ``compare --full`` (the paper's entire
+1277-graph corpus), fault isolation by default (a raising cell is recorded
+and excluded from the aggregates; ``--strict`` restores fail-fast), a live
+stderr progress line (automatic on a terminal, forced with ``--progress``),
+and ``--run-dir DIR`` journaling every completed cell so an interrupted run
+finishes with ``--resume`` instead of restarting from zero.
+
 Graph files may be in the library's edge-list format (``.edgelist``, see
 :func:`repro.graph.io.write_edgelist`) or JSON (``.json``,
 :func:`repro.graph.io.write_json`).
@@ -37,14 +47,18 @@ Graph files may be in the library's edge-list format (``.edgelist``, see
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
+import re
 import sys
+import time
 from pathlib import Path
-from typing import Sequence
+from typing import Sequence, TextIO
 
 from repro.aco.params import ACOParams
 from repro.datasets.corpus import GROUP_VERTEX_COUNTS, att_like_corpus
-from repro.experiments.engine import ExperimentEngine, default_method_specs
+from repro.experiments.cache import ResultCache
+from repro.experiments.engine import ExperimentEngine, RunProgress, default_method_specs
 from repro.experiments.figures import FIGURES
 from repro.experiments.reporting import format_comparison, format_figure, format_sweep
 from repro.experiments.runner import run_comparison
@@ -101,6 +115,111 @@ def _layering_method(name: str, params: ACOParams):
     return LAYERING_METHODS[name]
 
 
+_SIZE_SUFFIXES = {"": 1, "B": 1, "K": 1024, "M": 1024**2, "G": 1024**3, "T": 1024**4}
+_DURATION_SUFFIXES = {"": 1, "S": 1, "M": 60, "H": 3600, "D": 86400, "W": 604800}
+
+
+def _parse_size(text: str) -> int:
+    """``"512M"``/``"2G"``/``"1.5MiB"``/``"1048576"`` → bytes.
+
+    Accepts the ``KiB``/``MiB``/``GiB`` spellings that ``cache stats``
+    itself prints, so displayed sizes round-trip as prune inputs.
+    """
+    match = re.fullmatch(r"\s*(\d+(?:\.\d+)?)\s*([A-Za-z]?)[iI]?[bB]?\s*", text)
+    if not match or match.group(2).upper() not in _SIZE_SUFFIXES:
+        raise ReproError(
+            f"invalid size {text!r}; use e.g. 1048576, 512K, 64MiB, 2G"
+        )
+    return int(float(match.group(1)) * _SIZE_SUFFIXES[match.group(2).upper()])
+
+
+def _parse_duration(text: str) -> float:
+    """``"7d"``/``"12h"``/``"45m"``/``"30"`` (seconds) → seconds."""
+    match = re.fullmatch(r"\s*(\d+(?:\.\d+)?)\s*([A-Za-z]?)\s*", text)
+    if not match or match.group(2).upper() not in _DURATION_SUFFIXES:
+        raise ReproError(
+            f"invalid duration {text!r}; use e.g. 30s, 45m, 12h, 7d, 2w"
+        )
+    return float(match.group(1)) * _DURATION_SUFFIXES[match.group(2).upper()]
+
+
+def _format_bytes(n: int | float) -> str:
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    return f"{value:.1f} GiB"  # pragma: no cover - unreachable
+
+
+def _format_eta(seconds: float | None) -> str:
+    if seconds is None:
+        return "--:--"
+    seconds = int(seconds)
+    if seconds >= 3600:
+        return f"{seconds // 3600}:{seconds % 3600 // 60:02d}:{seconds % 60:02d}"
+    return f"{seconds // 60:02d}:{seconds % 60:02d}"
+
+
+class _ProgressReporter:
+    """Live one-line stderr progress display driven by the engine callback.
+
+    The line rewrites itself in place (``\\r``) at most every 0.1 s, only
+    when *enabled* (a terminal, or ``--progress``); :meth:`finish` always
+    prints the run summary — cells done, executed, replayed, cache hits,
+    failures — so scripts (and the CI resume smoke) can assert on it even
+    without a tty.
+    """
+
+    def __init__(self, *, enabled: bool, stream: TextIO | None = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.enabled = enabled
+        self.last: RunProgress | None = None
+        self._banked: list[RunProgress] = []
+        self._last_write = 0.0
+        self._dirty = False
+
+    def __call__(self, progress: RunProgress) -> None:
+        if self.last is not None and progress.done <= self.last.done:
+            # A new engine run started (figures/tune issue several); bank
+            # the finished one so the final summary spans them all.
+            self._banked.append(self.last)
+        self.last = progress
+        if not self.enabled:
+            return
+        now = time.monotonic()
+        if progress.done < progress.total and now - self._last_write < 0.1:
+            return
+        self._last_write = now
+        self.stream.write(
+            f"\rcells {progress.done}/{progress.total}"
+            f"  failures {progress.failures}"
+            f"  cache {progress.cache_hits}"
+            f"  replayed {progress.replayed}"
+            f"  eta {_format_eta(progress.eta_s)}   "
+        )
+        self.stream.flush()
+        self._dirty = True
+
+    def finish(self) -> None:
+        if self._dirty:
+            self.stream.write("\n")
+            self._dirty = False
+        if self.last is not None:
+            runs = [*self._banked, self.last]
+            done = sum(p.done for p in runs)
+            total = sum(p.total for p in runs)
+            self.stream.write(
+                f"run: {done}/{total} cells "
+                f"({sum(p.executed for p in runs)} executed, "
+                f"{sum(p.replayed for p in runs)} replayed, "
+                f"{sum(p.cache_hits for p in runs)} cache hits, "
+                f"{sum(p.failures for p in runs)} failures) "
+                f"in {sum(p.elapsed_s for p in runs):.1f}s\n"
+            )
+            self.stream.flush()
+
+
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--executor",
@@ -133,12 +252,65 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="enable the content-addressed result cache in this directory",
     )
-
-
-def _engine(args: argparse.Namespace) -> ExperimentEngine:
-    return ExperimentEngine.from_options(
-        executor=args.executor, jobs=args.jobs, cache_dir=args.cache_dir
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help=(
+            "fail fast on the first raising cell (default: record the "
+            "failure, exclude it from the aggregates and keep going)"
+        ),
     )
+    parser.add_argument(
+        "--run-dir",
+        default=None,
+        help=(
+            "journal every completed cell under this directory so an "
+            "interrupted run can be finished with --resume"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "replay the journaled cells of a previous --run-dir run and "
+            "execute only the remainder"
+        ),
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help=(
+            "force the live stderr progress line (cells done/total, "
+            "failures, cache hits, ETA); on by default when stderr is a "
+            "terminal"
+        ),
+    )
+
+
+@contextlib.contextmanager
+def _engine(args: argparse.Namespace):
+    """Engine built from the CLI options, with progress/journal teardown.
+
+    On exit — normal, interrupted or strict-failed — the progress line is
+    finalised (the run summary always prints) and the journal handle is
+    closed.
+    """
+    reporter = _ProgressReporter(enabled=args.progress or sys.stderr.isatty())
+    engine = ExperimentEngine.from_options(
+        executor=args.executor,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        strict=args.strict,
+        run_dir=args.run_dir,
+        resume=args.resume,
+        progress=reporter,
+    )
+    try:
+        yield engine
+    finally:
+        reporter.finish()
+        if engine.journal is not None:
+            engine.journal.close()
 
 
 def _add_aco_options(parser: argparse.ArgumentParser) -> None:
@@ -194,20 +366,32 @@ def _cmd_draw(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    if args.full and args.graphs_per_group is not None:
+        raise ReproError("--full runs the whole corpus; drop --graphs-per-group")
+    graphs_per_group = (
+        None if args.full else (args.graphs_per_group if args.graphs_per_group is not None else 2)
+    )
     vertex_counts = (
         tuple(args.vertex_counts) if args.vertex_counts else GROUP_VERTEX_COUNTS
     )
     corpus = att_like_corpus(
-        graphs_per_group=args.graphs_per_group, vertex_counts=vertex_counts
+        graphs_per_group=graphs_per_group, vertex_counts=vertex_counts
     )
     params = _aco_params(args)
     algorithms = default_method_specs(
         aco_params=params, include_aco=not args.no_aco, n_colonies=args.n_colonies
     )
     print(f"corpus: {len(corpus)} graphs over groups {sorted(set(vertex_counts))}")
-    comparison = run_comparison(
-        corpus, algorithms, nd_width=args.nd_width, engine=_engine(args)
-    )
+    with _engine(args) as engine:
+        # keep_results=False: the tables only need the per-group aggregates,
+        # so even the full 1277-graph corpus holds O(groups) state.
+        comparison = run_comparison(
+            corpus,
+            algorithms,
+            nd_width=args.nd_width,
+            engine=engine,
+            keep_results=False,
+        )
     for metric in _CLI_METRICS:
         print()
         print(format_comparison(comparison, metric))
@@ -218,17 +402,17 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     wanted = list(FIGURES) if args.figure == "all" else [args.figure]
     params = _aco_params(args)
     corpus = att_like_corpus(graphs_per_group=args.graphs_per_group)
-    engine = _engine(args)
-    for figure_id in wanted:
-        figure = FIGURES[figure_id](
-            corpus=corpus,
-            aco_params=params,
-            nd_width=args.nd_width,
-            engine=engine,
-            n_colonies=args.n_colonies,
-        )
-        print()
-        print(format_figure(figure))
+    with _engine(args) as engine:
+        for figure_id in wanted:
+            figure = FIGURES[figure_id](
+                corpus=corpus,
+                aco_params=params,
+                nd_width=args.nd_width,
+                engine=engine,
+                n_colonies=args.n_colonies,
+            )
+            print()
+            print(format_figure(figure))
     return 0
 
 
@@ -241,15 +425,40 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     )
     params = _aco_params(args)
     print(f"corpus: {len(corpus)} graphs over groups {sorted(set(vertex_counts))}")
-    if args.sweep == "alpha-beta":
-        sweep = alpha_beta_sweep(
-            corpus, base_params=params, engine=_engine(args), n_colonies=args.n_colonies
-        )
-    else:
-        sweep = nd_width_sweep(
-            corpus, base_params=params, engine=_engine(args), n_colonies=args.n_colonies
-        )
+    with _engine(args) as engine:
+        if args.sweep == "alpha-beta":
+            sweep = alpha_beta_sweep(
+                corpus, base_params=params, engine=engine, n_colonies=args.n_colonies
+            )
+        else:
+            sweep = nd_width_sweep(
+                corpus, base_params=params, engine=engine, n_colonies=args.n_colonies
+            )
     print(format_sweep(sweep))
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.cache_command == "stats":
+        stats = cache.stats()
+        print(f"cache: {cache.directory}")
+        print(f"  entries: {stats.entries}")
+        print(f"  total size: {_format_bytes(stats.total_bytes)}")
+        if stats.oldest_mtime is not None and stats.newest_mtime is not None:
+            now = time.time()
+            print(f"  oldest entry: {(now - stats.oldest_mtime) / 3600:.1f} h ago")
+            print(f"  newest entry: {(now - stats.newest_mtime) / 3600:.1f} h ago")
+        return 0
+    max_size = _parse_size(args.max_size) if args.max_size is not None else None
+    older_than = (
+        _parse_duration(args.older_than) if args.older_than is not None else None
+    )
+    result = cache.prune(max_size_bytes=max_size, older_than_seconds=older_than)
+    print(
+        f"pruned {result.removed} entries ({_format_bytes(result.freed_bytes)}); "
+        f"kept {result.kept} ({_format_bytes(result.kept_bytes)})"
+    )
     return 0
 
 
@@ -295,7 +504,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_draw.set_defaults(func=_cmd_draw)
 
     p_compare = sub.add_parser("compare", help="run the five-algorithm comparison on the corpus")
-    p_compare.add_argument("--graphs-per-group", type=int, default=2)
+    p_compare.add_argument(
+        "--graphs-per-group",
+        type=int,
+        default=None,
+        help="corpus sample size per vertex-count group (default 2)",
+    )
+    p_compare.add_argument(
+        "--full",
+        action="store_true",
+        help=(
+            "run the paper's entire 1277-graph corpus (pair with --run-dir/"
+            "--resume and --cache-dir for interruption-proof runs)"
+        ),
+    )
     p_compare.add_argument(
         "--vertex-counts", type=int, nargs="*", help="vertex-count groups (default: all 19)"
     )
@@ -333,6 +555,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_corpus.add_argument("output_dir")
     p_corpus.add_argument("--graphs-per-group", type=int, default=1)
     p_corpus.set_defaults(func=_cmd_corpus)
+
+    p_cache = sub.add_parser("cache", help="inspect or prune a result-cache directory")
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_cache_stats = cache_sub.add_parser("stats", help="entry count, size and age range")
+    p_cache_stats.add_argument("cache_dir", help="the --cache-dir to inspect")
+    p_cache_stats.set_defaults(func=_cmd_cache)
+    p_cache_prune = cache_sub.add_parser(
+        "prune",
+        help="evict entries older than a cutoff and/or oldest-first down to a size budget",
+    )
+    p_cache_prune.add_argument("cache_dir", help="the --cache-dir to prune")
+    p_cache_prune.add_argument(
+        "--max-size", help="size budget to prune down to, e.g. 1048576, 512K, 64M, 2G"
+    )
+    p_cache_prune.add_argument(
+        "--older-than", help="evict entries older than this, e.g. 30s, 45m, 12h, 7d"
+    )
+    p_cache_prune.set_defaults(func=_cmd_cache)
 
     return parser
 

@@ -62,23 +62,36 @@ class CorpusGraph:
         return f"att-like-n{self.vertex_count}-{self.index:03d}"
 
 
-def corpus_group_counts(total: int = TOTAL_GRAPHS) -> dict[int, int]:
+def corpus_group_counts(
+    total: int = TOTAL_GRAPHS,
+    vertex_counts: tuple[int, ...] = GROUP_VERTEX_COUNTS,
+) -> dict[int, int]:
     """How many graphs each vertex-count group contains for a corpus of *total* graphs.
 
     The paper does not state the per-group breakdown, so the graphs are
-    spread as evenly as possible: ``total // 19`` per group with the
-    remainder going to the smallest groups.
+    spread as evenly as possible over the requested groups: ``total //
+    len(vertex_counts)`` per group with the remainder going to the smallest
+    groups.  With the defaults this is the paper's 1277-graph, 19-group
+    shape; custom ``vertex_counts`` (e.g. a single group) distribute the
+    same total over just those groups.
     """
-    if total < len(GROUP_VERTEX_COUNTS):
+    if not vertex_counts:
+        raise ValidationError("vertex_counts must name at least one group")
+    if len(set(vertex_counts)) != len(vertex_counts):
+        raise ValidationError(
+            f"vertex_counts must be unique, got duplicates in {vertex_counts}"
+        )
+    if total < len(vertex_counts):
         raise ValidationError(
             f"corpus must contain at least one graph per group "
-            f"({len(GROUP_VERTEX_COUNTS)}), got total={total}"
+            f"({len(vertex_counts)}), got total={total}"
         )
-    base, extra = divmod(total, len(GROUP_VERTEX_COUNTS))
-    return {
-        vc: base + (1 if i < extra else 0)
-        for i, vc in enumerate(GROUP_VERTEX_COUNTS)
-    }
+    base, extra = divmod(total, len(vertex_counts))
+    # The remainder goes to the *smallest* groups regardless of the order
+    # the groups were requested in, so (10, 20) and (20, 10) describe the
+    # same corpus.
+    bonus = set(sorted(vertex_counts)[:extra])
+    return {vc: base + (1 if vc in bonus else 0) for vc in vertex_counts}
 
 
 def _graph_seed(corpus_seed: int, vertex_count: int, index: int) -> int:
@@ -98,9 +111,11 @@ def iter_att_like_corpus(
     Parameters
     ----------
     graphs_per_group:
-        ``None`` (default) yields the full paper-sized corpus (1277 graphs);
-        an integer yields that many graphs from every group — the fast,
-        shape-preserving subset used by the benchmark harness.
+        ``None`` (default) yields the full paper-sized corpus — 1277 graphs
+        distributed over the requested ``vertex_counts`` (the paper's 19
+        groups by default, so custom groups no longer crash with a raw
+        ``KeyError``); an integer yields that many graphs from every group —
+        the fast, shape-preserving subset used by the benchmark harness.
     seed:
         Corpus seed; changing it produces a statistically equivalent but
         different corpus.
@@ -109,7 +124,18 @@ def iter_att_like_corpus(
     """
     if graphs_per_group is not None and graphs_per_group < 1:
         raise ValidationError(f"graphs_per_group must be >= 1, got {graphs_per_group}")
-    full_counts = corpus_group_counts()
+    vertex_counts = tuple(vertex_counts)
+    if not vertex_counts:
+        raise ValidationError("vertex_counts must name at least one group")
+    if len(set(vertex_counts)) != len(vertex_counts):
+        raise ValidationError(
+            f"vertex_counts must be unique, got duplicates in {vertex_counts}"
+        )
+    full_counts = (
+        corpus_group_counts(vertex_counts=vertex_counts)
+        if graphs_per_group is None
+        else None
+    )
     for vc in vertex_counts:
         count = graphs_per_group if graphs_per_group is not None else full_counts[vc]
         for idx in range(count):

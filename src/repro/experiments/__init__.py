@@ -14,14 +14,19 @@
   benchmarks and the examples.
 """
 
-from repro.experiments.cache import CachedCell, ResultCache
+from repro.experiments.cache import CachedCell, CacheStats, PruneResult, ResultCache
 from repro.experiments.engine import (
+    CellError,
+    CellFailure,
     CellResult,
     ExperimentEngine,
     MethodSpec,
+    RunInterrupted,
+    RunProgress,
     WorkUnit,
     default_method_specs,
 )
+from repro.experiments.journal import RunJournal
 from repro.experiments.figures import (
     FIGURES,
     FigureData,
@@ -51,10 +56,17 @@ from repro.experiments.tuning import (
 
 __all__ = [
     "CachedCell",
+    "CacheStats",
+    "PruneResult",
     "ResultCache",
+    "CellError",
+    "CellFailure",
     "CellResult",
     "ExperimentEngine",
     "MethodSpec",
+    "RunInterrupted",
+    "RunJournal",
+    "RunProgress",
     "WorkUnit",
     "default_method_specs",
     "parameter_sweep",

@@ -27,6 +27,14 @@ LayeringMetrics` fields plus the originally measured running time.  Files
 are written atomically (temp file + rename) so concurrent runs sharing a
 cache directory never observe torn entries; unreadable or foreign files are
 treated as misses.
+
+Because keys are never invalidated, a long-lived ``--cache-dir`` grows
+without bound (version bumps orphan old entries on disk).
+:meth:`ResultCache.stats` and :meth:`ResultCache.prune` (CLI: ``repro-dag
+cache {stats,prune}``) keep it in check: prune drops entries older than a
+cutoff and/or evicts oldest-first down to a size budget.  Both are safe
+under concurrent readers — eviction is a plain ``unlink`` and every reader
+already treats a missing file as a miss.
 """
 
 from __future__ import annotations
@@ -35,14 +43,24 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
 import repro
 from repro.layering.metrics import LayeringMetrics
+from repro.utils.exceptions import ValidationError
 
-__all__ = ["CachedCell", "ResultCache", "canonical_json", "content_digest", "cache_key"]
+__all__ = [
+    "CachedCell",
+    "CacheStats",
+    "PruneResult",
+    "ResultCache",
+    "canonical_json",
+    "content_digest",
+    "cache_key",
+]
 
 #: Format marker stored in every cache entry.
 CACHE_FORMAT = "repro-cell-result"
@@ -94,6 +112,26 @@ class CachedCell:
     running_time: float
 
 
+@dataclass(frozen=True)
+class CacheStats:
+    """Aggregate shape of a cache directory (``repro-dag cache stats``)."""
+
+    entries: int
+    total_bytes: int
+    oldest_mtime: float | None
+    newest_mtime: float | None
+
+
+@dataclass(frozen=True)
+class PruneResult:
+    """Outcome of one :meth:`ResultCache.prune` pass."""
+
+    removed: int
+    freed_bytes: int
+    kept: int
+    kept_bytes: int
+
+
 class ResultCache:
     """Directory-backed content-addressed store of :class:`CachedCell` entries."""
 
@@ -121,16 +159,29 @@ class ResultCache:
         return CachedCell(metrics=metrics, running_time=running_time)
 
     def put(self, key: str, metrics: LayeringMetrics, running_time: float) -> None:
-        """Store one cell result atomically."""
+        """Store one cell result atomically.
+
+        A concurrent ``prune`` may rmdir the shard directory between our
+        ``mkdir`` and ``mkstemp`` (it only removes shards that are empty at
+        that instant); recreate and retry instead of letting the race abort
+        a running experiment.
+        """
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         record = {
             "format": CACHE_FORMAT,
             "version": CACHE_VERSION,
             "metrics": metrics.as_dict(),
             "running_time": running_time,
         }
-        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        for attempt in range(3):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            except FileNotFoundError:
+                if attempt == 2:
+                    raise
+                continue  # shard pruned from under us: re-create it
+            break
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(record, handle)
@@ -147,3 +198,89 @@ class ResultCache:
         if not self.directory.is_dir():
             return 0
         return sum(1 for _ in self.directory.glob("??/*.json"))
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+    # ------------------------------------------------------------------ #
+
+    def _scan(self) -> list[tuple[Path, int, float]]:
+        """``(path, size, mtime)`` for every entry file; vanished files skipped."""
+        entries: list[tuple[Path, int, float]] = []
+        for path in self.directory.glob("??/*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # concurrently pruned by another process
+            entries.append((path, stat.st_size, stat.st_mtime))
+        return entries
+
+    def stats(self) -> CacheStats:
+        """Entry count, total size and age range of the cache directory."""
+        entries = self._scan()
+        mtimes = [m for _, _, m in entries]
+        return CacheStats(
+            entries=len(entries),
+            total_bytes=sum(size for _, size, _ in entries),
+            oldest_mtime=min(mtimes) if mtimes else None,
+            newest_mtime=max(mtimes) if mtimes else None,
+        )
+
+    def prune(
+        self,
+        *,
+        max_size_bytes: int | None = None,
+        older_than_seconds: float | None = None,
+        now: float | None = None,
+    ) -> PruneResult:
+        """Evict entries: first everything older than the cutoff, then
+        oldest-first until the directory fits the size budget.
+
+        Safe under concurrent readers and writers: eviction is a plain
+        atomic ``unlink`` (readers already treat a missing file as a miss),
+        files that vanish mid-prune are ignored, and empty shard directories
+        are removed only when they stay empty.  At least one criterion is
+        required — a bare prune deleting everything would be a foot-gun.
+        """
+        if max_size_bytes is None and older_than_seconds is None:
+            raise ValidationError("prune needs --max-size and/or --older-than")
+        if max_size_bytes is not None and max_size_bytes < 0:
+            raise ValidationError(f"max_size_bytes must be >= 0, got {max_size_bytes}")
+        if older_than_seconds is not None and older_than_seconds < 0:
+            raise ValidationError(
+                f"older_than_seconds must be >= 0, got {older_than_seconds}"
+            )
+        now = now if now is not None else time.time()
+        entries = sorted(self._scan(), key=lambda e: (e[2], e[0].name))  # oldest first
+        doomed: list[tuple[Path, int, float]] = []
+        if older_than_seconds is not None:
+            cutoff = now - older_than_seconds
+            while entries and entries[0][2] < cutoff:
+                doomed.append(entries.pop(0))
+        if max_size_bytes is not None:
+            kept_bytes = sum(size for _, size, _ in entries)
+            while entries and kept_bytes > max_size_bytes:
+                entry = entries.pop(0)
+                doomed.append(entry)
+                kept_bytes -= entry[1]
+        removed = 0
+        freed = 0
+        touched_shards: set[Path] = set()
+        for path, size, _ in doomed:
+            try:
+                path.unlink()
+            except OSError:
+                continue  # already gone: someone else pruned it
+            removed += 1
+            freed += size
+            touched_shards.add(path.parent)
+        for shard in touched_shards:
+            try:
+                shard.rmdir()  # only succeeds if the shard is now empty
+            except OSError:
+                pass
+        return PruneResult(
+            removed=removed,
+            freed_bytes=freed,
+            kept=len(entries),
+            kept_bytes=sum(size for _, size, _ in entries),
+        )

@@ -1,4 +1,4 @@
-"""Shared parallel experiment engine.
+"""Shared parallel experiment engine: streaming, fault-isolated, resumable.
 
 Every experiment in the repo — the five-algorithm comparison
 (:func:`repro.experiments.runner.run_comparison`), the six figure builders
@@ -23,29 +23,65 @@ This module provides the one dispatcher they all share:
   shared-memory colony portfolio (:mod:`repro.aco.runtime`), batching all
   colonies' ants into lockstep kernel calls inside the worker.
 
-Determinism: cells are submitted in order and results are returned in
+Full-corpus-scale lifecycle (the paper's evaluation is 1277 graphs × 5
+algorithms ≈ 6400 cells, minutes of wall-clock):
+
+* **Fault isolation** — a raising cell no longer aborts the run.  The
+  exception is captured *inside* the executor (worker-side for process
+  pools, so the traceback text is the worker's), recorded as
+  :class:`CellError` on the cell's :class:`CellResult`, and the run
+  continues.  ``ExperimentEngine(strict=True)`` restores fail-fast: the
+  first failed cell raises :class:`CellFailure`.
+* **Streaming** — :meth:`ExperimentEngine.run_iter` yields completed
+  :class:`CellResult` values one at a time in deterministic submission
+  order, so aggregators keep O(groups) state instead of materialising every
+  cell; :meth:`ExperimentEngine.run` is a thin ``list()`` wrapper.  A
+  ``progress`` callback receives a :class:`RunProgress` snapshot after
+  every cell (the CLI's live stderr progress line).
+* **Resume** — with a :class:`~repro.experiments.journal.RunJournal`
+  attached (CLI: ``--run-dir``), every completed cell is journaled the
+  moment it finishes; ``resume=True`` (CLI: ``--resume``) replays the
+  journaled successful cells instantly and executes only the remainder,
+  which makes an interrupted full-corpus run completable across any number
+  of kills.
+
+Determinism: cells are submitted in order and results are yielded in
 submission order, and every layering algorithm in the repo is deterministic
 for a fixed seed, so the engine returns identical metrics for every executor
 and worker count.  Only the measured ``running_time`` of a cell varies
-between runs (a cache hit reports the originally measured time).
+between runs (a cache hit or journal replay reports the originally measured
+time).
 
 Callable-backed method specs cannot be pickled; the engine runs them in the
 parent process (under ``executor="thread"`` they still use the pool), so
 custom algorithms keep working with any executor — they just do not gain
-multi-core speed-up unless registered in :data:`BUILTIN_METHODS`.
+multi-core speed-up unless registered in :data:`BUILTIN_METHODS`, and they
+are neither cached nor journaled (their behaviour has no content identity).
+
+Two environment hooks exist for exercising this machinery end to end (used
+by the fault-isolation tests and the CI resume smoke):
+``REPRO_ENGINE_FAIL`` holds comma-separated ``algorithm:graph_name``
+fnmatch patterns — matching cells raise inside the executor; and
+``REPRO_ENGINE_MAX_CELLS=N`` interrupts the run (raising
+:class:`RunInterrupted`) after N freshly executed cells, simulating a kill
+mid-run without racing an actual signal.
 """
 
 from __future__ import annotations
 
+import fnmatch
+import os
 import time
+import traceback
 import warnings
-from dataclasses import dataclass
-from typing import Any, Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.aco.layering_aco import aco_layering
 from repro.aco.params import ACOParams
 from repro.aco.parallel import parallel_aco_layering
 from repro.experiments.cache import ResultCache, cache_key, content_digest
+from repro.experiments.journal import RunJournal
 from repro.graph.digraph import DiGraph
 from repro.graph.io import from_json_dict, to_json_dict
 from repro.layering.base import Layering
@@ -53,15 +89,21 @@ from repro.layering.longest_path import longest_path_layering
 from repro.layering.metrics import LayeringMetrics, evaluate_layering
 from repro.layering.minwidth import minwidth_layering_sweep
 from repro.layering.promote import promote_layering
-from repro.utils.exceptions import ValidationError
-from repro.utils.pool import EXECUTORS, map_with_state
+from repro.utils.exceptions import ReproError, ValidationError
+from repro.utils.pool import EXECUTORS, imap_with_state
 
 __all__ = [
     "BUILTIN_METHODS",
     "ENGINE_EXECUTORS",
+    "FAIL_CELLS_ENV",
+    "MAX_CELLS_ENV",
     "MethodSpec",
     "WorkUnit",
+    "CellError",
     "CellResult",
+    "CellFailure",
+    "RunInterrupted",
+    "RunProgress",
     "ExperimentEngine",
     "default_method_specs",
 ]
@@ -70,6 +112,15 @@ __all__ = [
 #: ``"colonies"``, which dispatches cells like ``"process"`` and signals that
 #: multi-colony Ant Colony specs should use the shared-memory runtime.
 ENGINE_EXECUTORS = EXECUTORS + ("colonies",)
+
+#: Fault-injection hook: comma-separated ``algorithm:graph_name`` fnmatch
+#: patterns; matching cells raise inside the executor.  Inherited by pool
+#: workers through the environment, so it works on every executor.
+FAIL_CELLS_ENV = "REPRO_ENGINE_FAIL"
+
+#: Interruption hook: abort the run (``RunInterrupted``) after this many
+#: freshly executed cells — a deterministic stand-in for kill -9 mid-run.
+MAX_CELLS_ENV = "REPRO_ENGINE_MAX_CELLS"
 
 LayeringAlgorithm = Callable[[DiGraph], Layering]
 
@@ -268,18 +319,126 @@ class WorkUnit:
     def resolved_vertex_count(self) -> int:
         return self.vertex_count if self.vertex_count is not None else self.graph.n_vertices
 
+    @property
+    def cell_id(self) -> str:
+        """``algorithm:graph_name`` identifier used by the fault-injection hook."""
+        return f"{self.algorithm}:{self.resolved_graph_name}"
+
+
+@dataclass(frozen=True)
+class CellError:
+    """A captured per-cell failure: what raised, where, and how long it took."""
+
+    exc_type: str
+    message: str
+    traceback: str
+    running_time: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.exc_type}: {self.message}"
+
 
 @dataclass(frozen=True)
 class CellResult:
-    """Outcome of one work unit."""
+    """Outcome of one work unit.
+
+    Exactly one of ``metrics`` / ``error`` is set: a successful cell carries
+    its :class:`~repro.layering.metrics.LayeringMetrics`, a failed cell the
+    captured :class:`CellError`.  ``cached`` marks a result-cache hit,
+    ``replayed`` a journal replay (``--resume``); both report the originally
+    measured ``running_time``.
+    """
 
     algorithm: str
     graph_name: str
     vertex_count: int
     nd_width: float
-    metrics: LayeringMetrics
+    metrics: LayeringMetrics | None
     running_time: float
     cached: bool = False
+    replayed: bool = False
+    error: CellError | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the cell completed without error."""
+        return self.error is None
+
+
+class CellFailure(ReproError):
+    """Raised in ``strict`` mode when a cell fails (fail-fast restored).
+
+    The captured :class:`CellError` is attached as :attr:`error` and the
+    failed cell's :class:`CellResult` as :attr:`cell`.
+    """
+
+    def __init__(self, cell: CellResult) -> None:
+        assert cell.error is not None
+        super().__init__(
+            f"cell {cell.algorithm} on {cell.graph_name} failed: "
+            f"{cell.error.exc_type}: {cell.error.message}"
+        )
+        self.cell = cell
+        self.error = cell.error
+
+
+class RunInterrupted(ReproError):
+    """The run stopped early (``REPRO_ENGINE_MAX_CELLS``) with work remaining."""
+
+
+@dataclass(frozen=True)
+class RunProgress:
+    """Snapshot handed to the progress callback after every completed cell."""
+
+    done: int
+    total: int
+    failures: int
+    cache_hits: int
+    replayed: int
+    executed: int
+    elapsed_s: float
+
+    @property
+    def eta_s(self) -> float | None:
+        """Estimated seconds to completion (``None`` before the first cell).
+
+        The rate is based on *executed* cells when any exist: journal
+        replays and cache hits stream through in microseconds, so counting
+        them (as a naive ``elapsed/done`` would) makes a resumed or
+        warm-cache run claim ``eta 00:00`` for cells that still need real
+        compute.
+        """
+        if self.done == 0 or self.elapsed_s <= 0:
+            return None
+        rate_basis = self.executed if self.executed > 0 else self.done
+        return (self.total - self.done) * (self.elapsed_s / rate_basis)
+
+
+def _fail_patterns() -> tuple[str, ...]:
+    raw = os.environ.get(FAIL_CELLS_ENV, "").strip()
+    if not raw:
+        return ()
+    return tuple(p.strip() for p in raw.split(",") if p.strip())
+
+
+def _maybe_inject_failure(cell_id: str) -> None:
+    """Raise for cells matching the ``REPRO_ENGINE_FAIL`` fnmatch patterns."""
+    for pattern in _fail_patterns():
+        if fnmatch.fnmatchcase(cell_id, pattern):
+            raise RuntimeError(f"injected failure for cell {cell_id!r} ({FAIL_CELLS_ENV})")
+
+
+def _max_cells() -> int | None:
+    raw = os.environ.get(MAX_CELLS_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValidationError(f"{MAX_CELLS_ENV} must be an integer, got {raw!r}") from None
+    if value < 1:
+        raise ValidationError(f"{MAX_CELLS_ENV} must be >= 1, got {value}")
+    return value
 
 
 def _execute_unit(unit: WorkUnit) -> tuple[LayeringMetrics, float]:
@@ -292,31 +451,64 @@ def _execute_unit(unit: WorkUnit) -> tuple[LayeringMetrics, float]:
     return metrics, elapsed
 
 
+#: Wire format of a captured outcome: ``("ok", metrics, elapsed)`` or
+#: ``("error", CellError)``.  Plain picklable tuples so process-pool workers
+#: can report failures as data instead of crashing the future.
+CellOutcome = tuple
+
+
+def _safe_execute(unit: WorkUnit, cell_id: str | None = None) -> CellOutcome:
+    """Execute one cell, capturing any exception as a :class:`CellError`.
+
+    Runs wherever the cell runs (process-pool worker included), so the
+    recorded traceback is the executor's own.  ``KeyboardInterrupt`` and
+    other non-``Exception`` conditions propagate — fault isolation is for
+    cell bugs, not for the operator's Ctrl-C.
+    """
+    start = time.perf_counter()
+    try:
+        _maybe_inject_failure(cell_id if cell_id is not None else unit.cell_id)
+        return ("ok", *_execute_unit(unit))
+    except Exception as exc:
+        return (
+            "error",
+            CellError(
+                exc_type=type(exc).__name__,
+                message=str(exc),
+                traceback=traceback.format_exc(),
+                running_time=time.perf_counter() - start,
+            ),
+        )
+
+
 def _decode_graph_table(payload: Mapping[str, dict[str, Any]]) -> dict[str, DiGraph]:
     """Per-worker state: decode the shared ``ref -> graph JSON`` table once."""
     return {ref: from_json_dict(graph_json) for ref, graph_json in payload.items()}
 
 
 def _run_cell(
-    state: Mapping[str, DiGraph], ref: str, spec_dict: dict[str, Any], nd_width: float
-) -> tuple[LayeringMetrics, float]:
+    state: Mapping[str, DiGraph],
+    ref: str,
+    spec_dict: dict[str, Any],
+    nd_width: float,
+    cell_id: str,
+) -> CellOutcome:
     """Process-pool worker entry point for one shippable cell."""
     unit = WorkUnit(
         graph=state[ref], method=MethodSpec.from_dict(spec_dict), nd_width=nd_width
     )
-    return _execute_unit(unit)
+    return _safe_execute(unit, cell_id)
 
 
-def _run_indexed_unit(
-    state: Sequence[WorkUnit], index: int
-) -> tuple[LayeringMetrics, float]:
+def _run_indexed_unit(state: Sequence[WorkUnit], index: int) -> CellOutcome:
     """Thread-pool / serial worker entry point: run the *index*-th pending unit."""
-    return _execute_unit(state[index])
+    return _safe_execute(state[index])
 
 
 @dataclass
 class ExperimentEngine:
-    """Dispatch experiment cells over an executor, with optional result caching.
+    """Dispatch experiment cells over an executor, with caching, fault
+    isolation, streaming results and journal-based resume.
 
     Parameters
     ----------
@@ -331,11 +523,34 @@ class ExperimentEngine:
         Optional :class:`~repro.experiments.cache.ResultCache`; cacheable
         cells found in it are returned without recomputation
         (``CellResult.cached`` is ``True``) and fresh results are stored.
+    strict:
+        ``False`` (default): a raising cell is captured as
+        :attr:`CellResult.error` and the run continues.  ``True``: the
+        first failure raises :class:`CellFailure` (fail-fast).
+    journal:
+        Optional :class:`~repro.experiments.journal.RunJournal`; every
+        completed cell is appended as it finishes.  Without ``resume`` a
+        pre-existing journal in the directory is cleared first.
+    resume:
+        With a journal: load it before running and *replay* journaled
+        successful cells (``CellResult.replayed``) instead of executing
+        them.
+    progress:
+        Optional callable receiving a :class:`RunProgress` snapshot after
+        every completed cell.
     """
 
     executor: str = "serial"
     jobs: int | None = None
     cache: ResultCache | None = None
+    strict: bool = False
+    journal: RunJournal | None = None
+    resume: bool = False
+    progress: Callable[[RunProgress], None] | None = None
+    _replay: dict[str, CellResult] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _journal_ready: bool = field(default=False, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.executor not in ENGINE_EXECUTORS:
@@ -344,6 +559,8 @@ class ExperimentEngine:
             )
         if self.jobs is not None and self.jobs < 1:
             raise ValidationError(f"jobs must be >= 1, got {self.jobs}")
+        if self.resume and self.journal is None:
+            raise ValidationError("resume=True needs a journal (run directory)")
 
     @classmethod
     def from_options(
@@ -352,17 +569,47 @@ class ExperimentEngine:
         executor: str | None = None,
         jobs: int | None = None,
         cache_dir: str | None = None,
+        strict: bool = False,
+        run_dir: str | None = None,
+        resume: bool = False,
+        progress: Callable[[RunProgress], None] | None = None,
     ) -> "ExperimentEngine":
         """Build an engine from CLI-style options (``None`` means default)."""
+        if resume and not run_dir:
+            raise ValidationError("--resume needs --run-dir")
         return cls(
             executor=executor or "serial",
             jobs=jobs,
             cache=ResultCache(cache_dir) if cache_dir else None,
+            strict=strict,
+            journal=RunJournal(run_dir) if run_dir else None,
+            resume=resume,
+            progress=progress,
         )
 
     def run(self, units: Sequence[WorkUnit]) -> list[CellResult]:
         """Run every unit and return one :class:`CellResult` per unit, in order."""
+        return list(self.run_iter(units))
+
+    def run_iter(
+        self,
+        units: Iterable[WorkUnit],
+        *,
+        progress: Callable[[RunProgress], None] | None = None,
+    ) -> Iterator[CellResult]:
+        """Yield one :class:`CellResult` per unit, in submission order, as
+        cells complete.
+
+        The streaming heart of the engine: journal replays and cache hits
+        are yielded without execution, the remainder is dispatched over the
+        configured executor, and each result is journaled/cached/reported
+        the moment it is available.  Failed cells are yielded with
+        :attr:`CellResult.error` set (or raise :class:`CellFailure` under
+        ``strict``).
+        """
         units = list(units)
+        progress_cb = progress if progress is not None else self.progress
+        max_cells = _max_cells()
         if (
             self.executor == "colonies"
             and units
@@ -377,100 +624,198 @@ class ExperimentEngine:
                 RuntimeWarning,
                 stacklevel=2,
             )
-        results: list[CellResult | None] = [None] * len(units)
-        keys: list[str | None] = [None] * len(units)
 
-        # The graph JSON (and its digest) is computed once per distinct graph
-        # object, shared by the cache keys and the process-pool payload.
-        json_memo: dict[int, dict[str, Any]] = {}
+        replay = self._prepare_journal()
+
+        # The graph digest is computed once per distinct graph object and
+        # shared by cache and journal keys.  The serialised JSON payload is
+        # not retained for the whole run (corpus-many dicts would undercut
+        # the streaming-memory story); on the process-style executors it is
+        # stashed just long enough for the shipping table to pick it up
+        # without serialising the graph a second time.
+        ships_json = self.executor in ("process", "colonies")
         digest_memo: dict[int, str] = {}
-
-        def graph_json(graph: DiGraph) -> dict[str, Any]:
-            key = id(graph)
-            if key not in json_memo:
-                json_memo[key] = to_json_dict(graph)
-            return json_memo[key]
+        json_stash: dict[int, dict[str, Any]] = {}
 
         def graph_digest(graph: DiGraph) -> str:
             key = id(graph)
             if key not in digest_memo:
-                digest_memo[key] = content_digest(graph_json(graph))
+                payload = to_json_dict(graph)
+                if ships_json:
+                    json_stash[key] = payload
+                digest_memo[key] = content_digest(payload)
             return digest_memo[key]
 
-        def finished(unit: WorkUnit, metrics: LayeringMetrics, elapsed: float, cached: bool) -> CellResult:
-            return CellResult(
-                algorithm=unit.algorithm,
-                graph_name=unit.resolved_graph_name,
-                vertex_count=unit.resolved_vertex_count,
-                nd_width=unit.nd_width,
-                metrics=metrics,
-                running_time=elapsed,
-                cached=cached,
-            )
-
+        keys: list[str | None] = [None] * len(units)
+        ready: dict[int, CellResult] = {}
         pending: list[tuple[int, WorkUnit]] = []
+        want_key = self.cache is not None or self.journal is not None
         for i, unit in enumerate(units):
-            if self.cache is not None and unit.method.cacheable:
+            if want_key and unit.method.cacheable:
                 key = cache_key(
                     graph_digest(unit.graph), unit.method.cache_token(), unit.nd_width
                 )
                 keys[i] = key
-                hit = self.cache.get(key)
-                if hit is not None:
-                    results[i] = finished(unit, hit.metrics, hit.running_time, True)
+                journaled = replay.get(key)
+                if journaled is not None:
+                    ready[i] = self._restamp(unit, journaled)
                     continue
+                if self.cache is not None:
+                    hit = self.cache.get(key)
+                    if hit is not None:
+                        ready[i] = self._finished(
+                            unit, hit.metrics, None, hit.running_time, cached=True
+                        )
+                        continue
             pending.append((i, unit))
 
-        if pending:
-            computed = self._dispatch(pending, graph_json)
-            for (i, unit), (metrics, elapsed) in zip(pending, computed):
-                results[i] = finished(unit, metrics, elapsed, False)
-                if keys[i] is not None:
-                    assert self.cache is not None
-                    self.cache.put(keys[i], metrics, elapsed)
-
-        return [r for r in results if r is not None]
+        stream = self._dispatch_iter(pending, json_stash)
+        if not pending:
+            json_stash.clear()  # all cells replayed/hit: nothing will be shipped
+        start = time.perf_counter()
+        done = failures = cache_hits = replayed = executed = 0
+        try:
+            for i, unit in enumerate(units):
+                cell = ready.pop(i, None)
+                if cell is None:
+                    outcome = next(stream)
+                    if outcome[0] == "ok":
+                        cell = self._finished(unit, outcome[1], None, outcome[2])
+                    else:
+                        error = outcome[1]
+                        cell = self._finished(unit, None, error, error.running_time)
+                    if keys[i] is not None:
+                        if self.journal is not None:
+                            self.journal.record(keys[i], cell)
+                        if self.cache is not None and cell.ok:
+                            assert cell.metrics is not None
+                            self.cache.put(keys[i], cell.metrics, cell.running_time)
+                    executed += 1
+                elif self.journal is not None and cell.cached and keys[i] is not None:
+                    # Cache hits are journaled too, so a resumed run replays
+                    # them even when the cache has since been pruned.
+                    self.journal.record(keys[i], cell)
+                done += 1
+                failures += 0 if cell.ok else 1
+                cache_hits += 1 if cell.cached else 0
+                replayed += 1 if cell.replayed else 0
+                if progress_cb is not None:
+                    progress_cb(
+                        RunProgress(
+                            done=done,
+                            total=len(units),
+                            failures=failures,
+                            cache_hits=cache_hits,
+                            replayed=replayed,
+                            executed=executed,
+                            elapsed_s=time.perf_counter() - start,
+                        )
+                    )
+                if self.strict and not cell.ok:
+                    raise CellFailure(cell)
+                yield cell
+                if (
+                    max_cells is not None
+                    and executed >= max_cells
+                    and executed < len(pending)
+                ):
+                    raise RunInterrupted(
+                        f"run interrupted after {executed} executed cells "
+                        f"({MAX_CELLS_ENV}={max_cells}); "
+                        f"{len(pending) - executed} cells not executed"
+                    )
+        finally:
+            stream.close()
 
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
 
-    def _dispatch(
+    def _prepare_journal(self) -> dict[str, CellResult]:
+        """Load the replay map (``resume``) or clear a stale journal, once."""
+        if self.journal is None:
+            return {}
+        if not self._journal_ready:
+            if self.resume:
+                self._replay = self.journal.load()
+            else:
+                self.journal.clear()
+                self._replay = {}
+            self._journal_ready = True
+        assert self._replay is not None
+        return self._replay
+
+    @staticmethod
+    def _restamp(unit: WorkUnit, journaled: CellResult) -> CellResult:
+        """A journal replay re-labelled with the current unit's metadata."""
+        return CellResult(
+            algorithm=unit.algorithm,
+            graph_name=unit.resolved_graph_name,
+            vertex_count=unit.resolved_vertex_count,
+            nd_width=unit.nd_width,
+            metrics=journaled.metrics,
+            running_time=journaled.running_time,
+            replayed=True,
+        )
+
+    @staticmethod
+    def _finished(
+        unit: WorkUnit,
+        metrics: LayeringMetrics | None,
+        error: CellError | None,
+        elapsed: float,
+        *,
+        cached: bool = False,
+    ) -> CellResult:
+        return CellResult(
+            algorithm=unit.algorithm,
+            graph_name=unit.resolved_graph_name,
+            vertex_count=unit.resolved_vertex_count,
+            nd_width=unit.nd_width,
+            metrics=metrics,
+            running_time=elapsed,
+            cached=cached,
+            error=error,
+        )
+
+    def _dispatch_iter(
         self,
         pending: Sequence[tuple[int, WorkUnit]],
-        graph_json: Callable[[DiGraph], dict[str, Any]],
-    ) -> list[tuple[LayeringMetrics, float]]:
-        """Compute the pending units, preserving their order."""
+        json_stash: dict[int, dict[str, Any]],
+    ) -> Iterator[CellOutcome]:
+        """Stream outcomes for the pending units, preserving their order."""
+        if not pending:
+            return
         if self.executor not in ("process", "colonies"):
             pending_units = [unit for _, unit in pending]
-            return map_with_state(
+            yield from imap_with_state(
                 _run_indexed_unit,
                 [(k,) for k in range(len(pending_units))],
                 executor=self.executor,
                 max_workers=self.jobs,
                 shared_state=pending_units,
             )
+            return
 
-        shippable = [(slot, unit) for slot, (_, unit) in enumerate(pending) if unit.method.shippable]
-        local = [(slot, unit) for slot, (_, unit) in enumerate(pending) if not unit.method.shippable]
-        computed: list[tuple[LayeringMetrics, float] | None] = [None] * len(pending)
-
-        if shippable:
-            # Build the shared graph table: each distinct graph is serialised
-            # once and shipped to each worker once (pool initializer).
-            ref_by_graph: dict[int, str] = {}
-            table: dict[str, dict[str, Any]] = {}
-            for _, unit in shippable:
-                gid = id(unit.graph)
-                if gid not in ref_by_graph:
-                    ref = f"g{len(ref_by_graph)}"
-                    ref_by_graph[gid] = ref
-                    table[ref] = graph_json(unit.graph)
-            tasks = [
-                (ref_by_graph[id(unit.graph)], unit.method.to_dict(), unit.nd_width)
-                for _, unit in shippable
-            ]
-            outcomes = map_with_state(
+        # Build the shared graph table: each distinct graph is serialised
+        # once and shipped to each worker once (pool initializer).
+        shippable = [unit for _, unit in pending if unit.method.shippable]
+        ref_by_graph: dict[int, str] = {}
+        table: dict[str, dict[str, Any]] = {}
+        for unit in shippable:
+            gid = id(unit.graph)
+            if gid not in ref_by_graph:
+                ref = f"g{len(ref_by_graph)}"
+                ref_by_graph[gid] = ref
+                stashed = json_stash.pop(gid, None)
+                table[ref] = stashed if stashed is not None else to_json_dict(unit.graph)
+        json_stash.clear()  # graphs that only had cache/journal hits
+        tasks = [
+            (ref_by_graph[id(unit.graph)], unit.method.to_dict(), unit.nd_width, unit.cell_id)
+            for unit in shippable
+        ]
+        pool_stream: Iterator[CellOutcome] = (
+            imap_with_state(
                 _run_cell,
                 tasks,
                 executor="process",
@@ -478,11 +823,18 @@ class ExperimentEngine:
                 init_fn=_decode_graph_table,
                 payload=table,
             )
-            for (slot, _), outcome in zip(shippable, outcomes):
-                computed[slot] = outcome
-
-        # Callable-backed methods cannot be pickled; run them in-process.
-        for slot, unit in local:
-            computed[slot] = _execute_unit(unit)
-
-        return [c for c in computed if c is not None]
+            if tasks
+            else iter(())
+        )
+        try:
+            for _, unit in pending:
+                if unit.method.shippable:
+                    yield next(pool_stream)
+                else:
+                    # Callable-backed methods cannot be pickled; run them
+                    # in-process, lazily, when their turn comes.
+                    yield _safe_execute(unit)
+        finally:
+            close = getattr(pool_stream, "close", None)
+            if close is not None:
+                close()

@@ -20,12 +20,12 @@ Fig. 9    Edge density and running time — AntColony vs MinWidth vs MinWidth+PL
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.aco.params import ACOParams
 from repro.datasets.corpus import CorpusGraph, att_like_corpus
-from repro.experiments.engine import ExperimentEngine, default_method_specs
+from repro.experiments.engine import CellResult, ExperimentEngine, default_method_specs
 from repro.experiments.runner import ComparisonResult, run_comparison
 
 __all__ = [
@@ -56,11 +56,19 @@ class FigurePanel:
 
 @dataclass(frozen=True)
 class FigureData:
-    """A reproduced figure: identifier, caption and its panels."""
+    """A reproduced figure: identifier, caption and its panels.
+
+    ``failures`` carries the cells the engine fault-isolated out of the
+    underlying comparison (with ``cells_total`` for context), so renderers
+    can flag a partially failed figure instead of silently plotting thinner
+    series.
+    """
 
     figure_id: str
     title: str
     panels: tuple[FigurePanel, ...]
+    failures: tuple[CellResult, ...] = field(default=())
+    cells_total: int = 0
 
     def panel(self, metric: str) -> FigurePanel:
         """Look up a panel by metric name."""
@@ -109,7 +117,13 @@ def _two_panel_figure(
         FigurePanel(metric=metric, ylabel=ylabel, series=comparison.all_series(metric))
         for metric, ylabel in metrics
     )
-    return FigureData(figure_id=figure_id, title=title, panels=panels)
+    return FigureData(
+        figure_id=figure_id,
+        title=title,
+        panels=panels,
+        failures=tuple(comparison.failures),
+        cells_total=comparison.cells_total,
+    )
 
 
 def figure4(

@@ -1,0 +1,209 @@
+"""Append-only run journal making interrupted experiment runs resumable.
+
+A *run directory* (CLI: ``--run-dir``) holds one ``journal.jsonl`` file: one
+JSON line per completed experiment cell, keyed by the same content-addressed
+digest the result cache uses (:func:`repro.experiments.cache.cache_key` —
+graph digest, full method token, ``nd_width``, package version).  The engine
+(:mod:`repro.experiments.engine`) appends a line the moment a cell finishes,
+flushing immediately, so a killed run leaves a complete record of everything
+it got through.  Re-running with ``--resume`` loads the journal first and
+*replays* every journaled successful cell without executing it; only the
+remainder of the corpus is computed.
+
+Robustness properties:
+
+* appends are line-buffered and flushed per cell; a kill mid-write leaves at
+  most one torn trailing line, which :meth:`RunJournal.load` skips;
+* journaled *failures* are recorded (for post-mortems) but never replayed —
+  a resumed run retries them, so a transient fault does not poison the
+  resumed aggregate;
+* keys embed ``repro.__version__`` (via the cache-key machinery), so a
+  journal written by a release with different algorithm behaviour simply
+  never matches and the cells are recomputed;
+* cells backed by in-process callables have no content identity and are
+  never journaled (they are re-executed on resume).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Mapping
+
+import repro
+from repro.layering.metrics import LayeringMetrics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.experiments.engine import CellResult
+
+__all__ = ["JOURNAL_FORMAT", "JOURNAL_VERSION", "RunJournal"]
+
+#: Format marker written in the header line of every journal.
+JOURNAL_FORMAT = "repro-run-journal"
+
+#: Bump to orphan journals when the record schema changes.
+JOURNAL_VERSION = 1
+
+_METRIC_FIELDS = (
+    "n_vertices",
+    "n_edges",
+    "height",
+    "width_including_dummies",
+    "width_excluding_dummies",
+    "dummy_vertex_count",
+    "edge_density",
+    "objective",
+    "nd_width",
+)
+
+
+def _record_from_cell(key: str, cell: "CellResult") -> dict[str, Any]:
+    return {
+        "key": key,
+        "algorithm": cell.algorithm,
+        "graph_name": cell.graph_name,
+        "vertex_count": cell.vertex_count,
+        "nd_width": cell.nd_width,
+        "metrics": cell.metrics.as_dict() if cell.metrics is not None else None,
+        "error": asdict(cell.error) if cell.error is not None else None,
+        "running_time": cell.running_time,
+    }
+
+
+def _cell_from_record(record: Mapping[str, Any]) -> "CellResult | None":
+    """Rebuild a successful cell from its journal record; ``None`` if invalid."""
+    from repro.experiments.engine import CellResult
+
+    metrics_dict = record.get("metrics")
+    if not isinstance(metrics_dict, Mapping):
+        return None
+    try:
+        metrics = LayeringMetrics(**{f: metrics_dict[f] for f in _METRIC_FIELDS})
+        return CellResult(
+            algorithm=str(record["algorithm"]),
+            graph_name=str(record["graph_name"]),
+            vertex_count=int(record["vertex_count"]),
+            nd_width=float(record["nd_width"]),
+            metrics=metrics,
+            running_time=float(record["running_time"]),
+            replayed=True,
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+class RunJournal:
+    """Append-only per-cell journal living in a run directory.
+
+    ``load()`` (used by ``--resume``) returns the replayable cells; every
+    completed cell is appended with ``record()``.  Opening the underlying
+    file is lazy: a journal that never records anything creates nothing.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.path = self.directory / "journal.jsonl"
+        self._handle = None
+        self._stale = False
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+
+    def load(self) -> "dict[str, CellResult]":
+        """Replayable cells keyed by cell digest; corrupt/foreign lines are skipped.
+
+        Only *successful* cells are returned: journaled failures are part of
+        the record but a resumed run retries them.  Duplicate keys keep the
+        most recent record.  A journal written under a different
+        :data:`JOURNAL_VERSION` is ignored wholesale — its record semantics
+        may have changed — and the cells are simply recomputed.
+        """
+        replayable: dict[str, CellResult] = {}
+        try:
+            lines = self.path.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            return replayable
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn trailing line from a killed run
+            if not isinstance(record, dict):
+                continue
+            if record.get("format") == JOURNAL_FORMAT:
+                if record.get("version") != JOURNAL_VERSION:
+                    # Nothing in this journal is replayable, and appending
+                    # current-version records under the stale header would
+                    # defeat resume for this run dir forever: mark the file
+                    # for truncation on the next write.
+                    self._stale = True
+                    return {}
+                continue  # current-version header line
+            key = record.get("key")
+            if not isinstance(key, str):
+                continue
+            if record.get("error") is not None:
+                replayable.pop(key, None)  # most recent outcome wins
+                continue
+            cell = _cell_from_record(record)
+            if cell is not None:
+                replayable[key] = cell
+        return replayable
+
+    # ------------------------------------------------------------------ #
+    # writing
+    # ------------------------------------------------------------------ #
+
+    def _open(self):
+        if self._handle is None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fresh = self._stale or not self.path.exists()
+            self._handle = open(
+                self.path, "w" if self._stale else "a", encoding="utf-8"
+            )
+            self._stale = False
+            if fresh:
+                header = {
+                    "format": JOURNAL_FORMAT,
+                    "version": JOURNAL_VERSION,
+                    "package": repro.__version__,
+                }
+                self._handle.write(json.dumps(header) + "\n")
+                self._handle.flush()
+        return self._handle
+
+    def record(self, key: str, cell: "CellResult") -> None:
+        """Append one completed cell (success or failure) and flush.
+
+        A flush is enough for kill-resumability (the OS keeps flushed pages
+        even when the process dies); a per-cell ``fsync`` would make the
+        journal power-loss-proof but costs milliseconds per cell at
+        full-corpus scale, which is not worth it here.
+        """
+        handle = self._open()
+        handle.write(json.dumps(_record_from_cell(key, cell)) + "\n")
+        handle.flush()
+
+    def clear(self) -> None:
+        """Drop any previous journal (a fresh, non-resumed run starts clean)."""
+        self.close()
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

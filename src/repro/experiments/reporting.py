@@ -8,13 +8,41 @@ reproduced "rows/series" are visible in the pytest-benchmark output.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Sequence
 
+from repro.experiments.engine import CellResult
 from repro.experiments.figures import FigureData
 from repro.experiments.runner import ComparisonResult
 from repro.experiments.tuning import SweepResult
 
-__all__ = ["format_series_table", "format_figure", "format_comparison", "format_sweep"]
+__all__ = [
+    "format_series_table",
+    "format_figure",
+    "format_comparison",
+    "format_sweep",
+    "format_failures",
+]
+
+
+def format_failures(failures: Sequence[CellResult], total: int) -> str:
+    """One-line footer summarising fault-isolated cells (empty string if none).
+
+    Shown under every aggregate table so a partially failed run is never
+    mistaken for a clean one; the first failure is named so there is a
+    concrete starting point without digging through logs.
+    """
+    if not failures:
+        return ""
+    first = failures[0]
+    detail = (
+        f"first: {first.algorithm} on {first.graph_name}: {first.error}"
+        if first.error is not None
+        else f"first: {first.algorithm} on {first.graph_name}"
+    )
+    return (
+        f"! {len(failures)} of {total} cells failed and are excluded "
+        f"from the means ({detail})"
+    )
 
 
 def format_series_table(
@@ -44,22 +72,36 @@ def format_series_table(
 
 
 def format_figure(figure: FigureData, *, precision: int = 2) -> str:
-    """Render every panel of a reproduced figure as text tables."""
+    """Render every panel of a reproduced figure as text tables.
+
+    A figure built from a run with fault-isolated failures gets a footer —
+    its series may be missing whole algorithms, which must not pass for a
+    clean reproduction.
+    """
     blocks = [f"{figure.figure_id.upper()}: {figure.title}"]
     for panel in figure.panels:
         blocks.append(
             format_series_table(panel.series, value_header=panel.ylabel, precision=precision)
         )
+    footer = format_failures(figure.failures, figure.cells_total)
+    if footer:
+        blocks.append(footer)
     return "\n\n".join(blocks)
 
 
 def format_comparison(
     comparison: ComparisonResult, metric: str, *, precision: int = 2
 ) -> str:
-    """Render one metric of a comparison run as a text table."""
-    return format_series_table(
+    """Render one metric of a comparison run as a text table.
+
+    When the run had fault-isolated failures a footer line reports how many
+    cells were excluded from the means.
+    """
+    table = format_series_table(
         comparison.all_series(metric), value_header=metric, precision=precision
     )
+    footer = format_failures(comparison.failures, comparison.cells_total)
+    return f"{table}\n{footer}" if footer else table
 
 
 def format_sweep(sweep: SweepResult, *, precision: int = 4) -> str:
@@ -90,4 +132,7 @@ def format_sweep(sweep: SweepResult, *, precision: int = 4) -> str:
         lines.append("  ".join(cell.rjust(widths[j]) for j, cell in enumerate(row)))
         if i == 0:
             lines.append("  ".join("-" * widths[j] for j in range(len(header))))
+    footer = format_failures(sweep.failures, sweep.cells_total)
+    if footer:
+        lines.append(footer)
     return "\n".join(lines)

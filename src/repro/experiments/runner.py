@@ -3,14 +3,19 @@
 The evaluation of the paper compares five algorithms — LPL, LPL+PL, MinWidth,
 MinWidth+PL and the Ant Colony — on five criteria, averaged per vertex-count
 group.  :func:`run_comparison` does exactly that for any algorithm set and any
-corpus, recording the per-graph metrics and wall-clock running times and
-exposing group means through :class:`ComparisonResult`, which is the data
-source for every figure module and benchmark.
+corpus, streaming the completed cells out of the experiment engine and
+aggregating them *incrementally*: group means are maintained as per-group
+running sums and counts (O(groups) state), so a full-corpus run never
+materialises all ~6400 cell results at once — pass ``keep_results=False`` to
+drop the per-cell list entirely.  Failed cells (fault-isolated by the engine)
+are skipped by every aggregate and collected on
+:attr:`ComparisonResult.failures` so reports can surface them.
+:class:`ComparisonResult` is the data source for every figure module and
+benchmark.
 """
 
 from __future__ import annotations
 
-import statistics
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Sequence
@@ -19,6 +24,7 @@ from repro.aco.layering_aco import aco_layering
 from repro.aco.params import ACOParams
 from repro.datasets.corpus import CorpusGraph
 from repro.experiments.engine import (
+    CellResult,
     ExperimentEngine,
     MethodSpec,
     WorkUnit,
@@ -108,14 +114,106 @@ class AlgorithmResult:
 
 @dataclass
 class ComparisonResult:
-    """All per-graph results of a comparison run, with group-mean accessors."""
+    """Aggregated outcome of a comparison run.
+
+    Group means are maintained incrementally (:meth:`add`): per
+    ``(algorithm, vertex_count)`` running sums and counts over every metric —
+    O(groups) memory however large the corpus.  ``results`` additionally
+    keeps the individual per-graph results when the run was built with
+    ``keep_results=True`` (the default); streaming full-corpus runs drop it.
+    Failed cells never enter the aggregates; they are collected on
+    ``failures`` (engine-level fault isolation).
+
+    A ``ComparisonResult`` constructed and maintained by hand (a ``results``
+    list, possibly mutated between accessor calls, never :meth:`add`) keeps
+    the pre-streaming behaviour: accessors compute live from the list on
+    every call.  Once :meth:`add` has been used the accumulators are
+    authoritative and direct ``results`` mutation is unsupported.
+    """
 
     results: list[AlgorithmResult] = field(default_factory=list)
     nd_width: float = 1.0
+    failures: list[CellResult] = field(default_factory=list)
+    cells_ok: int = 0
+    _streamed: bool = field(default=False, repr=False, compare=False)
+    _alg_order: dict[str, None] = field(default_factory=dict, repr=False, compare=False)
+    _counts: dict[tuple[str, int], int] = field(default_factory=dict, repr=False, compare=False)
+    _sums: dict[tuple[str, int], dict[str, float]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    # ------------------------------------------------------------------ #
+    # incremental aggregation
+    # ------------------------------------------------------------------ #
+
+    def _fold(
+        self,
+        algorithm: str,
+        vertex_count: int,
+        metrics: LayeringMetrics,
+        running_time: float,
+    ) -> None:
+        """The one accumulator update shared by :meth:`add` and backfill."""
+        self._alg_order.setdefault(algorithm, None)
+        group = (algorithm, vertex_count)
+        sums = self._sums.setdefault(group, {m: 0.0 for m in METRIC_NAMES})
+        self._counts[group] = self._counts.get(group, 0) + 1
+        for metric in METRIC_NAMES:
+            if metric == "running_time":
+                sums[metric] += running_time
+            else:
+                sums[metric] += float(getattr(metrics, metric))
+
+    def add(self, cell: CellResult, *, keep_results: bool = True) -> None:
+        """Fold one completed engine cell into the aggregates.
+
+        Failed cells are counted on :attr:`failures` and excluded from every
+        mean; successful cells update the per-group accumulators (and the
+        per-cell ``results`` list when *keep_results*).
+        """
+        if not cell.ok:
+            self.failures.append(cell)
+            return
+        assert cell.metrics is not None
+        if not self._streamed:
+            # Fold any pre-seeded results list exactly once, then switch the
+            # accessors over to the accumulators.
+            for r in self.results:
+                self._fold(r.algorithm, r.vertex_count, r.metrics, r.running_time)
+            self.cells_ok = max(self.cells_ok, len(self.results))
+            self._streamed = True
+        self.cells_ok += 1
+        self._fold(cell.algorithm, cell.vertex_count, cell.metrics, cell.running_time)
+        if keep_results:
+            self.results.append(
+                AlgorithmResult(
+                    algorithm=cell.algorithm,
+                    graph_name=cell.graph_name,
+                    vertex_count=cell.vertex_count,
+                    metrics=cell.metrics,
+                    running_time=cell.running_time,
+                )
+            )
+
+    @property
+    def cells_failed(self) -> int:
+        """Number of cells the engine fault-isolated out of the aggregates."""
+        return len(self.failures)
+
+    @property
+    def cells_total(self) -> int:
+        """All cells seen, successful and failed."""
+        return self.cells_ok + self.cells_failed
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
 
     @property
     def algorithms(self) -> list[str]:
         """Algorithm names present, in first-appearance order."""
+        if self._streamed:
+            return list(self._alg_order)
         seen: dict[str, None] = {}
         for r in self.results:
             seen.setdefault(r.algorithm, None)
@@ -124,25 +222,52 @@ class ComparisonResult:
     @property
     def vertex_counts(self) -> list[int]:
         """Sorted vertex-count groups present in the results."""
+        if self._streamed:
+            return sorted({vc for _, vc in self._counts})
         return sorted({r.vertex_count for r in self.results})
 
-    def group_mean(self, algorithm: str, vertex_count: int, metric: str) -> float:
-        """Mean of *metric* for *algorithm* over all graphs of one group."""
-        values = [
+    def _group_values(self, algorithm: str, vertex_count: int, metric: str) -> list[float]:
+        return [
             r.value(metric)
             for r in self.results
             if r.algorithm == algorithm and r.vertex_count == vertex_count
         ]
+
+    def group_mean(self, algorithm: str, vertex_count: int, metric: str) -> float:
+        """Mean of *metric* for *algorithm* over all graphs of one group."""
+        if metric not in METRIC_NAMES:
+            raise ValidationError(
+                f"unknown metric {metric!r}; choose from {METRIC_NAMES}"
+            )
+        group = (algorithm, vertex_count)
+        if self._streamed:
+            count = self._counts.get(group, 0)
+            if count == 0:
+                raise ValidationError(
+                    f"no results for algorithm={algorithm!r}, vertex_count={vertex_count}"
+                )
+            return self._sums[group][metric] / count
+        values = self._group_values(algorithm, vertex_count, metric)
         if not values:
             raise ValidationError(
                 f"no results for algorithm={algorithm!r}, vertex_count={vertex_count}"
             )
-        return statistics.fmean(values)
+        return sum(values) / len(values)
+
+    def _has_group(self, algorithm: str, vertex_count: int) -> bool:
+        if self._streamed:
+            return (algorithm, vertex_count) in self._counts
+        return any(
+            r.algorithm == algorithm and r.vertex_count == vertex_count
+            for r in self.results
+        )
 
     def series(self, algorithm: str, metric: str) -> dict[int, float]:
         """``vertex_count -> group mean`` series for one algorithm and metric."""
         return {
-            vc: self.group_mean(algorithm, vc, metric) for vc in self.vertex_counts
+            vc: self.group_mean(algorithm, vc, metric)
+            for vc in self.vertex_counts
+            if self._has_group(algorithm, vc)
         }
 
     def all_series(self, metric: str) -> dict[str, dict[int, float]]:
@@ -198,6 +323,7 @@ def run_comparison(
     *,
     nd_width: float = 1.0,
     engine: ExperimentEngine | None = None,
+    keep_results: bool = True,
 ) -> ComparisonResult:
     """Run every algorithm on every corpus graph and collect the results.
 
@@ -212,7 +338,13 @@ def run_comparison(
     nd_width: dummy-vertex width used by the metrics.
     engine: the :class:`~repro.experiments.engine.ExperimentEngine` to
         dispatch cells through; defaults to a serial, uncached engine, which
-        reproduces the historical in-process behaviour exactly.
+        reproduces the historical in-process behaviour exactly.  Cells are
+        consumed through :meth:`~repro.experiments.engine.ExperimentEngine.
+        run_iter` and aggregated as they complete; cells the engine
+        fault-isolated land on :attr:`ComparisonResult.failures`.
+    keep_results: ``True`` (default) keeps one :class:`AlgorithmResult` per
+        cell on ``ComparisonResult.results``; ``False`` keeps only the
+        per-group aggregates — O(groups) memory for full-corpus runs.
     """
     specs = _coerce_method_specs(algorithms)
     if not specs:
@@ -231,14 +363,6 @@ def run_comparison(
         for name, spec in specs.items()
     ]
     comparison = ComparisonResult(nd_width=nd_width)
-    for cell in engine.run(units):
-        comparison.results.append(
-            AlgorithmResult(
-                algorithm=cell.algorithm,
-                graph_name=cell.graph_name,
-                vertex_count=cell.vertex_count,
-                metrics=cell.metrics,
-                running_time=cell.running_time,
-            )
-        )
+    for cell in engine.run_iter(units):
+        comparison.add(cell, keep_results=keep_results)
     return comparison

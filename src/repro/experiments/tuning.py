@@ -11,13 +11,12 @@ uses to justify its choices.
 
 from __future__ import annotations
 
-import statistics
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.aco.params import ACOParams
 from repro.datasets.corpus import CorpusGraph
-from repro.experiments.engine import ExperimentEngine, MethodSpec, WorkUnit
+from repro.experiments.engine import CellResult, ExperimentEngine, MethodSpec, WorkUnit
 from repro.utils.exceptions import ValidationError
 
 __all__ = [
@@ -43,10 +42,17 @@ class SweepPoint:
 
 @dataclass
 class SweepResult:
-    """All points of a sweep plus the axis labels of the swept parameters."""
+    """All points of a sweep plus the axis labels of the swept parameters.
+
+    ``failures`` holds the cells the engine fault-isolated (out of
+    ``cells_total`` submitted); they are excluded from every point's means.
+    A setting whose cells *all* failed contributes no point at all.
+    """
 
     parameter_names: tuple[str, ...]
     points: list[SweepPoint]
+    failures: list[CellResult] = field(default_factory=list)
+    cells_total: int = 0
 
     def best(self) -> SweepPoint:
         """The point with the highest mean objective (ties: cheapest setting).
@@ -84,8 +90,10 @@ def parameter_sweep(
     :func:`nd_width_sweep`: every ``(setting, graph)`` cell is submitted
     through the experiment engine — so the whole sweep parallelises across
     settings *and* graphs, and a warm result cache turns repeated sweeps
-    into pure lookups — and the cells of each setting are aggregated into
-    one :class:`SweepPoint`.
+    into pure lookups.  Cells are streamed out of the engine in submission
+    order and folded into per-setting running sums the moment they complete
+    (O(settings) aggregation state); failed cells are skipped and collected
+    on :attr:`SweepResult.failures`.
     """
     if not corpus:
         raise ValidationError("parameter sweep needs at least one corpus graph")
@@ -103,23 +111,44 @@ def parameter_sweep(
         for setting, params in settings
         for entry in corpus
     ]
-    cells = engine.run(units)
-    points: list[SweepPoint] = []
     per_setting = len(corpus)
-    for j, (setting, _params) in enumerate(settings):
-        chunk = cells[j * per_setting : (j + 1) * per_setting]
-        points.append(
-            SweepPoint(
-                setting=setting,
-                mean_objective=statistics.fmean(c.metrics.objective for c in chunk),
-                mean_width_including_dummies=statistics.fmean(
-                    c.metrics.width_including_dummies for c in chunk
-                ),
-                mean_height=statistics.fmean(c.metrics.height for c in chunk),
-                mean_running_time=statistics.fmean(c.running_time for c in chunk),
-            )
+    # Per-setting accumulators: (count, Σobjective, Σwidth, Σheight, Σruntime).
+    counts = [0] * len(settings)
+    sums = [[0.0, 0.0, 0.0, 0.0] for _ in settings]
+    failures: list[CellResult] = []
+    for i, cell in enumerate(engine.run_iter(units)):
+        if not cell.ok:
+            failures.append(cell)
+            continue
+        assert cell.metrics is not None
+        j = i // per_setting
+        counts[j] += 1
+        sums[j][0] += cell.metrics.objective
+        sums[j][1] += cell.metrics.width_including_dummies
+        sums[j][2] += cell.metrics.height
+        sums[j][3] += cell.running_time
+    points = [
+        SweepPoint(
+            setting=setting,
+            mean_objective=sums[j][0] / counts[j],
+            mean_width_including_dummies=sums[j][1] / counts[j],
+            mean_height=sums[j][2] / counts[j],
+            mean_running_time=sums[j][3] / counts[j],
         )
-    return SweepResult(parameter_names=parameter_names, points=points)
+        for j, (setting, _params) in enumerate(settings)
+        if counts[j] > 0
+    ]
+    if not points:
+        raise ValidationError(
+            f"every cell of the sweep failed ({len(failures)} failures); "
+            "nothing to aggregate"
+        )
+    return SweepResult(
+        parameter_names=parameter_names,
+        points=points,
+        failures=failures,
+        cells_total=len(units),
+    )
 
 
 def alpha_beta_sweep(

@@ -10,12 +10,27 @@ about.
 
 from __future__ import annotations
 
+import re
 from pathlib import Path
+from xml.sax.saxutils import escape
 
 from repro.layering.dummy import DummyVertex
 from repro.sugiyama.pipeline import SugiyamaDrawing
 
 __all__ = ["render_ascii", "render_svg"]
+
+#: Characters XML 1.0 forbids outright (no escape can represent them):
+#: C0 controls except TAB/LF/CR, the surrogate range, and U+FFFE/U+FFFF.
+_XML_INVALID = re.compile(
+    "[\x00-\x08\x0b\x0c\x0e-\x1f\ud800-\udfff\ufffe\uffff]"
+)
+
+
+def _xml_text(text: str) -> str:
+    """*text* made safe for XML character data: invalid code points become
+    U+FFFD (they are unrepresentable in XML 1.0, escaped or not), the rest
+    is entity-escaped."""
+    return escape(_XML_INVALID.sub("�", text))
 
 
 def render_ascii(drawing: SugiyamaDrawing, *, columns: int = 100) -> str:
@@ -98,11 +113,15 @@ def render_svg(
             )
         else:
             w = drawing.proper.graph.vertex_width(v) * x_scale * 0.8
+            # Labels are arbitrary user text: every interpolation into XML
+            # character data must be escaped or a label like `a<b&"c>`
+            # produces a file XML parsers reject.
+            label = _xml_text(drawing.acyclic.vertex_label(v) or str(v))
             parts.append(
                 f'<rect x="{sx(x) - w / 2:.1f}" y="{sy(y) - node_height / 2:.1f}" '
-                f'width="{w:.1f}" height="{node_height:.1f}" fill="#cde" stroke="#234"/>'
+                f'width="{w:.1f}" height="{node_height:.1f}" fill="#cde" stroke="#234">'
+                f"<title>{label}</title></rect>"
             )
-            label = drawing.acyclic.vertex_label(v) or str(v)
             parts.append(
                 f'<text x="{sx(x):.1f}" y="{sy(y) + 4:.1f}" font-size="10" '
                 f'text-anchor="middle">{label}</text>'

@@ -19,11 +19,17 @@ from __future__ import annotations
 import concurrent.futures
 import itertools
 import os
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.utils.exceptions import ValidationError
 
-__all__ = ["EXECUTORS", "REPRO_JOBS_ENV", "effective_workers", "map_with_state"]
+__all__ = [
+    "EXECUTORS",
+    "REPRO_JOBS_ENV",
+    "effective_workers",
+    "imap_with_state",
+    "map_with_state",
+]
 
 #: The supported execution back ends.
 EXECUTORS = ("process", "thread", "serial")
@@ -94,6 +100,70 @@ def _run_task(token: int, task_fn: Callable[..., Any], args: Sequence[Any]) -> A
     return task_fn(_WORKER_STATE[token], *args)
 
 
+def imap_with_state(
+    task_fn: Callable[..., Any],
+    tasks: Iterable[Sequence[Any]],
+    *,
+    executor: str = "serial",
+    max_workers: int | None = None,
+    init_fn: Callable[[Any], Any] | None = None,
+    payload: Any = None,
+    shared_state: Any = _UNSET,
+) -> Iterator[Any]:
+    """Streaming :func:`map_with_state`: yield results in submission order.
+
+    Same contract and parameters as :func:`map_with_state`, but results are
+    yielded one at a time as they become available (the *i*-th yield is the
+    result of the *i*-th task, so consumers can aggregate incrementally
+    without the full result list ever being materialised).  The serial back
+    end executes each task lazily when its result is requested; the pool
+    back ends submit everything up front and the pool is shut down when the
+    generator is exhausted or closed early.
+    """
+    if executor not in EXECUTORS:
+        raise ValidationError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+    task_list = [tuple(t) for t in tasks]
+
+    if executor == "serial" or len(task_list) <= 1:
+        if shared_state is not _UNSET:
+            state = shared_state
+        else:
+            if init_fn is None:
+                raise ValidationError("map_with_state needs init_fn or shared_state")
+            state = init_fn(payload)
+        for t in task_list:
+            yield task_fn(state, *t)
+        return
+
+    token = next(_RUN_TOKENS)
+    use_shared = executor == "thread" and shared_state is not _UNSET
+    if not use_shared and init_fn is None:
+        raise ValidationError("map_with_state needs init_fn for pool executors")
+    pool_cls = (
+        concurrent.futures.ProcessPoolExecutor
+        if executor == "process"
+        else concurrent.futures.ThreadPoolExecutor
+    )
+    pool_kwargs: dict[str, Any] = {
+        "max_workers": effective_workers(max_workers, len(task_list))
+    }
+    if use_shared:
+        _WORKER_STATE[token] = shared_state
+    else:
+        pool_kwargs["initializer"] = _init_worker
+        pool_kwargs["initargs"] = (token, init_fn, payload)
+    pool = pool_cls(**pool_kwargs)
+    try:
+        futures = [pool.submit(_run_task, token, task_fn, t) for t in task_list]
+        for f in futures:
+            yield f.result()
+    finally:
+        # Abandoned mid-stream (interruption, strict-mode abort): drop the
+        # queued work instead of finishing it behind the caller's back.
+        pool.shutdown(wait=True, cancel_futures=True)
+        _WORKER_STATE.pop(token, None)  # thread workers share this module
+
+
 def map_with_state(
     task_fn: Callable[..., Any],
     tasks: Iterable[Sequence[Any]],
@@ -128,39 +198,14 @@ def map_with_state(
         ``"thread"``), short-circuiting the payload round trip.  Ignored by
         the process back end, which always decodes *payload* worker-side.
     """
-    if executor not in EXECUTORS:
-        raise ValidationError(f"executor must be one of {EXECUTORS}, got {executor!r}")
-    task_list = [tuple(t) for t in tasks]
-
-    if executor == "serial" or len(task_list) <= 1:
-        if shared_state is not _UNSET:
-            state = shared_state
-        else:
-            if init_fn is None:
-                raise ValidationError("map_with_state needs init_fn or shared_state")
-            state = init_fn(payload)
-        return [task_fn(state, *t) for t in task_list]
-
-    token = next(_RUN_TOKENS)
-    use_shared = executor == "thread" and shared_state is not _UNSET
-    if not use_shared and init_fn is None:
-        raise ValidationError("map_with_state needs init_fn for pool executors")
-    pool_cls = (
-        concurrent.futures.ProcessPoolExecutor
-        if executor == "process"
-        else concurrent.futures.ThreadPoolExecutor
+    return list(
+        imap_with_state(
+            task_fn,
+            tasks,
+            executor=executor,
+            max_workers=max_workers,
+            init_fn=init_fn,
+            payload=payload,
+            shared_state=shared_state,
+        )
     )
-    pool_kwargs: dict[str, Any] = {
-        "max_workers": effective_workers(max_workers, len(task_list))
-    }
-    if use_shared:
-        _WORKER_STATE[token] = shared_state
-    else:
-        pool_kwargs["initializer"] = _init_worker
-        pool_kwargs["initargs"] = (token, init_fn, payload)
-    try:
-        with pool_cls(**pool_kwargs) as pool:
-            futures = [pool.submit(_run_task, token, task_fn, t) for t in task_list]
-            return [f.result() for f in futures]
-    finally:
-        _WORKER_STATE.pop(token, None)  # thread workers share this module

@@ -2,13 +2,30 @@
 
 from __future__ import annotations
 
+import importlib.util
 import json
+from pathlib import Path
 
 import pytest
 
 from repro.cli import build_parser, main
 from repro.graph.generators import att_like_dag
 from repro.graph.io import write_edgelist, write_json
+
+
+def _load_resume_smoke():
+    """Import the CI smoke script so its helpers are shared, not duplicated."""
+    path = Path(__file__).resolve().parent.parent / "benchmarks" / "resume_smoke.py"
+    spec = importlib.util.spec_from_file_location("resume_smoke", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+#: The single definition of "which compare tables are deterministic" lives
+#: in the smoke script; reusing it keeps this test and CI asserting the
+#: same byte-identity contract.
+deterministic_tables = _load_resume_smoke().deterministic_tables
 
 
 @pytest.fixture
@@ -129,3 +146,105 @@ class TestCorpusCommand:
         files = list(out_dir.glob("*.json"))
         assert len(files) == 19
         assert "19 graphs written" in capsys.readouterr().out
+
+
+SMALL_COMPARE = [
+    "compare",
+    "--graphs-per-group",
+    "1",
+    "--vertex-counts",
+    "10",
+    "20",
+    *FAST_ACO,
+]
+
+
+class TestRunLifecycleOptions:
+    def test_full_conflicts_with_graphs_per_group(self, capsys):
+        assert main(["compare", "--full", "--graphs-per-group", "2"]) == 2
+        assert "--full" in capsys.readouterr().err
+
+    def test_resume_requires_run_dir(self, capsys):
+        assert main([*SMALL_COMPARE, "--resume"]) == 2
+        assert "--run-dir" in capsys.readouterr().err
+
+    def test_default_run_isolates_injected_failure(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_FAIL", "AntColony:att-like-n10-*")
+        assert main(SMALL_COMPARE) == 0
+        out = capsys.readouterr().out
+        assert "1 of 10 cells failed" in out
+
+    def test_strict_run_fails_fast_on_injected_failure(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_FAIL", "AntColony:att-like-n10-*")
+        assert main([*SMALL_COMPARE, "--strict"]) == 2
+        assert "failed" in capsys.readouterr().err
+
+    def test_progress_flag_writes_progress_and_summary(self, capsys):
+        assert main([*SMALL_COMPARE, "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "cells 10/10" in err
+        assert "run: 10/10 cells" in err
+
+    def test_interrupt_then_resume_replays_journal(self, tmp_path, capsys, monkeypatch):
+        run_dir = tmp_path / "run"
+        monkeypatch.setenv("REPRO_ENGINE_MAX_CELLS", "4")
+        assert main([*SMALL_COMPARE, "--run-dir", str(run_dir)]) == 2
+        assert "interrupted" in capsys.readouterr().err
+        monkeypatch.delenv("REPRO_ENGINE_MAX_CELLS")
+        code = main([*SMALL_COMPARE, "--run-dir", str(run_dir), "--resume"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "4 replayed" in captured.err
+        # The resumed aggregate tables match an uninterrupted run on every
+        # deterministic metric.
+        plain = main(SMALL_COMPARE)
+        assert plain == 0
+        reference = capsys.readouterr().out
+        assert deterministic_tables(captured.out) == deterministic_tables(reference)
+
+
+class TestCacheCommand:
+    def _warm_cache(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        assert main([*SMALL_COMPARE, "--cache-dir", str(cache_dir)]) == 0
+        return cache_dir
+
+    def test_stats(self, tmp_path, capsys):
+        cache_dir = self._warm_cache(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "stats", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 10" in out
+        assert "total size:" in out
+
+    def test_prune_by_size(self, tmp_path, capsys):
+        cache_dir = self._warm_cache(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "prune", str(cache_dir), "--max-size", "0"]) == 0
+        assert "pruned 10 entries" in capsys.readouterr().out
+        assert main(["cache", "stats", str(cache_dir)]) == 0
+        assert "entries: 0" in capsys.readouterr().out
+
+    def test_prune_by_age_keeps_fresh_entries(self, tmp_path, capsys):
+        cache_dir = self._warm_cache(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "prune", str(cache_dir), "--older-than", "1h"]) == 0
+        assert "pruned 0 entries" in capsys.readouterr().out
+
+    def test_prune_requires_criterion(self, tmp_path, capsys):
+        assert main(["cache", "prune", str(tmp_path)]) == 2
+        assert "--max-size" in capsys.readouterr().err
+
+    def test_stats_output_units_round_trip_into_prune(self, tmp_path, capsys):
+        # `cache stats` prints sizes as KiB/MiB; prune must accept them back.
+        cache_dir = self._warm_cache(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "prune", str(cache_dir), "--max-size", "1.5KiB"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned" in out
+
+    def test_bad_size_and_duration_are_errors(self, tmp_path, capsys):
+        assert main(["cache", "prune", str(tmp_path), "--max-size", "lots"]) == 2
+        assert "invalid size" in capsys.readouterr().err
+        assert main(["cache", "prune", str(tmp_path), "--older-than", "soon"]) == 2
+        assert "invalid duration" in capsys.readouterr().err

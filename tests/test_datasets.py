@@ -85,3 +85,69 @@ class TestCorpusGeneration:
         counts = corpus_group_counts()
         assert counts[10] == 68
         assert counts[100] == 67
+
+
+class TestCustomVertexCounts:
+    """The regression: ``graphs_per_group=None`` with non-paper groups used
+    to crash with a raw ``KeyError`` instead of distributing the corpus over
+    the requested groups."""
+
+    def test_group_counts_over_requested_groups(self):
+        counts = corpus_group_counts(vertex_counts=(12, 34))
+        assert set(counts) == {12, 34}
+        assert sum(counts.values()) == TOTAL_GRAPHS
+        assert counts[12] - counts[34] in (0, 1)  # remainder to smaller groups
+
+    def test_group_counts_are_order_invariant(self):
+        # The remainder goes to the smallest groups however the groups were
+        # listed, so the corpus shape does not depend on argument order.
+        assert corpus_group_counts(vertex_counts=(20, 10)) == corpus_group_counts(
+            vertex_counts=(10, 20)
+        )
+        assert corpus_group_counts(vertex_counts=(20, 10))[10] == 639
+
+    def test_full_corpus_single_custom_group(self):
+        # The KeyError regression, without materialising 1277 graphs: count
+        # lazily and spot-check the first entries.
+        import itertools
+
+        stream = iter_att_like_corpus(vertex_counts=(12,))
+        first = list(itertools.islice(stream, 3))
+        assert [e.name for e in first] == [
+            "att-like-n12-000",
+            "att-like-n12-001",
+            "att-like-n12-002",
+        ]
+        assert all(e.graph.n_vertices == 12 for e in first)
+        remaining = sum(1 for _ in stream)
+        assert 3 + remaining == TOTAL_GRAPHS
+
+    def test_full_corpus_two_custom_groups_shape(self):
+        counts = corpus_group_counts(vertex_counts=(10, 20))
+        names = {}
+        for entry in iter_att_like_corpus(vertex_counts=(10, 20)):
+            names.setdefault(entry.vertex_count, 0)
+            names[entry.vertex_count] += 1
+        assert names == counts
+
+    def test_explicit_graphs_per_group_with_custom_groups_unchanged(self):
+        corpus = att_like_corpus(graphs_per_group=2, vertex_counts=(12, 37))
+        assert [e.vertex_count for e in corpus] == [12, 12, 37, 37]
+
+    def test_empty_vertex_counts_rejected(self):
+        with pytest.raises(ValidationError):
+            corpus_group_counts(vertex_counts=())
+        with pytest.raises(ValidationError):
+            att_like_corpus(graphs_per_group=1, vertex_counts=())
+
+    def test_duplicate_vertex_counts_rejected_on_every_path(self):
+        with pytest.raises(ValidationError):
+            corpus_group_counts(vertex_counts=(10, 10, 20))
+        # The sampled path must reject them too, not silently duplicate
+        # graphs (and their names) in the corpus.
+        with pytest.raises(ValidationError):
+            att_like_corpus(graphs_per_group=1, vertex_counts=(10, 10))
+
+    def test_total_smaller_than_group_count_rejected(self):
+        with pytest.raises(ValidationError):
+            corpus_group_counts(1, vertex_counts=(10, 20))

@@ -230,6 +230,82 @@ class TestResultCache:
         assert cache_key(content_digest({"x": 1}), token, 1.0) != before
 
 
+class TestCacheMaintenance:
+    def _fill(self, tmp_path, *, ages=(0, 0, 0)):
+        """A cache with one LPL entry per corpus graph, mtimes staggered by *ages* (s)."""
+        import os
+        import time as time_module
+
+        cache = ResultCache(tmp_path)
+        engine = ExperimentEngine(cache=cache)
+        corpus = att_like_corpus(graphs_per_group=1, vertex_counts=(10, 20, 30))
+        units = [
+            WorkUnit(graph=e.graph, method=MethodSpec.builtin("LPL"), graph_name=e.name)
+            for e in corpus[: len(ages)]
+        ]
+        engine.run(units)
+        now = time_module.time()
+        paths = sorted(tmp_path.glob("??/*.json"))
+        for path, age in zip(paths, ages):
+            os.utime(path, (now - age, now - age))
+        return cache
+
+    def test_stats_counts_entries_and_bytes(self, tmp_path):
+        cache = self._fill(tmp_path)
+        stats = cache.stats()
+        assert stats.entries == len(cache) == 3
+        assert stats.total_bytes > 0
+        assert stats.oldest_mtime is not None
+
+    def test_stats_on_missing_directory(self, tmp_path):
+        stats = ResultCache(tmp_path / "nope").stats()
+        assert stats.entries == 0 and stats.total_bytes == 0
+        assert stats.oldest_mtime is None
+
+    def test_prune_by_age(self, tmp_path):
+        cache = self._fill(tmp_path, ages=(7200, 7200, 0))
+        result = cache.prune(older_than_seconds=3600)
+        assert result.removed == 2 and result.kept == 1
+        assert len(cache) == 1
+
+    def test_prune_by_size_evicts_oldest_first(self, tmp_path):
+        cache = self._fill(tmp_path, ages=(300, 200, 100))
+        entry_bytes = cache.stats().total_bytes // 3
+        result = cache.prune(max_size_bytes=entry_bytes + 1)
+        assert result.removed == 2
+        # The newest entry (age 100 s) survives the size squeeze.
+        import time as time_module
+
+        survivors = [p.stat().st_mtime for p in tmp_path.glob("??/*.json")]
+        assert len(survivors) == 1
+        assert survivors[0] > time_module.time() - 150
+
+    def test_prune_to_zero_clears_everything(self, tmp_path):
+        cache = self._fill(tmp_path)
+        result = cache.prune(max_size_bytes=0)
+        assert result.kept == 0 and len(cache) == 0
+        # Shard directories left empty were removed too.
+        assert list(tmp_path.glob("??")) == []
+
+    def test_pruned_entries_are_cache_misses_not_errors(self, tmp_path):
+        cache = self._fill(tmp_path)
+        cache.prune(max_size_bytes=0)
+        corpus = att_like_corpus(graphs_per_group=1, vertex_counts=(10,))
+        unit = WorkUnit(graph=corpus[0].graph, method=MethodSpec.builtin("LPL"))
+        (cell,) = ExperimentEngine(cache=cache).run([unit])
+        assert cell.cached is False and cell.ok
+
+    def test_prune_requires_a_criterion(self, tmp_path):
+        with pytest.raises(ValidationError):
+            ResultCache(tmp_path).prune()
+
+    def test_prune_rejects_negative_values(self, tmp_path):
+        with pytest.raises(ValidationError):
+            ResultCache(tmp_path).prune(max_size_bytes=-1)
+        with pytest.raises(ValidationError):
+            ResultCache(tmp_path).prune(older_than_seconds=-1)
+
+
 class TestSweepAndFigureDispatch:
     def test_alpha_beta_sweep_engine_invariant(self):
         serial = alpha_beta_sweep(CORPUS, alphas=(1, 2), betas=(1,), base_params=FAST_ACO)

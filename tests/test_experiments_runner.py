@@ -91,6 +91,20 @@ class TestRunComparison:
         comparison = run_comparison(SMALL_CORPUS, {"OnlyLPL": longest_path_layering})
         assert comparison.algorithms == ["OnlyLPL"]
 
+    def test_manually_built_results_stay_live_across_mutation(self):
+        # Pre-streaming behaviour: a hand-maintained results list is
+        # recomputed on every accessor call, so appends between calls are
+        # always reflected.
+        base = run_comparison(SMALL_CORPUS[:1], {"OnlyLPL": longest_path_layering})
+        (row,) = base.results
+        manual = ComparisonResult(results=[row])
+        assert manual.group_mean("OnlyLPL", 10, "height") == row.metrics.height
+        manual.results.append(
+            AlgorithmResult("Other", "g2", 20, row.metrics, 0.5)
+        )
+        assert manual.algorithms == ["OnlyLPL", "Other"]
+        assert manual.group_mean("Other", 20, "height") == row.metrics.height
+
     def test_lpl_height_never_above_minwidth_height(self):
         # Structural sanity of the aggregation: LPL gives minimum height, so
         # its group means can never exceed MinWidth's.

@@ -275,3 +275,90 @@ class TestDotWellFormedness:
         path = tmp_path_factory.mktemp("dot") / "g.dot"
         write_dot(g, path)
         _scan_dot_quoted_strings(path.read_text(encoding="utf-8"))
+
+
+#: Labels that break naive XML interpolation: markup metacharacters, CDATA
+#: terminators, entity-looking text, quotes in every flavour.
+HOSTILE_SVG_LABELS = (
+    'a<b&"c>',
+    "</text></svg>",
+    "]]>",
+    "&amp; already & escaped",
+    "<script>alert(1)</script>",
+    "quote ' and \" mix",
+    "ünïcode ✓ <&>",
+)
+
+
+def _hostile_drawing(labels=HOSTILE_SVG_LABELS):
+    """A small layered drawing whose vertex labels are all hostile to XML."""
+    from repro.sugiyama.pipeline import sugiyama_layout
+
+    g = DiGraph()
+    previous = None
+    for i, label in enumerate(labels):
+        g.add_vertex(f"v{i}", label=label)
+        if previous is not None:
+            g.add_edge(previous, f"v{i}")
+        previous = f"v{i}"
+    return sugiyama_layout(g, layering_method="lpl")
+
+
+class TestSvgWellFormedness:
+    """The SVG twin of the DOT scanner: every emitted file must parse as XML.
+
+    The regression: ``render_svg`` used to interpolate raw vertex labels
+    into ``<text>`` content, so a label like ``a<b&"c>`` produced a file
+    every XML parser rejects.
+    """
+
+    def test_hostile_labels_emit_parseable_xml(self, tmp_path):
+        import xml.etree.ElementTree as ET
+
+        from repro.sugiyama.render import render_svg
+
+        path = tmp_path / "hostile.svg"
+        svg = render_svg(_hostile_drawing(), path)
+        root = ET.fromstring(svg)  # raises ParseError on malformed output
+        assert ET.fromstring(path.read_text(encoding="utf-8")) is not None
+        ns = "{http://www.w3.org/2000/svg}"
+        texts = [el.text for el in root.iter(f"{ns}text")]
+        assert sorted(texts) == sorted(HOSTILE_SVG_LABELS)  # unescaped round trip
+        titles = [el.text for el in root.iter(f"{ns}title")]
+        assert sorted(titles) == sorted(HOSTILE_SVG_LABELS)
+
+    def test_unlabelled_vertices_fall_back_to_escaped_ids(self):
+        import xml.etree.ElementTree as ET
+
+        from repro.sugiyama.pipeline import sugiyama_layout
+        from repro.sugiyama.render import render_svg
+
+        g = DiGraph(edges=[("a<b", "c&d")])
+        svg = render_svg(sugiyama_layout(g, layering_method="lpl"))
+        root = ET.fromstring(svg)
+        ns = "{http://www.w3.org/2000/svg}"
+        assert sorted(el.text for el in root.iter(f"{ns}text")) == ["a<b", "c&d"]
+
+    def test_xml_invalid_control_chars_are_replaced_not_emitted(self):
+        # XML 1.0 cannot represent most C0 controls at all (escaped or not);
+        # they must be replaced, or the emitted file is unparseable.
+        import xml.etree.ElementTree as ET
+
+        from repro.sugiyama.render import render_svg
+
+        root = ET.fromstring(render_svg(_hostile_drawing(("a\x0bb\x00c", "\x1f"))))
+        ns = "{http://www.w3.org/2000/svg}"
+        assert sorted(el.text for el in root.iter(f"{ns}text")) == ["a�b�c", "�"]
+
+    @given(
+        labels=st.lists(st.text(max_size=12), min_size=1, max_size=4)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_arbitrary_labels_emit_parseable_xml(self, labels):
+        # Unrestricted text, control characters included: the renderer must
+        # always emit well-formed XML.
+        import xml.etree.ElementTree as ET
+
+        from repro.sugiyama.render import render_svg
+
+        ET.fromstring(render_svg(_hostile_drawing(labels)))
