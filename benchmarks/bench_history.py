@@ -1,0 +1,71 @@
+"""Per-PR perf trajectory entries inside the checked-in ``BENCH_*.json`` files.
+
+Each ``emit_*`` benchmark script historically *overwrote* its record, so the
+only way to see whether a PR made things faster was git archaeology.  Now
+every write appends a small ``{version, date, metrics}`` entry to a
+``history`` list inside the record (oldest-first, capped), and a record
+written before this scheme existed is backfilled as the first entry — so the
+trajectory starts from the pre-history numbers instead of losing them.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import date
+from pathlib import Path
+from typing import Any, Callable
+
+import repro
+
+__all__ = ["HISTORY_CAP", "load_previous", "with_history"]
+
+#: Maximum number of history entries kept per record (oldest dropped first).
+HISTORY_CAP = 20
+
+
+def load_previous(path: Path) -> dict[str, Any] | None:
+    """The existing record at *path*, or ``None`` when absent/unreadable."""
+    try:
+        previous = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    return previous if isinstance(previous, dict) else None
+
+
+def with_history(
+    results: dict[str, Any],
+    previous: dict[str, Any] | None,
+    select: Callable[[dict[str, Any]], dict[str, Any] | None],
+    *,
+    cap: int = HISTORY_CAP,
+) -> dict[str, Any]:
+    """Return *results* plus an updated capped ``history`` list.
+
+    *select* extracts the record's key metrics (a small flat dict); it is
+    applied to the fresh *results* for the new entry and — when the previous
+    record predates the history scheme — to *previous* for the backfill
+    entry (stamped ``version: "pre-history"`` since old records carried no
+    version).  Entries are oldest-first; the list is truncated to the newest
+    *cap* entries.
+    """
+    history: list[dict[str, Any]] = []
+    if previous is not None:
+        prior = previous.get("history")
+        if isinstance(prior, list):
+            history = list(prior)
+        else:
+            backfill = select(previous)
+            if backfill:
+                history = [
+                    {"version": "pre-history", "date": None, "metrics": backfill}
+                ]
+    entry_metrics = select(results)
+    if entry_metrics:
+        history.append(
+            {
+                "version": repro.__version__,
+                "date": date.today().isoformat(),
+                "metrics": entry_metrics,
+            }
+        )
+    return {**results, "history": history[-cap:]}

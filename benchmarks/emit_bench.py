@@ -21,6 +21,11 @@ from repro.aco.problem import LayeringProblem
 from repro.datasets.corpus import CORPUS_SEED
 from repro.graph.generators import att_like_dag
 
+try:
+    from benchmarks.bench_history import load_previous, with_history
+except ImportError:  # run directly: python benchmarks/emit_*.py
+    from bench_history import load_previous, with_history
+
 __all__ = ["BENCH_PATH", "measure_kernel_speedup", "write_bench_json"]
 
 #: Where the benchmark record is checked in (repository root).
@@ -73,8 +78,20 @@ def measure_kernel_speedup(
     }
 
 
+def _history_metrics(record: dict) -> dict | None:
+    """Key metrics of one record for the capped ``history`` trajectory."""
+    sizes = record.get("sizes")
+    if not isinstance(sizes, list) or not sizes:
+        return None
+    largest = sizes[-1]
+    return {
+        k: largest.get(k) for k in ("n_vertices", "python_s", "vectorized_s", "speedup")
+    }
+
+
 def write_bench_json(results: dict, path: Path = BENCH_PATH) -> Path:
     """Write the benchmark record (stable key order, trailing newline)."""
+    results = with_history(results, load_previous(path), _history_metrics)
     path.write_text(json.dumps(results, indent=2) + "\n")
     return path
 

@@ -37,12 +37,27 @@ from repro.experiments.cache import ResultCache
 from repro.experiments.engine import ExperimentEngine, default_method_specs
 from repro.experiments.runner import run_comparison
 
+try:
+    from benchmarks.bench_history import load_previous, with_history
+except ImportError:  # run directly: python benchmarks/emit_*.py
+    from bench_history import load_previous, with_history
+
 __all__ = [
     "BENCH_PATH",
     "measure_engine_speedup",
     "measure_full_corpus",
     "write_bench_json",
 ]
+
+#: The deterministic comparison series (everything except measured wall-clock).
+DETERMINISTIC_METRICS = (
+    "height",
+    "width_including_dummies",
+    "width_excluding_dummies",
+    "dummy_vertex_count",
+    "edge_density",
+    "objective",
+)
 
 #: Where the benchmark record is checked in (repository root).
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_experiment_engine.json"
@@ -80,6 +95,9 @@ def measure_engine_speedup(*, graphs_per_group: int = 2, jobs: int | None = None
     jobs = jobs if jobs is not None else max(MIN_JOBS, os.cpu_count() or 1)
 
     serial_s, serial = _timed_run(corpus, algorithms, ExperimentEngine())
+    batched_s, batched = _timed_run(
+        corpus, algorithms, ExperimentEngine(executor="batched")
+    )
 
     with tempfile.TemporaryDirectory(prefix="repro-engine-bench-") as cache_dir:
         cache = ResultCache(cache_dir)
@@ -87,11 +105,15 @@ def measure_engine_speedup(*, graphs_per_group: int = 2, jobs: int | None = None
         process_cold_s, process_cold = _timed_run(corpus, algorithms, process_engine)
         process_warm_s, process_warm = _timed_run(corpus, algorithms, process_engine)
         cache_entries = len(cache)
+        warm_hits = cache.hit_stats()
 
     # Determinism contract: executor and cache must not change any metric.
     baseline = _deterministic_view(serial)
+    assert _deterministic_view(batched) == baseline, "batched run diverged"
     assert _deterministic_view(process_cold) == baseline, "process run diverged"
     assert _deterministic_view(process_warm) == baseline, "warm-cache run diverged"
+    # The warm pass must have been served by the in-process LRU, not disk.
+    assert warm_hits.memory_hits > 0, "warm run never hit the memory cache layer"
 
     return {
         "benchmark": "experiment_engine_speedup",
@@ -109,8 +131,10 @@ def measure_engine_speedup(*, graphs_per_group: int = 2, jobs: int | None = None
         "graphs_per_group": graphs_per_group,
         "cache_entries": cache_entries,
         "serial_cold_s": round(serial_s, 6),
+        "batched_cold_s": round(batched_s, 6),
         "process_cold_s": round(process_cold_s, 6),
         "process_warm_s": round(process_warm_s, 6),
+        "batched_speedup": round(serial_s / batched_s, 2),
         "parallel_speedup": round(serial_s / process_cold_s, 2),
         "warm_cache_speedup": round(serial_s / process_warm_s, 2),
     }
@@ -131,43 +155,54 @@ def _rss_peak_mb() -> float | None:
     return round(peak / divisor, 1)
 
 
-def measure_full_corpus() -> dict:
+def measure_full_corpus() -> tuple[dict, dict]:
     """Time the paper's *entire* evaluation: 1277 graphs × 5 algorithms.
 
     Runs through the streaming engine with ``keep_results=False`` — the
-    configuration ``repro-dag compare --full`` uses — twice: an *untraced*
-    run for the honest wall-clock (plus the process RSS high-water mark,
-    which includes the materialised corpus), and a tracemalloc-instrumented
-    run (~3x slower, timing discarded) whose allocation peak covers only
-    the run phase — demonstrating that streaming aggregation state stays at
-    O(groups), megabytes, rather than O(cells).
+    configuration ``repro-dag compare --full`` uses — three times: an
+    *untraced* serial run for the honest wall-clock (plus the process RSS
+    high-water mark, which includes the materialised corpus), a
+    tracemalloc-instrumented serial run (~3x slower, timing discarded)
+    whose allocation peak covers only the run phase, and a cross-graph
+    **batched** run (``--executor batched``) whose aggregate series are
+    asserted identical to the serial run's on every deterministic metric
+    before the record is written.
+
+    Returns the ``(full_corpus, full_corpus_batched)`` record sections.
     """
     corpus = att_like_corpus()
     specs = default_method_specs(aco_params=ACOParams(seed=0))
 
-    start = time.perf_counter()
-    comparison = run_comparison(
-        corpus, specs, engine=ExperimentEngine(), keep_results=False
-    )
-    elapsed = time.perf_counter() - start
-    # `if`-raise rather than assert: the guard must survive `python -O`, and
-    # a failed cell means the recorded wall-clock did not cover the full
-    # workload — refuse to write a lying record.
-    if comparison.cells_failed:
-        first = comparison.failures[0]
-        raise RuntimeError(
-            f"{comparison.cells_failed} cells failed mid-bench "
-            f"(first: {first.algorithm} on {first.graph_name}: {first.error})"
-        )
-    if comparison.results:
-        raise RuntimeError("keep_results=False must not keep cells")
+    def _one_run(engine: ExperimentEngine):
+        start = time.perf_counter()
+        comparison = run_comparison(corpus, specs, engine=engine, keep_results=False)
+        elapsed = time.perf_counter() - start
+        # `if`-raise rather than assert: the guard must survive `python -O`,
+        # and a failed cell means the recorded wall-clock did not cover the
+        # full workload — refuse to write a lying record.
+        if comparison.cells_failed:
+            first = comparison.failures[0]
+            raise RuntimeError(
+                f"{comparison.cells_failed} cells failed mid-bench "
+                f"(first: {first.algorithm} on {first.graph_name}: {first.error})"
+            )
+        if comparison.results:
+            raise RuntimeError("keep_results=False must not keep cells")
+        return elapsed, comparison
+
+    elapsed, serial = _one_run(ExperimentEngine())
 
     tracemalloc.start()
     run_comparison(corpus, specs, engine=ExperimentEngine(), keep_results=False)
     _, traced_peak = tracemalloc.get_traced_memory()
     tracemalloc.stop()
 
-    return {
+    batched_elapsed, batched = _one_run(ExperimentEngine(executor="batched"))
+    for metric in DETERMINISTIC_METRICS:
+        if batched.all_series(metric) != serial.all_series(metric):
+            raise RuntimeError(f"batched full-corpus run diverged on {metric}")
+
+    full = {
         "graphs": len(corpus),
         "algorithms": len(specs),
         "cells": len(corpus) * len(specs),
@@ -176,22 +211,55 @@ def measure_full_corpus() -> dict:
         "ru_maxrss_mb": _rss_peak_mb(),
         "aggregation": "streaming run_iter, keep_results=False (O(groups) state)",
     }
+    full_batched = {
+        "graphs": len(corpus),
+        "algorithms": len(specs),
+        "cells": len(corpus) * len(specs),
+        "wall_clock_s": round(batched_elapsed, 2),
+        "speedup_vs_serial": round(elapsed / batched_elapsed, 2),
+        "speedup_vs_pr4_baseline": round(24.05 / batched_elapsed, 2),
+        "pr4_baseline_s": 24.05,
+        "tables_identical_to_serial": True,
+        "executor": "batched (cross-graph megabatch, default batch size)",
+    }
+    return full, full_batched
+
+
+def _history_metrics(record: dict) -> dict | None:
+    """Key metrics of one record for the capped ``history`` trajectory."""
+    out = {}
+    for key in ("cells", "serial_cold_s", "batched_cold_s", "warm_cache_speedup"):
+        if key in record:
+            out[key] = record[key]
+    for section, name in (
+        ("full_corpus", "full_corpus_s"),
+        ("full_corpus_batched", "full_corpus_batched_s"),
+    ):
+        value = record.get(section)
+        if isinstance(value, dict) and "wall_clock_s" in value:
+            out[name] = value["wall_clock_s"]
+    return out or None
 
 
 def write_bench_json(results: dict, path: Path = BENCH_PATH) -> Path:
     """Write the benchmark record (stable key order, trailing newline).
 
-    The ``full_corpus`` section of an existing record is preserved unless
-    the new results carry their own — the quick figure-workload refresh and
-    the minutes-long ``--full-corpus`` run update the file independently.
+    The ``full_corpus`` / ``full_corpus_batched`` sections of an existing
+    record are preserved unless the new results carry their own — the quick
+    figure-workload refresh and the minutes-long ``--full-corpus`` run
+    update the file independently.  Every write appends the record's key
+    metrics to the capped ``history`` trajectory (see
+    :mod:`benchmarks.bench_history`).
     """
-    if "full_corpus" not in results and path.exists():
-        try:
-            previous = json.loads(path.read_text())
-        except ValueError:
-            previous = {}
-        if isinstance(previous, dict) and "full_corpus" in previous:
-            results = {**results, "full_corpus": previous["full_corpus"]}
+    previous = load_previous(path)
+    # History first, from the *fresh* results only: a quick refresh must not
+    # stamp the previous run's preserved full-corpus numbers under the
+    # current version/date.
+    results = with_history(results, previous, _history_metrics)
+    if previous is not None:
+        for section in ("full_corpus", "full_corpus_batched"):
+            if section not in results and section in previous:
+                results = {**results, section: previous[section]}
     path.write_text(json.dumps(results, indent=2) + "\n")
     return path
 
@@ -227,7 +295,7 @@ def main(argv: list[str] | None = None) -> None:
     else:
         results = measure_engine_speedup()
         if args.full_corpus:
-            results["full_corpus"] = measure_full_corpus()
+            results["full_corpus"], results["full_corpus_batched"] = measure_full_corpus()
         path = write_bench_json(results)
     print(f"wrote {path}")
     print(
@@ -235,6 +303,10 @@ def main(argv: list[str] | None = None) -> None:
         f"(cpu_count={results['cpu_count']})"
     )
     print(f"  serial cold   {results['serial_cold_s']*1e3:9.1f} ms")
+    print(
+        f"  batched cold  {results['batched_cold_s']*1e3:9.1f} ms   "
+        f"speedup {results['batched_speedup']:6.2f}x"
+    )
     print(
         f"  process cold  {results['process_cold_s']*1e3:9.1f} ms   "
         f"speedup {results['parallel_speedup']:6.2f}x"
@@ -249,6 +321,13 @@ def main(argv: list[str] | None = None) -> None:
             f"  full corpus   {full['cells']} cells in {full['wall_clock_s']:.1f} s  "
             f"(run-phase alloc peak {full['run_phase_alloc_peak_mb']} MiB, "
             f"rss peak {full['ru_maxrss_mb']} MiB)"
+        )
+    if "full_corpus_batched" in results:
+        batched = results["full_corpus_batched"]
+        print(
+            f"  full batched  {batched['cells']} cells in "
+            f"{batched['wall_clock_s']:.1f} s  "
+            f"({batched['speedup_vs_pr4_baseline']:.2f}x vs the PR4 24.05 s baseline)"
         )
 
 

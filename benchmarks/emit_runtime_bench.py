@@ -41,6 +41,11 @@ from repro.datasets.corpus import CORPUS_SEED
 from repro.graph.generators import att_like_dag
 from repro.utils.pool import effective_workers
 
+try:
+    from benchmarks.bench_history import load_previous, with_history
+except ImportError:  # run directly: python benchmarks/emit_*.py
+    from bench_history import load_previous, with_history
+
 __all__ = ["BENCH_PATH", "measure_runtime_speedup", "write_bench_json"]
 
 #: Where the benchmark record is checked in (repository root).
@@ -124,8 +129,17 @@ def measure_runtime_speedup(
     }
 
 
+def _history_metrics(record: dict) -> dict | None:
+    """Key metrics of one record for the capped ``history`` trajectory."""
+    keys = ("n_colonies", "n_vertices", "serial_driver_s", "colonies_s", "speedup_vs_serial")
+    if not any(k in record for k in keys):
+        return None
+    return {k: record.get(k) for k in keys}
+
+
 def write_bench_json(results: dict, path: Path = BENCH_PATH) -> Path:
     """Write the benchmark record (stable key order, trailing newline)."""
+    results = with_history(results, load_previous(path), _history_metrics)
     path.write_text(json.dumps(results, indent=2) + "\n")
     return path
 

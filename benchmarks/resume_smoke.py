@@ -66,45 +66,60 @@ def deterministic_tables(stdout: str) -> str:
     return "\n".join(keep)
 
 
-def main() -> None:
+def smoke_one(executor_args: list[str], label: str) -> str:
+    """Interrupt → resume → compare for one executor; returns the tables."""
     with tempfile.TemporaryDirectory(prefix="repro-resume-smoke-") as run_dir:
         interrupted = run(
-            ["--run-dir", run_dir],
+            [*executor_args, "--run-dir", run_dir],
             {"REPRO_ENGINE_MAX_CELLS": str(CAP)},
             expect=2,
         )
         if "interrupted" not in interrupted.stderr:
             sys.stderr.write(interrupted.stderr)
-            raise SystemExit("first run was not interrupted by the cell cap")
+            raise SystemExit(f"{label}: first run was not interrupted by the cell cap")
 
-        resumed = run(["--run-dir", run_dir, "--resume"])
+        resumed = run([*executor_args, "--run-dir", run_dir, "--resume"])
         summary = re.search(
             r"run: (\d+)/(\d+) cells \((\d+) executed, (\d+) replayed", resumed.stderr
         )
         if summary is None:
             sys.stderr.write(resumed.stderr)
-            raise SystemExit("resumed run printed no summary line")
+            raise SystemExit(f"{label}: resumed run printed no summary line")
         done, total, executed, replayed = map(int, summary.groups())
         if replayed != CAP:
             raise SystemExit(
-                f"expected the {CAP} journaled cells to be replayed, got {replayed}"
+                f"{label}: expected the {CAP} journaled cells to be replayed, "
+                f"got {replayed}"
             )
         if executed != total - CAP:
             raise SystemExit(
-                f"resume re-executed journaled cells: {executed} executed of "
-                f"{total} with {CAP} journaled"
+                f"{label}: resume re-executed journaled cells: {executed} executed "
+                f"of {total} with {CAP} journaled"
             )
 
-        reference = run([])
-        if deterministic_tables(resumed.stdout) != deterministic_tables(
-            reference.stdout
-        ):
-            raise SystemExit("resumed aggregate tables diverge from uninterrupted run")
-
+        reference = run(executor_args)
+        tables = deterministic_tables(reference.stdout)
+        if deterministic_tables(resumed.stdout) != tables:
+            raise SystemExit(
+                f"{label}: resumed aggregate tables diverge from uninterrupted run"
+            )
     print(
-        f"resume smoke OK: {done}/{total} cells, {replayed} replayed, "
+        f"resume smoke OK ({label}): {done}/{total} cells, {replayed} replayed, "
         f"{executed} executed after interruption at {CAP}; tables identical"
     )
+    return tables
+
+
+def main() -> None:
+    serial_tables = smoke_one([], "serial")
+    # The batched variant interrupts *mid-pack*: the cap fires after 4 cells
+    # while the cross-graph pack computed more — the journal must still hold
+    # exactly the yielded cells, resume must replay (not re-execute) them,
+    # and the final tables must match the serial executor byte for byte.
+    batched_tables = smoke_one(["--executor", "batched"], "batched")
+    if batched_tables != serial_tables:
+        raise SystemExit("batched executor tables diverge from the serial executor")
+    print("resume smoke OK: batched tables byte-identical to serial")
 
 
 if __name__ == "__main__":

@@ -76,8 +76,8 @@ static inline int64_t upper_bound(const double *cum, int64_t k, double target)
 
 void run_walks(
     int64_t n_ants,
-    int64_t n_vertices,
-    int64_t n_cols,                 /* n_layers + 1 (column 0 unused) */
+    int64_t n_vertices,             /* walk-row stride (max vertices over the batch) */
+    int64_t n_cols,                 /* layer-row stride: max n_layers + 1 (column 0 unused) */
     const int64_t *orders,          /* n_ants x n_vertices */
     const double *uniforms,         /* n_ants x n_vertices, or NULL */
     const int64_t *succ_indptr,
@@ -89,6 +89,10 @@ void run_walks(
     const double *vertex_widths,
     const double *tau,              /* n_matrices x n_vertices x n_cols, pre-powered by alpha */
     const int64_t *tau_index,       /* n_ants: which tau matrix each walk reads */
+    const int64_t *walk_steps,      /* n_ants: construction steps per walk, or NULL (= n_vertices) */
+    const int64_t *walk_vbase,      /* n_ants: per-walk offset into degree/width arrays, or NULL */
+    const int64_t *walk_ibase,      /* n_ants: per-walk offset into the CSR indptr arrays, or NULL */
+    const int64_t *walk_layers,     /* n_ants: per-walk layer count, or NULL (= n_cols - 1) */
     int64_t beta_mode,              /* 0..5: decomposed integer exponent */
     double nd_width,
     double epsilon,
@@ -99,7 +103,6 @@ void run_walks(
     int64_t *occupancy,             /* n_ants x n_cols, in/out */
     double *scores)                 /* scratch, n_cols doubles */
 {
-    int64_t n_layers = n_cols - 1;
     for (int64_t a = 0; a < n_ants; a++) {
         int64_t *asg = assignment + a * n_vertices;
         double *re = real + a * n_cols;
@@ -108,18 +111,28 @@ void run_walks(
         const int64_t *order = orders + a * n_vertices;
         const double *u_row = uniforms ? uniforms + a * n_vertices : 0;
         const double *tau_mat = tau + tau_index[a] * n_vertices * n_cols;
+        /* Cross-graph batching: each walk may belong to a different graph,
+           named by per-walk base offsets into the packed (block-diagonal)
+           arrays.  NULL per-walk arrays mean the uniform single-graph case;
+           walks shorter than the batch stride simply stop early (masked
+           termination). */
+        int64_t steps = walk_steps ? walk_steps[a] : n_vertices;
+        int64_t vbase = walk_vbase ? walk_vbase[a] : 0;
+        const int64_t *sip = succ_indptr + (walk_ibase ? walk_ibase[a] : 0);
+        const int64_t *pip = pred_indptr + (walk_ibase ? walk_ibase[a] : 0);
+        int64_t n_layers = walk_layers ? walk_layers[a] : n_cols - 1;
 
-        for (int64_t step = 0; step < n_vertices; step++) {
+        for (int64_t step = 0; step < steps; step++) {
             int64_t v = order[step];
             int64_t current = asg[v];
 
             /* Feasible span [lo, hi] from the CSR adjacency. */
             int64_t lo = 1, hi = n_layers;
-            for (int64_t e = succ_indptr[v]; e < succ_indptr[v + 1]; e++) {
+            for (int64_t e = sip[v]; e < sip[v + 1]; e++) {
                 int64_t lw = asg[succ_indices[e]];
                 if (lw + 1 > lo) lo = lw + 1;
             }
-            for (int64_t e = pred_indptr[v]; e < pred_indptr[v + 1]; e++) {
+            for (int64_t e = pip[v]; e < pip[v + 1]; e++) {
                 int64_t lu = asg[pred_indices[e]];
                 if (lu - 1 < hi) hi = lu - 1;
             }
@@ -128,7 +141,7 @@ void run_walks(
             if (lo == hi) {
                 chosen = lo;
             } else {
-                double wv = vertex_widths[v];
+                double wv = vertex_widths[vbase + v];
                 const double *tau_row = tau_mat + v * n_cols;
                 int64_t k = hi - lo + 1;
 
@@ -185,13 +198,13 @@ void run_walks(
             if (chosen != current) {
                 /* Algorithm 5 incremental width update (same op order as
                    LayerWidths.apply_move). */
-                double wv = vertex_widths[v];
+                double wv = vertex_widths[vbase + v];
                 re[current] -= wv;
                 re[chosen] += wv;
                 oc[current] -= 1;
                 oc[chosen] += 1;
-                int64_t outdeg = out_degree[v];
-                int64_t indeg = in_degree[v];
+                int64_t outdeg = out_degree[vbase + v];
+                int64_t indeg = in_degree[vbase + v];
                 if (chosen > current) {
                     if (outdeg)
                         for (int64_t l = current; l < chosen; l++) cr[l] += outdeg;
@@ -308,6 +321,10 @@ def load_native() -> ctypes.CDLL | None:
             _F64,  # vertex_widths
             _F64,  # tau (stack of matrices)
             _I64,  # tau_index
+            ctypes.c_void_p,  # walk_steps (nullable)
+            ctypes.c_void_p,  # walk_vbase (nullable)
+            ctypes.c_void_p,  # walk_ibase (nullable)
+            ctypes.c_void_p,  # walk_layers (nullable)
             ctypes.c_int64,  # beta_mode
             ctypes.c_double,  # nd_width
             ctypes.c_double,  # epsilon
@@ -358,17 +375,29 @@ def run_walks_native(
     real: np.ndarray,
     crossing: np.ndarray,
     occupancy: np.ndarray,
+    walk_steps: np.ndarray | None = None,
+    walk_vbase: np.ndarray | None = None,
+    walk_ibase: np.ndarray | None = None,
+    walk_layers: np.ndarray | None = None,
 ) -> None:
     """Run all walks of one tour in C, mutating the per-ant state in place.
 
     *tau* is a contiguous stack of one or more pre-powered pheromone matrices
     (``(n_matrices, n_vertices, n_cols)``); ``tau_index[a]`` names the matrix
     walk *a* reads, which is what lets one call sweep the ants of several
-    independent colonies in lockstep.
+    independent colonies in lockstep.  The optional ``walk_*`` arrays extend
+    the same indirection across *graphs*: per-walk step counts, offsets into
+    the packed degree/width and CSR ``indptr`` arrays, and per-walk layer
+    counts (see :class:`repro.aco.problem.PackedProblems`).  ``None`` means
+    the uniform single-graph batch.
     """
     n_ants, n_vertices = orders.shape
     n_cols = real.shape[1]
     scratch = np.empty(n_cols, dtype=np.float64)
+
+    def _opt_i64(arr: np.ndarray | None) -> ctypes.c_void_p | None:
+        return None if arr is None else arr.ctypes.data_as(ctypes.c_void_p)
+
     uniforms_ptr = (
         None
         if uniforms is None
@@ -389,6 +418,10 @@ def run_walks_native(
         vertex_widths,
         tau.reshape(-1, n_cols),
         tau_index,
+        _opt_i64(walk_steps),
+        _opt_i64(walk_vbase),
+        _opt_i64(walk_ibase),
+        _opt_i64(walk_layers),
         int(beta),
         nd_width,
         epsilon,

@@ -59,6 +59,7 @@ __all__ = [
     "draw_walk_randomness",
     "batched_layer_spans",
     "run_walks_batch",
+    "run_walks_packed",
     "run_tour_vectorized",
     "evaluate_assignment_vectorized",
 ]
@@ -277,35 +278,204 @@ def run_walks_batch(
         )
         return assignment
 
-    # Per-ant working state.  Two sentinel assignment columns serve the
-    # padded span gathers (see LayeringProblem.succ_pad / pred_pad).
-    assignment = np.empty((n_ants, n + 2), dtype=np.int64)
-    assignment[:, :n] = base_assignment
-    assignment[:, n] = 0
-    assignment[:, n + 1] = problem.n_layers + 1
+    # NumPy fallback: the shared lockstep core with uniform per-walk
+    # parameters (every walk is the same graph at offset zero).
+    return _lockstep_walks(
+        succ_pad=problem.succ_pad,
+        pred_pad=problem.pred_pad,
+        widths=problem.widths,
+        out_degree=problem.out_degree,
+        in_degree=problem.in_degree,
+        steps=np.full(n_ants, n, dtype=np.int64),
+        voff=np.zeros(n_ants, dtype=np.int64),
+        layers_w=np.full(n_ants, problem.n_layers, dtype=np.int64),
+        max_n=n,
+        max_cols=n_cols,
+        params=params,
+        nd_width=nd_width,
+        tau_pow=tau_pow,
+        tau_index=tau_index,
+        orders=orders,
+        uniforms=uniforms,
+        base_assignment=base_assignment,
+        real=real,
+        crossing=crossing,
+        occupancy=occupancy,
+    )
 
-    rows = np.arange(n_ants)
-    cols = np.arange(n_cols)
-    vertex_widths = problem.widths
-    out_degree = problem.out_degree
-    in_degree = problem.in_degree
 
-    for step in range(n):
-        v = orders[:, step]
-        current = assignment[rows, v]
-        lo, hi = batched_layer_spans(problem, assignment, v)
-        wv = vertex_widths[v]
+def run_walks_packed(
+    packed,
+    params: ACOParams,
+    tau_pow: np.ndarray,
+    tau_index: np.ndarray,
+    walk_graph: np.ndarray,
+    orders: np.ndarray,
+    uniforms: np.ndarray | None,
+    base_assignment: np.ndarray,
+    real: np.ndarray,
+    crossing: np.ndarray,
+    occupancy: np.ndarray,
+) -> np.ndarray:
+    """Run walks belonging to *different graphs* in one lockstep sweep.
 
-        # Candidate widths / heuristic, same element-wise order as
-        # LayerWidths.eta: real + nd*crossing + w_v, minus w_v on the
-        # current layer, floored at epsilon, inverted.
-        candidate = real + nd_width * crossing
+    The cross-graph twin of :func:`run_walks_batch`: *packed* is a
+    :class:`~repro.aco.problem.PackedProblems`, ``walk_graph[a]`` names the
+    graph walk ``a`` builds a layering for, and every per-walk row (orders,
+    uniforms, assignments, layer-state) is padded to the pack-wide strides
+    ``max_n_vertices`` / ``max_n_cols``.  Walks of graphs smaller than the
+    pack maximum terminate early (masked out of later steps), and every
+    per-step quantity is computed with exactly the element-wise operations
+    of the single-graph batch, so each walk is bit-identical to running it
+    through its own graph's :func:`run_walks_batch`.
+
+    ``tau_pow`` is a contiguous ``(n_matrices, max_n_vertices, max_n_cols)``
+    stack of zero-padded pre-powered pheromone matrices; ``tau_index[a]``
+    names the matrix walk ``a`` reads (one per colony per graph).  Padded
+    tau entries never influence a decision: the feasibility mask confines
+    scores to ``[lo, hi] ⊆ [1, n_layers_g]``.
+
+    Returns the final ``(n_walks, max_n_vertices)`` assignments; rows are
+    meaningful only up to each walk's own vertex count.
+    """
+    n_walks = orders.shape[0]
+    max_n = packed.max_n_vertices
+    max_cols = packed.max_n_cols
+
+    beta = params.beta
+    epsilon = params.eta_epsilon
+    nd_width = packed.nd_width
+    q0 = params.exploitation_probability
+
+    steps = packed.n_vertices_per[walk_graph]
+    voff = packed.vert_offset[walk_graph]
+    layers_w = packed.n_layers_per[walk_graph]
+
+    native_lib = _native.load_native() if _native.native_supports(beta) else None
+    if native_lib is not None:
+        assignment = np.empty((n_walks, max_n), dtype=np.int64)
+        assignment[:] = base_assignment
+        _native.run_walks_native(
+            native_lib,
+            orders=orders,
+            uniforms=uniforms,
+            succ_indptr=packed.succ_indptr,
+            succ_indices=packed.succ_indices,
+            pred_indptr=packed.pred_indptr,
+            pred_indices=packed.pred_indices,
+            out_degree=packed.out_degree,
+            in_degree=packed.in_degree,
+            vertex_widths=packed.widths,
+            tau=tau_pow,
+            tau_index=tau_index,
+            beta=beta,
+            nd_width=nd_width,
+            epsilon=epsilon,
+            q0=q0,
+            assignment=assignment,
+            real=real,
+            crossing=crossing,
+            occupancy=occupancy,
+            walk_steps=np.ascontiguousarray(steps),
+            walk_vbase=np.ascontiguousarray(voff),
+            walk_ibase=np.ascontiguousarray(packed.indptr_offset[walk_graph]),
+            walk_layers=np.ascontiguousarray(layers_w),
+        )
+        return assignment
+
+    return _lockstep_walks(
+        succ_pad=packed.succ_pad,
+        pred_pad=packed.pred_pad,
+        widths=packed.widths,
+        out_degree=packed.out_degree,
+        in_degree=packed.in_degree,
+        steps=steps,
+        voff=voff,
+        layers_w=layers_w,
+        max_n=max_n,
+        max_cols=max_cols,
+        params=params,
+        nd_width=nd_width,
+        tau_pow=tau_pow,
+        tau_index=tau_index,
+        orders=orders,
+        uniforms=uniforms,
+        base_assignment=base_assignment,
+        real=real,
+        crossing=crossing,
+        occupancy=occupancy,
+    )
+
+
+def _lockstep_walks(
+    *,
+    succ_pad: np.ndarray,
+    pred_pad: np.ndarray,
+    widths: np.ndarray,
+    out_degree: np.ndarray,
+    in_degree: np.ndarray,
+    steps: np.ndarray,
+    voff: np.ndarray,
+    layers_w: np.ndarray,
+    max_n: int,
+    max_cols: int,
+    params: ACOParams,
+    nd_width: float,
+    tau_pow: np.ndarray,
+    tau_index: np.ndarray,
+    orders: np.ndarray,
+    uniforms: np.ndarray | None,
+    base_assignment: np.ndarray,
+    real: np.ndarray,
+    crossing: np.ndarray,
+    occupancy: np.ndarray,
+) -> np.ndarray:
+    """The one NumPy lockstep walk loop shared by both batch entry points.
+
+    ``run_walks_batch`` calls it with uniform per-walk parameters (one
+    graph, offset zero); ``run_walks_packed`` with the packed per-walk
+    steps/offsets/layer counts.  Keeping a single implementation is what
+    protects the bit-identity contract between the serial and batched
+    executors from the two copies drifting apart — the same altitude the C
+    kernel takes with its nullable per-walk arrays.
+    """
+    n_walks = orders.shape[0]
+    beta = params.beta
+    epsilon = params.eta_epsilon
+    q0 = params.exploitation_probability
+    explore_possible = q0 < 1.0
+
+    # Two sentinel columns per walk: column max_n holds layer 0 (successor
+    # padding) and column max_n + 1 the walk's own n_layers + 1 (predecessor
+    # padding), so the padded span gathers work across graph boundaries.
+    assignment = np.empty((n_walks, max_n + 2), dtype=np.int64)
+    assignment[:, :max_n] = base_assignment
+    assignment[:, max_n] = 0
+    assignment[:, max_n + 1] = layers_w + 1
+
+    cols = np.arange(max_cols)
+
+    for step in range(max_n):
+        # Masked termination: only walks whose graph still has vertices to
+        # place advance on this step.
+        act = np.flatnonzero(steps > step)
+        if act.size == 0:
+            break
+        rows = np.arange(act.size)
+        v = orders[act, step]
+        gv = voff[act] + v
+        current = assignment[act, v]
+        lo = assignment[act[:, None], succ_pad[gv]].max(axis=1) + 1
+        hi = assignment[act[:, None], pred_pad[gv]].min(axis=1) - 1
+        wv = widths[gv]
+
+        candidate = real[act] + nd_width * crossing[act]
         candidate += wv[:, None]
         candidate[rows, current] -= wv
         np.maximum(candidate, epsilon, out=candidate)
         eta = np.divide(1.0, candidate, out=candidate)
 
-        scores = tau_pow[tau_index, v] * fused_pow(eta, beta)
+        scores = tau_pow[tau_index[act], v] * fused_pow(eta, beta)
         inside = (cols >= lo[:, None]) & (cols <= hi[:, None])
         scores = np.where(inside, scores, 0.0)
 
@@ -316,12 +486,10 @@ def run_walks_batch(
         new_layer = best
         if not explore_possible:
             if not valid.all():
-                # Unreachable with finite positive trails; deterministic
-                # lower-bound fallback, mirrored by select_from_scores.
                 new_layer = np.where(valid, best, lo)
         else:
-            u = uniforms[:, step]
-            exploit = u < q0 if q0 > 0.0 else np.zeros(n_ants, dtype=bool)
+            u = uniforms[act, step]
+            exploit = u < q0 if q0 > 0.0 else np.zeros(act.size, dtype=bool)
             explore = valid & ~exploit
             if explore.any():
                 cumulative = np.cumsum(scores, axis=1)
@@ -348,22 +516,21 @@ def run_walks_batch(
 
         moved = np.flatnonzero(new_layer != current)
         if len(moved):
+            rows_m = act[moved]
             moved_v = v[moved]
             old = current[moved]
             new = new_layer[moved]
             w_moved = wv[moved]
-            real[moved, old] -= w_moved
-            real[moved, new] += w_moved
-            occupancy[moved, old] -= 1
-            occupancy[moved, new] += 1
-            assignment[moved, moved_v] = new
-            # Crossing-count range updates (Algorithm 5) stay per-ant: the
-            # affected layer intervals differ per ant, but integer range
-            # adds are exact, so any execution order matches the reference.
-            for a, vertex, old_l, new_l in zip(moved, moved_v, old, new):
+            real[rows_m, old] -= w_moved
+            real[rows_m, new] += w_moved
+            occupancy[rows_m, old] -= 1
+            occupancy[rows_m, new] += 1
+            assignment[rows_m, moved_v] = new
+            gv_moved = gv[moved]
+            for r, vertex, old_l, new_l in zip(rows_m, gv_moved, old, new):
                 outdeg = int(out_degree[vertex])
                 indeg = int(in_degree[vertex])
-                row = crossing[a]
+                row = crossing[r]
                 if new_l > old_l:
                     if outdeg:
                         row[old_l:new_l] += outdeg
@@ -375,7 +542,7 @@ def run_walks_batch(
                     if outdeg:
                         row[new_l:old_l] -= outdeg
 
-    return assignment[:, :n]
+    return assignment[:, :max_n]
 
 
 def run_tour_vectorized(

@@ -21,7 +21,7 @@ from repro.layering.longest_path import longest_path_layering
 from repro.layering.stretch import stretch_above_below, stretch_between
 from repro.utils.exceptions import ValidationError
 
-__all__ = ["LayeringProblem"]
+__all__ = ["LayeringProblem", "PackedProblems"]
 
 
 def _csr_arrays(adjacency: list[list[int]]) -> tuple[np.ndarray, np.ndarray]:
@@ -134,10 +134,11 @@ class LayeringProblem:
             as in the paper.
         """
         require_nonempty(graph)
-        require_dag(graph)
         if nd_width < 0:
             raise ValidationError(f"nd_width must be >= 0, got {nd_width}")
 
+        # Acyclicity is enforced by the topological sort inside the LPL call
+        # (CycleError), so no separate require_dag pass is paid here.
         lpl = longest_path_layering(graph)
         target = graph.n_vertices if n_layers is None else n_layers
         if target < lpl.height:
@@ -276,4 +277,172 @@ class LayeringProblem:
         """Convert a label-keyed layering into the integer array form used internally."""
         return np.array(
             [layering.layer_of(v) for v in self.vertices], dtype=np.int64
+        )
+
+
+@dataclass
+class PackedProblems:
+    """Several :class:`LayeringProblem` instances packed for one kernel sweep.
+
+    Cross-graph batching needs every per-vertex array of every graph in one
+    contiguous buffer so a single :func:`repro.aco.kernels.run_walks_packed`
+    call can advance walks belonging to *different* graphs in lockstep.  The
+    layout is block-diagonal: the vertices of graph ``g`` occupy the global
+    index range ``[vert_offset[g], vert_offset[g + 1])`` in the concatenated
+    degree/width arrays, while adjacency *values* stay **local** (0-based
+    within their graph) because each walk's assignment row is local to its
+    own graph.
+
+    Attributes
+    ----------
+    problems:
+        The per-graph problems, in pack order (kept for randomness drawing
+        and for converting results back to vertex labels).
+    n_vertices_per, n_layers_per:
+        Per-graph dimensions (``int64``).
+    vert_offset:
+        ``(n_graphs + 1,)`` cumulative vertex counts; the global row of local
+        vertex ``v`` of graph ``g`` is ``vert_offset[g] + v``.
+    indptr_offset:
+        Per-graph starting position inside the packed CSR ``indptr`` arrays
+        (each graph contributes ``n_g + 1`` entries, so this is
+        ``vert_offset[g] + g``).
+    succ_indptr, succ_indices, pred_indptr, pred_indices:
+        Packed CSR adjacency.  ``indptr`` values are shifted so they index
+        straight into the packed ``indices`` arrays; ``indices`` values are
+        local vertex ids.
+    succ_pad, pred_pad:
+        ``(total_vertices, max_degree)`` padded neighbour stacks over the
+        whole pack (local ids).  The sentinels are the *pack-wide* columns
+        ``max_n_vertices`` (successors, layer 0) and ``max_n_vertices + 1``
+        (predecessors, layer ``n_layers_g + 1`` — a per-walk value, so the
+        sentinel column of the extended assignment matrix is filled per
+        walk).
+    out_degree, in_degree, widths:
+        Concatenated per-vertex arrays, indexed globally.
+    nd_width:
+        Shared dummy-vertex width (packing requires it to be identical).
+    max_n_vertices, max_n_cols:
+        Padded walk dimensions: every per-walk row is ``max_n_vertices``
+        entries (+2 sentinel columns) and every per-layer row is
+        ``max_n_cols`` = ``max(n_layers) + 1`` entries wide.
+    initial_assignment, init_real, init_crossing, init_occupancy:
+        Per-graph initial state (stretched LPL), zero-padded to the pack
+        width — rows ``g`` seed every colony of graph ``g``.
+    """
+
+    problems: list[LayeringProblem]
+    n_vertices_per: np.ndarray
+    n_layers_per: np.ndarray
+    vert_offset: np.ndarray
+    indptr_offset: np.ndarray
+    succ_indptr: np.ndarray
+    succ_indices: np.ndarray
+    pred_indptr: np.ndarray
+    pred_indices: np.ndarray
+    succ_pad: np.ndarray
+    pred_pad: np.ndarray
+    out_degree: np.ndarray
+    in_degree: np.ndarray
+    widths: np.ndarray
+    nd_width: float
+    max_n_vertices: int
+    max_n_cols: int
+    initial_assignment: np.ndarray
+    init_real: np.ndarray
+    init_crossing: np.ndarray
+    init_occupancy: np.ndarray
+
+    @property
+    def n_graphs(self) -> int:
+        return len(self.problems)
+
+    @property
+    def total_vertices(self) -> int:
+        return int(self.vert_offset[-1])
+
+    @classmethod
+    def pack(cls, problems: list[LayeringProblem]) -> "PackedProblems":
+        """Stack the flat arrays of *problems* into one block-diagonal pack."""
+        if not problems:
+            raise ValidationError("cannot pack an empty problem list")
+        nd_width = problems[0].nd_width
+        for p in problems[1:]:
+            if p.nd_width != nd_width:
+                raise ValidationError(
+                    "all packed problems must share one nd_width, got "
+                    f"{nd_width} and {p.nd_width}"
+                )
+
+        n_per = np.array([p.n_vertices for p in problems], dtype=np.int64)
+        layers_per = np.array([p.n_layers for p in problems], dtype=np.int64)
+        vert_offset = np.zeros(len(problems) + 1, dtype=np.int64)
+        np.cumsum(n_per, out=vert_offset[1:])
+        indptr_offset = vert_offset[:-1] + np.arange(len(problems), dtype=np.int64)
+        max_n = int(n_per.max())
+        max_cols = int(layers_per.max()) + 1
+
+        def _packed_csr(indptr_name: str, indices_name: str):
+            indptrs = []
+            edge_offset = 0
+            for p in problems:
+                local = getattr(p, indptr_name)
+                indptrs.append(local + edge_offset)
+                edge_offset += int(local[-1])
+            return (
+                np.concatenate(indptrs),
+                np.concatenate([getattr(p, indices_name) for p in problems]),
+            )
+
+        succ_indptr, succ_indices = _packed_csr("succ_indptr", "succ_indices")
+        pred_indptr, pred_indices = _packed_csr("pred_indptr", "pred_indices")
+
+        def _packed_pad(name: str, local_sentinel_shift: int, sentinel: int):
+            width = max(getattr(p, name).shape[1] for p in problems)
+            pad = np.full((int(vert_offset[-1]), width), sentinel, dtype=np.int64)
+            for g, p in enumerate(problems):
+                block = getattr(p, name)
+                # Per-graph sentinels (n_g or n_g + 1) become the pack-wide one.
+                rows = pad[vert_offset[g] : vert_offset[g + 1], : block.shape[1]]
+                rows[...] = np.where(
+                    block == p.n_vertices + local_sentinel_shift, sentinel, block
+                )
+            return pad
+
+        initial = np.zeros((len(problems), max_n), dtype=np.int64)
+        init_real = np.zeros((len(problems), max_cols), dtype=np.float64)
+        init_crossing = np.zeros((len(problems), max_cols), dtype=np.int64)
+        init_occupancy = np.zeros((len(problems), max_cols), dtype=np.int64)
+        # Local import: heuristic.py imports this module at load time.
+        from repro.aco.heuristic import LayerWidths
+
+        for g, p in enumerate(problems):
+            initial[g, : p.n_vertices] = p.initial_assignment
+            base = LayerWidths.from_assignment(p, p.initial_assignment)
+            init_real[g, : p.n_layers + 1] = base.real
+            init_crossing[g, : p.n_layers + 1] = base.crossing
+            init_occupancy[g, : p.n_layers + 1] = base.occupancy
+
+        return cls(
+            problems=list(problems),
+            n_vertices_per=n_per,
+            n_layers_per=layers_per,
+            vert_offset=vert_offset,
+            indptr_offset=indptr_offset,
+            succ_indptr=succ_indptr,
+            succ_indices=succ_indices,
+            pred_indptr=pred_indptr,
+            pred_indices=pred_indices,
+            succ_pad=_packed_pad("succ_pad", 0, max_n),
+            pred_pad=_packed_pad("pred_pad", 1, max_n + 1),
+            out_degree=np.concatenate([p.out_degree for p in problems]),
+            in_degree=np.concatenate([p.in_degree for p in problems]),
+            widths=np.concatenate([p.widths for p in problems]),
+            nd_width=float(nd_width),
+            max_n_vertices=max_n,
+            max_n_cols=max_cols,
+            initial_assignment=initial,
+            init_real=init_real,
+            init_crossing=init_crossing,
+            init_occupancy=init_occupancy,
         )

@@ -49,10 +49,15 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.aco.heuristic import AssignmentScore, LayerWidths, evaluate_with_widths
-from repro.aco.kernels import draw_walk_randomness, fused_pow, run_walks_batch
+from repro.aco.kernels import (
+    draw_walk_randomness,
+    fused_pow,
+    run_walks_batch,
+    run_walks_packed,
+)
 from repro.aco.params import ACOParams
 from repro.aco.pheromone import PheromoneMatrix
-from repro.aco.problem import LayeringProblem
+from repro.aco.problem import LayeringProblem, PackedProblems, _padded_neighbours
 from repro.graph.digraph import DiGraph
 from repro.layering.base import Layering
 from repro.layering.metrics import evaluate_layering
@@ -64,8 +69,11 @@ __all__ = [
     "SharedProblem",
     "publish_problem",
     "attach_problem",
+    "publish_packed",
+    "attach_packed",
     "ColonyOutcome",
     "run_colonies_batch",
+    "run_packed_colonies",
     "colonies_aco_layering",
 ]
 
@@ -163,16 +171,8 @@ class SharedProblem:
         self.unlink()
 
 
-def publish_problem(problem: LayeringProblem) -> SharedProblem:
-    """Copy the problem's flat arrays into one shared-memory block.
-
-    Workers re-materialise a kernel-ready :class:`LayeringProblem` from the
-    returned manifest with :func:`attach_problem` without touching the graph
-    JSON or re-running the initialisation phase.
-    """
-    arrays = {
-        name: np.ascontiguousarray(getattr(problem, name)) for name in _SHARED_ARRAYS
-    }
+def _publish_arrays(arrays: dict[str, np.ndarray]) -> tuple[dict[str, Any], shared_memory.SharedMemory]:
+    """Copy named arrays into one new shared-memory block; return (layout, shm)."""
     layout: dict[str, dict[str, Any]] = {}
     offset = 0
     for name, arr in arrays.items():
@@ -190,6 +190,34 @@ def publish_problem(problem: LayeringProblem) -> SharedProblem:
             arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=spec["offset"]
         )
         view[...] = arr
+    return layout, shm
+
+
+def _attach_views(manifest: dict[str, Any]) -> tuple[dict[str, np.ndarray], shared_memory.SharedMemory]:
+    """Zero-copy views over a block published with :func:`_publish_arrays`."""
+    shm = _attach_untracked(manifest["shm_name"])
+    views: dict[str, np.ndarray] = {}
+    for name, spec in manifest["arrays"].items():
+        views[name] = np.ndarray(
+            tuple(spec["shape"]),
+            dtype=np.dtype(spec["dtype"]),
+            buffer=shm.buf,
+            offset=spec["offset"],
+        )
+    return views, shm
+
+
+def publish_problem(problem: LayeringProblem) -> SharedProblem:
+    """Copy the problem's flat arrays into one shared-memory block.
+
+    Workers re-materialise a kernel-ready :class:`LayeringProblem` from the
+    returned manifest with :func:`attach_problem` without touching the graph
+    JSON or re-running the initialisation phase.
+    """
+    arrays = {
+        name: np.ascontiguousarray(getattr(problem, name)) for name in _SHARED_ARRAYS
+    }
+    layout, shm = _publish_arrays(arrays)
     manifest = {
         "shm_name": shm.name,
         "arrays": layout,
@@ -212,16 +240,7 @@ def attach_problem(
     ``None`` on the attached instance (labels never cross the boundary);
     callers convert index assignments back to labels in the parent.
     """
-    shm = _attach_untracked(manifest["shm_name"])
-
-    views: dict[str, np.ndarray] = {}
-    for name, spec in manifest["arrays"].items():
-        views[name] = np.ndarray(
-            tuple(spec["shape"]),
-            dtype=np.dtype(spec["dtype"]),
-            buffer=shm.buf,
-            offset=spec["offset"],
-        )
+    views, shm = _attach_views(manifest)
 
     n = manifest["n_vertices"]
     succ = [
@@ -567,3 +586,411 @@ def colonies_aco_layering(
     layering = Layering(best.assignment)
     layering.validate(graph)
     return ParallelAcoResult(layering=layering, best_colony=best, colonies=summaries)
+
+
+# ---------------------------------------------------------------------- #
+# cross-graph packed execution
+# ---------------------------------------------------------------------- #
+
+#: The flat arrays of a PackedProblems that travel through shared memory.
+_PACKED_ARRAYS = (
+    "n_vertices_per",
+    "n_layers_per",
+    "vert_offset",
+    "indptr_offset",
+    "succ_indptr",
+    "succ_indices",
+    "pred_indptr",
+    "pred_indices",
+    "succ_pad",
+    "pred_pad",
+    "out_degree",
+    "in_degree",
+    "widths",
+    "initial_assignment",
+    "init_real",
+    "init_crossing",
+    "init_occupancy",
+)
+
+
+def publish_packed(packed: PackedProblems) -> SharedProblem:
+    """Copy a pack's flat arrays into one shared-memory block.
+
+    The packed twin of :func:`publish_problem`: one block carries the
+    block-diagonal CSR, padded-neighbour and initial-state arrays of *every*
+    graph in the pack, so worker processes sharding the pack attach the
+    whole corpus slice zero-copy.
+    """
+    arrays = {
+        name: np.ascontiguousarray(getattr(packed, name)) for name in _PACKED_ARRAYS
+    }
+    layout, shm = _publish_arrays(arrays)
+    manifest = {
+        "shm_name": shm.name,
+        "arrays": layout,
+        "packed": True,
+        "n_graphs": packed.n_graphs,
+        "nd_width": packed.nd_width,
+        "max_n_vertices": packed.max_n_vertices,
+        "max_n_cols": packed.max_n_cols,
+        "lpl_heights": [p.lpl_height for p in packed.problems],
+    }
+    return SharedProblem(manifest=manifest, shm=shm)
+
+
+def attach_packed(
+    manifest: dict[str, Any]
+) -> tuple[PackedProblems, shared_memory.SharedMemory]:
+    """Rebuild a worker-side :class:`PackedProblems` over the shared block.
+
+    The pack-level arrays are zero-copy views; the per-graph
+    :class:`LayeringProblem` instances are re-materialised from slices of
+    those views (``graph`` is ``None`` — labels stay in the parent).
+    """
+    views, shm = _attach_views(manifest)
+    nd_width = manifest["nd_width"]
+    lpl_heights = manifest["lpl_heights"]
+
+    vert_offset = views["vert_offset"]
+    indptr_offset = views["indptr_offset"]
+    problems: list[LayeringProblem] = []
+    for g in range(manifest["n_graphs"]):
+        n = int(views["n_vertices_per"][g])
+        vo = int(vert_offset[g])
+        io = int(indptr_offset[g])
+        succ_indptr = views["succ_indptr"][io : io + n + 1] - views["succ_indptr"][io]
+        pred_indptr = views["pred_indptr"][io : io + n + 1] - views["pred_indptr"][io]
+        s0 = int(views["succ_indptr"][io])
+        p0 = int(views["pred_indptr"][io])
+        succ_indices = views["succ_indices"][s0 : s0 + int(succ_indptr[-1])]
+        pred_indices = views["pred_indices"][p0 : p0 + int(pred_indptr[-1])]
+        succ = [piece.tolist() for piece in np.split(succ_indices, succ_indptr[1:-1])]
+        pred = [piece.tolist() for piece in np.split(pred_indices, pred_indptr[1:-1])]
+        out_degree = views["out_degree"][vo : vo + n]
+        problems.append(
+            LayeringProblem(
+                graph=None,  # type: ignore[arg-type] — labels stay in the parent
+                vertices=list(range(n)),
+                n_vertices=n,
+                n_layers=int(views["n_layers_per"][g]),
+                succ=succ,
+                pred=pred,
+                succ_indptr=succ_indptr,
+                succ_indices=succ_indices,
+                pred_indptr=pred_indptr,
+                pred_indices=pred_indices,
+                succ_pad=_padded_neighbours(succ, sentinel=n),
+                pred_pad=_padded_neighbours(pred, sentinel=n + 1),
+                edge_src=np.repeat(np.arange(n, dtype=np.int64), out_degree),
+                edge_dst=succ_indices,
+                out_degree=out_degree,
+                in_degree=views["in_degree"][vo : vo + n],
+                widths=views["widths"][vo : vo + n],
+                nd_width=nd_width,
+                initial_assignment=views["initial_assignment"][g, :n],
+                lpl_height=int(lpl_heights[g]),
+            )
+        )
+
+    packed = PackedProblems(
+        problems=problems,
+        n_vertices_per=views["n_vertices_per"],
+        n_layers_per=views["n_layers_per"],
+        vert_offset=vert_offset,
+        indptr_offset=indptr_offset,
+        succ_indptr=views["succ_indptr"],
+        succ_indices=views["succ_indices"],
+        pred_indptr=views["pred_indptr"],
+        pred_indices=views["pred_indices"],
+        succ_pad=views["succ_pad"],
+        pred_pad=views["pred_pad"],
+        out_degree=views["out_degree"],
+        in_degree=views["in_degree"],
+        widths=views["widths"],
+        nd_width=nd_width,
+        max_n_vertices=manifest["max_n_vertices"],
+        max_n_cols=manifest["max_n_cols"],
+        initial_assignment=views["initial_assignment"],
+        init_real=views["init_real"],
+        init_crossing=views["init_crossing"],
+        init_occupancy=views["init_occupancy"],
+    )
+    return packed, shm
+
+
+def _run_packed_range(
+    packed: PackedProblems,
+    params: ACOParams,
+    seeds_per_graph: Sequence[Sequence[int]],
+    graph_ids: Sequence[int],
+) -> list[list[ColonyOutcome]]:
+    """Run the colonies of the selected pack graphs in one lockstep loop.
+
+    Every tour is a single :func:`run_walks_packed` call sweeping
+    ``Σ_g n_colonies_g × n_ants`` walks across all selected graphs; each
+    graph keeps its own generators, pheromone matrices, deposit scale and
+    best-tracking, consumed in exactly the per-graph order, so the outcomes
+    are bit-identical to running each graph through
+    :func:`run_colonies_batch` (and therefore to the single-colony
+    :class:`~repro.aco.colony.AntColony`) on its own.
+    """
+    problems = packed.problems
+    if params.engine == "python":
+        # The per-vertex reference engine has no batching win; delegate to
+        # the single-graph loop, which already pins bit-identity to the ants.
+        return [
+            run_colonies_batch(problems[g], params, seeds_per_graph[g])
+            for g in graph_ids
+        ]
+
+    n_ants = params.n_ants
+    max_n = packed.max_n_vertices
+    max_cols = packed.max_n_cols
+    nd_width = packed.nd_width
+
+    counts = [len(seeds_per_graph[g]) for g in graph_ids]
+    mat_graph = np.repeat(np.asarray(graph_ids, dtype=np.int64), counts)
+    n_matrices = int(mat_graph.shape[0])
+    walk_matrix = np.repeat(np.arange(n_matrices, dtype=np.int64), n_ants)
+    walk_graph = mat_graph[walk_matrix]
+    n_walks = n_matrices * n_ants
+
+    rngs = [
+        as_generator(seed) for g in graph_ids for seed in seeds_per_graph[g]
+    ]
+
+    # One zero-padded pheromone matrix per colony, stacked contiguously so
+    # the kernel reads trails through the per-walk tau_index and evaporation
+    # is one stack-wide pass.  Padding stays at zero (never inside any
+    # walk's feasible span) except for the tau_min clamp, which the masks
+    # also keep out of every decision.
+    tau_values = np.zeros((n_matrices, max_n, max_cols), dtype=np.float64)
+    pheromones: list[PheromoneMatrix] = []
+    for m in range(n_matrices):
+        p = problems[int(mat_graph[m])]
+        tau_values[m, : p.n_vertices, 1 : p.n_layers + 1] = params.tau0
+        pheromones.append(PheromoneMatrix.wrap(tau_values[m, : p.n_vertices, : p.n_layers + 1]))
+
+    # Per-graph initial scores and deposit normalisation (AntColony protocol).
+    initial_scores: dict[int, AssignmentScore] = {}
+    deposit_scale: dict[int, float] = {}
+    for g in graph_ids:
+        p = problems[g]
+        c = p.n_layers + 1
+        base = LayerWidths(
+            p,
+            packed.init_real[g, :c],
+            packed.init_crossing[g, :c],
+            packed.init_occupancy[g, :c],
+        )
+        score = evaluate_with_widths(p, p.initial_assignment, base)
+        initial_scores[g] = score
+        deposit_scale[g] = (
+            params.deposit / score.objective if score.objective > 0 else params.deposit
+        )
+
+    base_assignment = packed.initial_assignment[mat_graph].copy()
+    base_real = packed.init_real[mat_graph].copy()
+    base_crossing = packed.init_crossing[mat_graph].copy()
+    base_occupancy = packed.init_occupancy[mat_graph].copy()
+
+    best_assignment = base_assignment.copy()
+    best_scores: list[AssignmentScore] = [
+        initial_scores[int(g)] for g in mat_graph
+    ]
+
+    alpha = params.alpha
+    draw_uniforms = params.exploitation_probability < 1.0
+    scale = np.array([deposit_scale[int(g)] for g in mat_graph])
+
+    for tour in range(1, params.n_tours + 1):
+        # Per-walk randomness, drawn graph by graph, colony by colony, in
+        # ant order — each graph's generators see exactly the stream its
+        # standalone run would consume.
+        orders = np.zeros((n_walks, max_n), dtype=np.int64)
+        uniforms = np.zeros((n_walks, max_n), dtype=np.float64) if draw_uniforms else None
+        w = 0
+        for m in range(n_matrices):
+            p = problems[int(mat_graph[m])]
+            rng = rngs[m]
+            for _ in range(n_ants):
+                order, u = draw_walk_randomness(p, params, rng)
+                orders[w, : order.shape[0]] = order
+                if u is not None:
+                    uniforms[w, : u.shape[0]] = u
+                w += 1
+
+        tau_stack = tau_values if alpha == 1.0 else fused_pow(tau_values, alpha)
+
+        real = np.repeat(base_real, n_ants, axis=0)
+        crossing = np.repeat(base_crossing, n_ants, axis=0)
+        occupancy = np.repeat(base_occupancy, n_ants, axis=0)
+        base_rows = np.repeat(base_assignment, n_ants, axis=0)
+
+        assignment = run_walks_packed(
+            packed,
+            params,
+            tau_stack,
+            walk_matrix,
+            walk_graph,
+            orders,
+            uniforms,
+            base_rows,
+            real,
+            crossing,
+            occupancy,
+        )
+
+        # Vectorized tour-best selection: height, compacted width and the
+        # objective of every walk in a handful of array passes, with the
+        # exact element-wise operations of evaluate_with_widths (padded
+        # layers are unoccupied, so they influence neither count nor max).
+        heights = np.count_nonzero(occupancy[:, 1:], axis=1)
+        totals = real[:, 1:] + nd_width * crossing[:, 1:]
+        width_incl = np.where(occupancy[:, 1:] > 0, totals, -np.inf).max(axis=1)
+        objective = 1.0 / (heights + width_incl)
+        best_walk = (
+            objective.reshape(n_matrices, n_ants).argmax(axis=1)
+            + np.arange(n_matrices) * n_ants
+        )
+
+        # Evaporate every colony in one stack-wide pass, then each
+        # tour-best deposits on its own colony's matrix.
+        tau_values[:, :, 1:] *= 1.0 - params.rho
+        if params.tau_min > 0.0:
+            np.maximum(tau_values[:, :, 1:], params.tau_min, out=tau_values[:, :, 1:])
+
+        for m in range(n_matrices):
+            wk = int(best_walk[m])
+            p = problems[int(mat_graph[m])]
+            n_g = p.n_vertices
+            c_g = p.n_layers + 1
+            widths_view = LayerWidths(
+                p, real[wk, :c_g], crossing[wk, :c_g], occupancy[wk, :c_g]
+            )
+            score = evaluate_with_widths(p, assignment[wk, :n_g], widths_view)
+            pheromones[m].deposit(assignment[wk, :n_g], scale[m] * score.objective)
+
+            base_assignment[m] = assignment[wk]
+            base_real[m] = real[wk]
+            base_crossing[m] = crossing[wk]
+            base_occupancy[m] = occupancy[wk]
+            if score.objective > best_scores[m].objective:
+                best_scores[m] = score
+                best_assignment[m] = assignment[wk]
+
+        if params.exchange_every and tour % params.exchange_every == 0 and tour < params.n_tours:
+            # Elite migration stays *within* each graph: the graph's best
+            # layering so far deposits on every one of its colonies'
+            # matrices (first-best tie-breaking by colony order).
+            start = 0
+            for count in counts:
+                if count > 1:
+                    ms = range(start, start + count)
+                    elite = max(ms, key=lambda m: best_scores[m].objective)
+                    g = int(mat_graph[elite])
+                    n_g = problems[g].n_vertices
+                    amount = scale[elite] * best_scores[elite].objective
+                    for m in ms:
+                        pheromones[m].deposit(best_assignment[elite, :n_g], amount)
+                start += count
+
+    outcomes: list[list[ColonyOutcome]] = []
+    start = 0
+    for gi, g in enumerate(graph_ids):
+        count = counts[gi]
+        n_g = problems[g].n_vertices
+        outcomes.append(
+            [
+                ColonyOutcome(
+                    colony_index=c,
+                    seed=int(seeds_per_graph[g][c]),
+                    score=best_scores[start + c],
+                    assignment=best_assignment[start + c, :n_g].copy(),
+                )
+                for c in range(count)
+            ]
+        )
+        start += count
+    return outcomes
+
+
+def _attach_packed_state(payload: tuple[dict[str, Any], dict[str, Any]]):
+    """Pool initializer: attach the shared pack once per worker."""
+    manifest, params_dict = payload
+    packed, shm = attach_packed(manifest)
+    return packed, ACOParams(**params_dict), shm
+
+
+def _run_packed_shard(
+    state, graph_ids: list[int], seeds: dict[int, list[int]]
+) -> list[tuple[int, list[ColonyOutcome]]]:
+    """Worker entry point: run one contiguous graph range of the pack."""
+    packed, params, _shm = state
+    seeds_per_graph: list[Sequence[int]] = [()] * packed.n_graphs
+    for g, colony_seeds in seeds.items():
+        seeds_per_graph[g] = colony_seeds
+    results = _run_packed_range(packed, params, seeds_per_graph, graph_ids)
+    return list(zip(graph_ids, results))
+
+
+def run_packed_colonies(
+    packed: PackedProblems,
+    params: ACOParams,
+    seeds_per_graph: Sequence[Sequence[int]],
+    *,
+    max_workers: int | None = None,
+) -> list[list[ColonyOutcome]]:
+    """Run every graph's colonies through the cross-graph lockstep runtime.
+
+    Parameters
+    ----------
+    packed: the problem pack (see :meth:`PackedProblems.pack`).
+    params: shared algorithm parameters (one :class:`MethodSpec`'s worth —
+        the experiment engine's batch planner only packs cells with
+        identical specs).
+    seeds_per_graph: one colony-seed list per pack graph — ``[params.seed]``
+        for a plain single-colony cell, the derived portfolio seeds for
+        ``n_colonies > 1`` cells.
+    max_workers: worker cap; on multi-core machines the pack's graphs are
+        sharded over processes that attach the published pack arrays
+        zero-copy (pheromone exchange couples only colonies of the *same*
+        graph, so graph sharding is always safe).
+
+    Returns one ``list[ColonyOutcome]`` per graph, in pack order —
+    bit-identical to running each graph on its own for a fixed seed.
+    """
+    if len(seeds_per_graph) != packed.n_graphs:
+        raise ValidationError(
+            f"need one seed list per graph: {packed.n_graphs} graphs, "
+            f"{len(seeds_per_graph)} seed lists"
+        )
+    n_graphs = packed.n_graphs
+    workers = effective_workers(max_workers, n_graphs)
+    if workers <= 1 or n_graphs <= 1:
+        return _run_packed_range(packed, params, seeds_per_graph, list(range(n_graphs)))
+
+    bounds = np.linspace(0, n_graphs, workers + 1).astype(int)
+    tasks = []
+    for s in range(workers):
+        graph_ids = list(range(int(bounds[s]), int(bounds[s + 1])))
+        if graph_ids:
+            tasks.append(
+                (graph_ids, {g: list(seeds_per_graph[g]) for g in graph_ids})
+            )
+    shared = publish_packed(packed)
+    try:
+        shards = map_with_state(
+            _run_packed_shard,
+            tasks,
+            executor="process",
+            max_workers=len(tasks),
+            init_fn=_attach_packed_state,
+            payload=(shared.manifest, params.as_dict()),
+        )
+    finally:
+        shared.close()
+        shared.unlink()
+    by_graph = {g: outcome for shard in shards for g, outcome in shard}
+    return [by_graph[g] for g in range(n_graphs)]

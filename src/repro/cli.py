@@ -28,7 +28,10 @@ their (graph × algorithm) cells through the shared experiment engine
 (:mod:`repro.experiments.engine`): ``--executor process --jobs N`` spreads
 the cells over N worker processes, ``--executor colonies --colonies K``
 additionally runs every AntColony cell as a K-colony shared-memory
-portfolio (:mod:`repro.aco.runtime`), and ``--cache-dir DIR`` enables the
+portfolio (:mod:`repro.aco.runtime`), ``--executor batched [--batch-size N]``
+packs same-spec AntColony cells into cross-graph megabatches advanced by
+shared lockstep kernel sweeps (bit-identical results, the fast path for
+full-corpus runs on any machine), and ``--cache-dir DIR`` enables the
 content-addressed result cache so repeated runs over the same corpus and
 parameters are incremental.
 
@@ -223,12 +226,15 @@ class _ProgressReporter:
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--executor",
-        choices=("serial", "thread", "process", "colonies"),
+        choices=("serial", "thread", "process", "colonies", "batched"),
         default="serial",
         help=(
             "how experiment cells are dispatched (default serial); 'colonies' "
             "dispatches like 'process' and pairs with --colonies to run every "
-            "AntColony cell through the shared-memory multi-colony runtime"
+            "AntColony cell through the shared-memory multi-colony runtime; "
+            "'batched' packs same-spec AntColony cells into cross-graph "
+            "megabatches advanced by shared lockstep kernel sweeps (identical "
+            "results, one kernel call per tour per pack)"
         ),
     )
     parser.add_argument(
@@ -236,6 +242,16 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=None,
         help="worker count for the pool executors (default: REPRO_JOBS or CPU count)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        dest="batch_size",
+        help=(
+            "graphs per cross-graph pack for --executor batched "
+            "(default 128; bounds the padded per-pack arrays)"
+        ),
     )
     parser.add_argument(
         "--colonies",
@@ -304,11 +320,23 @@ def _engine(args: argparse.Namespace):
         run_dir=args.run_dir,
         resume=args.resume,
         progress=reporter,
+        batch_size=args.batch_size,
     )
     try:
         yield engine
     finally:
         reporter.finish()
+        if engine.cache is not None:
+            # The per-layer counters live on the in-process cache object, so
+            # this run summary is where they are actually observable (a
+            # fresh `cache stats` process necessarily reports zeros).
+            hits = engine.cache.hit_stats()
+            if hits.memory_hits or hits.memory_misses:
+                sys.stderr.write(
+                    f"cache layers: memory {hits.memory_hits} hits / "
+                    f"{hits.memory_misses} misses, disk {hits.disk_hits} hits / "
+                    f"{hits.disk_misses} misses\n"
+                )
         if engine.journal is not None:
             engine.journal.close()
 
@@ -449,6 +477,12 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             now = time.time()
             print(f"  oldest entry: {(now - stats.oldest_mtime) / 3600:.1f} h ago")
             print(f"  newest entry: {(now - stats.newest_mtime) / 3600:.1f} h ago")
+        hits = cache.hit_stats()
+        print(
+            "  this-process lookups: "
+            f"memory {hits.memory_hits} hits / {hits.memory_misses} misses, "
+            f"disk {hits.disk_hits} hits / {hits.disk_misses} misses"
+        )
         return 0
     max_size = _parse_size(args.max_size) if args.max_size is not None else None
     older_than = (

@@ -44,6 +44,7 @@ import json
 import os
 import tempfile
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
@@ -54,13 +55,20 @@ from repro.utils.exceptions import ValidationError
 
 __all__ = [
     "CachedCell",
+    "CacheHitStats",
     "CacheStats",
+    "DEFAULT_MEMORY_ENTRIES",
     "PruneResult",
     "ResultCache",
     "canonical_json",
     "content_digest",
     "cache_key",
 ]
+
+#: Default capacity of the in-process LRU layer in front of the disk store —
+#: comfortably above the full 1277-graph × 5-algorithm corpus, a few MiB of
+#: small metric records at most.
+DEFAULT_MEMORY_ENTRIES = 16384
 
 #: Format marker stored in every cache entry.
 CACHE_FORMAT = "repro-cell-result"
@@ -123,6 +131,22 @@ class CacheStats:
 
 
 @dataclass(frozen=True)
+class CacheHitStats:
+    """Per-process hit/miss counters for both cache layers.
+
+    ``memory_*`` counts lookups against the in-process LRU; ``disk_*``
+    counts the lookups that fell through to the JSON files.  A warm
+    full-corpus re-run should be (almost) all memory hits — re-reading and
+    re-parsing one file per cell was pure overhead.
+    """
+
+    memory_hits: int
+    memory_misses: int
+    disk_hits: int
+    disk_misses: int
+
+
+@dataclass(frozen=True)
 class PruneResult:
     """Outcome of one :meth:`ResultCache.prune` pass."""
 
@@ -133,30 +157,78 @@ class PruneResult:
 
 
 class ResultCache:
-    """Directory-backed content-addressed store of :class:`CachedCell` entries."""
+    """Directory-backed content-addressed store of :class:`CachedCell` entries.
 
-    def __init__(self, directory: str | Path) -> None:
+    Lookups go through an in-process LRU first (*memory_entries* records,
+    ``0`` disables it): keys are content-addressed, so a remembered entry can
+    never go stale, and a warm full-corpus run stops re-reading and
+    re-parsing one JSON file per cell.  :meth:`hit_stats` reports the
+    per-layer hit/miss counters (``repro-dag cache stats`` prints them).
+    """
+
+    def __init__(
+        self, directory: str | Path, *, memory_entries: int = DEFAULT_MEMORY_ENTRIES
+    ) -> None:
+        if memory_entries < 0:
+            raise ValidationError(
+                f"memory_entries must be >= 0, got {memory_entries}"
+            )
         self.directory = Path(directory)
+        self.memory_entries = memory_entries
+        self._memory: OrderedDict[str, CachedCell] = OrderedDict()
+        self._memory_hits = 0
+        self._memory_misses = 0
+        self._disk_hits = 0
+        self._disk_misses = 0
 
     def path_for(self, key: str) -> Path:
         """Where the entry for *key* lives (two-character shard directories)."""
         return self.directory / key[:2] / f"{key}.json"
 
+    def _remember(self, key: str, cell: CachedCell) -> None:
+        if self.memory_entries == 0:
+            return
+        self._memory[key] = cell
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)
+
+    def hit_stats(self) -> CacheHitStats:
+        """This process's hit/miss counters for the memory and disk layers."""
+        return CacheHitStats(
+            memory_hits=self._memory_hits,
+            memory_misses=self._memory_misses,
+            disk_hits=self._disk_hits,
+            disk_misses=self._disk_misses,
+        )
+
     def get(self, key: str) -> CachedCell | None:
         """Look up a cell result; any unreadable or foreign file is a miss."""
+        cell = self._memory.get(key)
+        if cell is not None:
+            self._memory_hits += 1
+            self._memory.move_to_end(key)
+            return cell
+        self._memory_misses += 1
         path = self.path_for(key)
         try:
             record = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError):
+            self._disk_misses += 1
             return None
         if not isinstance(record, dict) or record.get("format") != CACHE_FORMAT:
+            self._disk_misses += 1
             return None
         try:
             metrics = LayeringMetrics(**{f: record["metrics"][f] for f in _METRIC_FIELDS})
             running_time = float(record["running_time"])
         except (KeyError, TypeError, ValueError):
+            self._disk_misses += 1
             return None
-        return CachedCell(metrics=metrics, running_time=running_time)
+        cell = CachedCell(metrics=metrics, running_time=running_time)
+        self._disk_hits += 1
+        self._remember(key, cell)
+        return cell
 
     def put(self, key: str, metrics: LayeringMetrics, running_time: float) -> None:
         """Store one cell result atomically.
@@ -166,6 +238,7 @@ class ResultCache:
         that instant); recreate and retry instead of letting the race abort
         a running experiment.
         """
+        self._remember(key, CachedCell(metrics=metrics, running_time=running_time))
         path = self.path_for(key)
         record = {
             "format": CACHE_FORMAT,
@@ -243,6 +316,10 @@ class ResultCache:
         """
         if max_size_bytes is None and older_than_seconds is None:
             raise ValidationError("prune needs --max-size and/or --older-than")
+        # The memory layer mirrors the disk store; dropping it wholesale
+        # keeps the contract that pruned entries are misses (and pruning is
+        # rare maintenance, so a cold LRU afterwards costs nothing).
+        self._memory.clear()
         if max_size_bytes is not None and max_size_bytes < 0:
             raise ValidationError(f"max_size_bytes must be >= 0, got {max_size_bytes}")
         if older_than_seconds is not None and older_than_seconds < 0:

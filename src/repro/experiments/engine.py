@@ -71,6 +71,7 @@ from __future__ import annotations
 
 import fnmatch
 import os
+import sys
 import time
 import traceback
 import warnings
@@ -79,8 +80,8 @@ from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.aco.layering_aco import aco_layering
 from repro.aco.params import ACOParams
-from repro.aco.parallel import parallel_aco_layering
-from repro.experiments.cache import ResultCache, cache_key, content_digest
+from repro.aco.parallel import _derive_colony_seeds, parallel_aco_layering
+from repro.experiments.cache import ResultCache, cache_key, canonical_json, content_digest
 from repro.experiments.journal import RunJournal
 from repro.graph.digraph import DiGraph
 from repro.graph.io import from_json_dict, to_json_dict
@@ -90,10 +91,11 @@ from repro.layering.metrics import LayeringMetrics, evaluate_layering
 from repro.layering.minwidth import minwidth_layering_sweep
 from repro.layering.promote import promote_layering
 from repro.utils.exceptions import ReproError, ValidationError
-from repro.utils.pool import EXECUTORS, imap_with_state
+from repro.utils.pool import EXECUTORS, effective_workers, imap_with_state
 
 __all__ = [
     "BUILTIN_METHODS",
+    "DEFAULT_BATCH_SIZE",
     "ENGINE_EXECUTORS",
     "FAIL_CELLS_ENV",
     "MAX_CELLS_ENV",
@@ -108,10 +110,18 @@ __all__ = [
     "default_method_specs",
 ]
 
-#: Executor names accepted by the engine: the generic pool back ends plus
-#: ``"colonies"``, which dispatches cells like ``"process"`` and signals that
-#: multi-colony Ant Colony specs should use the shared-memory runtime.
-ENGINE_EXECUTORS = EXECUTORS + ("colonies",)
+#: Executor names accepted by the engine: the generic pool back ends,
+#: ``"colonies"`` (dispatches cells like ``"process"`` and signals that
+#: multi-colony Ant Colony specs should use the shared-memory runtime) and
+#: ``"batched"`` (cross-graph megabatching: pending Ant Colony cells with
+#: identical specs are packed and advanced through shared lockstep kernel
+#: sweeps, see :mod:`repro.aco.runtime`).
+ENGINE_EXECUTORS = EXECUTORS + ("colonies", "batched")
+
+#: How many graphs one cross-graph pack holds by default.  Bounds the padded
+#: per-pack arrays (pheromone stack, walk state) to tens of megabytes at
+#: corpus sizes while leaving only a handful of kernel sweeps per corpus.
+DEFAULT_BATCH_SIZE = 128
 
 #: Fault-injection hook: comma-separated ``algorithm:graph_name`` fnmatch
 #: patterns; matching cells raise inside the executor.  Inherited by pool
@@ -547,10 +557,12 @@ class ExperimentEngine:
     journal: RunJournal | None = None
     resume: bool = False
     progress: Callable[[RunProgress], None] | None = None
+    batch_size: int | None = None
     _replay: dict[str, CellResult] | None = field(
         default=None, init=False, repr=False, compare=False
     )
     _journal_ready: bool = field(default=False, init=False, repr=False, compare=False)
+    _downgrade_noted: bool = field(default=False, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.executor not in ENGINE_EXECUTORS:
@@ -559,6 +571,8 @@ class ExperimentEngine:
             )
         if self.jobs is not None and self.jobs < 1:
             raise ValidationError(f"jobs must be >= 1, got {self.jobs}")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValidationError(f"batch_size must be >= 1, got {self.batch_size}")
         if self.resume and self.journal is None:
             raise ValidationError("resume=True needs a journal (run directory)")
 
@@ -573,6 +587,7 @@ class ExperimentEngine:
         run_dir: str | None = None,
         resume: bool = False,
         progress: Callable[[RunProgress], None] | None = None,
+        batch_size: int | None = None,
     ) -> "ExperimentEngine":
         """Build an engine from CLI-style options (``None`` means default)."""
         if resume and not run_dir:
@@ -585,6 +600,7 @@ class ExperimentEngine:
             journal=RunJournal(run_dir) if run_dir else None,
             resume=resume,
             progress=progress,
+            batch_size=batch_size,
         )
 
     def run(self, units: Sequence[WorkUnit]) -> list[CellResult]:
@@ -627,13 +643,30 @@ class ExperimentEngine:
 
         replay = self._prepare_journal()
 
+        # Pool-executor auto-downgrade: when the effective worker count
+        # resolves to one (1-CPU box, REPRO_JOBS=1, --jobs 1) a process pool
+        # can only add serialisation overhead (the tracked bench records a
+        # 0.58x "speedup"), so the cells run serially instead — with a
+        # one-line note rather than a silently paid tax.
+        dispatch_executor = self.executor
+        if self.executor in ("process", "colonies") and units:
+            if effective_workers(self.jobs) == 1:
+                dispatch_executor = "serial"
+                if not self._downgrade_noted:
+                    self._downgrade_noted = True
+                    print(
+                        f"note: executor '{self.executor}' resolves to a single "
+                        "worker here; running cells serially (no pool overhead)",
+                        file=sys.stderr,
+                    )
+
         # The graph digest is computed once per distinct graph object and
         # shared by cache and journal keys.  The serialised JSON payload is
         # not retained for the whole run (corpus-many dicts would undercut
         # the streaming-memory story); on the process-style executors it is
         # stashed just long enough for the shipping table to pick it up
         # without serialising the graph a second time.
-        ships_json = self.executor in ("process", "colonies")
+        ships_json = dispatch_executor in ("process", "colonies")
         digest_memo: dict[int, str] = {}
         json_stash: dict[int, dict[str, Any]] = {}
 
@@ -669,7 +702,7 @@ class ExperimentEngine:
                         continue
             pending.append((i, unit))
 
-        stream = self._dispatch_iter(pending, json_stash)
+        stream = self._dispatch_iter(pending, json_stash, dispatch_executor)
         if not pending:
             json_stash.clear()  # all cells replayed/hit: nothing will be shipped
         start = time.perf_counter()
@@ -782,16 +815,22 @@ class ExperimentEngine:
         self,
         pending: Sequence[tuple[int, WorkUnit]],
         json_stash: dict[int, dict[str, Any]],
+        executor: str | None = None,
     ) -> Iterator[CellOutcome]:
         """Stream outcomes for the pending units, preserving their order."""
         if not pending:
             return
-        if self.executor not in ("process", "colonies"):
+        executor = executor if executor is not None else self.executor
+        if executor == "batched":
+            json_stash.clear()
+            yield from self._dispatch_batched(pending)
+            return
+        if executor not in ("process", "colonies"):
             pending_units = [unit for _, unit in pending]
             yield from imap_with_state(
                 _run_indexed_unit,
                 [(k,) for k in range(len(pending_units))],
-                executor=self.executor,
+                executor=executor,
                 max_workers=self.jobs,
                 shared_state=pending_units,
             )
@@ -838,3 +877,211 @@ class ExperimentEngine:
             close = getattr(pool_stream, "close", None)
             if close is not None:
                 close()
+
+    # ------------------------------------------------------------------ #
+    # cross-graph megabatching
+    # ------------------------------------------------------------------ #
+
+    def _dispatch_batched(
+        self, pending: Sequence[tuple[int, WorkUnit]]
+    ) -> Iterator[CellOutcome]:
+        """Stream outcomes with Ant Colony cells executed as cross-graph packs.
+
+        The batch planner groups the pending Ant Colony cells by identical
+        method token and ``nd_width`` (cache hits and journal replays were
+        already filtered out by the caller, so ``--resume`` and warm caches
+        compose unchanged), sorts each group by graph size (uniform packs
+        waste no padding) and chunks it into packs of ``batch_size`` graphs.
+        Each pack runs as one :func:`repro.aco.runtime.run_packed_colonies`
+        call the first time the stream reaches one of its cells — laziness
+        the interruption hook (``REPRO_ENGINE_MAX_CELLS``) relies on.
+        Non-ACO cells (builtins, callables, seedless specs) execute serially
+        in place, exactly as the serial executor would.
+        """
+        batch_size = self.batch_size if self.batch_size is not None else DEFAULT_BATCH_SIZE
+        groups: dict[str, list[int]] = {}
+        for pos, (_, unit) in enumerate(pending):
+            method = unit.method
+            if (
+                method.aco_params is not None
+                and method.shippable
+                # A None seed means fresh entropy per run: there is no
+                # per-graph stream to replicate, so such cells keep the
+                # serial path (results would be nondeterministic either way).
+                and method.aco_params.get("seed") is not None
+            ):
+                key = canonical_json(
+                    {"method": method.to_dict(), "nd_width": unit.nd_width}
+                )
+                groups.setdefault(key, []).append(pos)
+
+        pack_of: dict[int, list[int]] = {}
+        for positions in groups.values():
+            ordered = sorted(
+                positions, key=lambda pos: pending[pos][1].graph.n_vertices
+            )
+            for start in range(0, len(ordered), batch_size):
+                chunk = ordered[start : start + batch_size]
+                for pos in chunk:
+                    pack_of[pos] = chunk
+
+        ready: dict[int, CellOutcome] = {}
+        for pos, (_, unit) in enumerate(pending):
+            if pos in ready:
+                yield ready.pop(pos)
+            elif pos in pack_of:
+                self._execute_pack(
+                    [(p, pending[p][1]) for p in pack_of[pos]], ready
+                )
+                yield ready.pop(pos)
+            else:
+                yield _safe_execute(unit)
+
+    def _execute_pack(
+        self,
+        cells: list[tuple[int, WorkUnit]],
+        ready: dict[int, CellOutcome],
+    ) -> None:
+        """Run one pack of same-spec cells; deposit one outcome per cell.
+
+        Fault isolation is per cell: the injection hook and problem
+        construction run per graph (a poisoned graph is recorded as its own
+        :class:`CellError` and simply excluded from the pack before launch),
+        and a failure of the packed runtime itself falls back to executing
+        the surviving cells one by one — so one bad cell can never take a
+        pack-mate down with it.
+        """
+        from repro.aco.problem import LayeringProblem, PackedProblems
+        from repro.aco.runtime import run_packed_colonies
+
+        start = time.perf_counter()
+        spec = cells[0][1].method
+        params = ACOParams(**dict(spec.aco_params))
+        survivors: list[tuple[int, WorkUnit]] = []
+        problems: list[LayeringProblem] = []
+        for pos, unit in cells:
+            cell_start = time.perf_counter()
+            try:
+                _maybe_inject_failure(unit.cell_id)
+                problems.append(
+                    LayeringProblem.from_graph(unit.graph, nd_width=params.nd_width)
+                )
+            except Exception as exc:
+                ready[pos] = (
+                    "error",
+                    CellError(
+                        exc_type=type(exc).__name__,
+                        message=str(exc),
+                        traceback=traceback.format_exc(),
+                        running_time=time.perf_counter() - cell_start,
+                    ),
+                )
+            else:
+                survivors.append((pos, unit))
+        if not survivors:
+            return
+
+        if spec.n_colonies > 1:
+            colony_seeds = _derive_colony_seeds(params.seed, spec.n_colonies)
+        else:
+            colony_seeds = [params.seed]
+        seeds_per_graph = [colony_seeds] * len(problems)
+
+        try:
+            packed = PackedProblems.pack(problems)
+            outcomes = run_packed_colonies(
+                packed, params, seeds_per_graph, max_workers=self.jobs
+            )
+        except Exception as exc:
+            # The packed path failed wholesale; isolate by running each
+            # surviving cell through the ordinary serial path instead — with
+            # a note, so the degradation to serial speed is never silent.
+            print(
+                f"note: packed execution of {len(survivors)} cells failed "
+                f"({type(exc).__name__}: {exc}); re-running them serially",
+                file=sys.stderr,
+            )
+            for pos, unit in survivors:
+                ready[pos] = _safe_execute(unit)
+            return
+
+        results: list[tuple[int, CellOutcome]] = []
+        for (pos, unit), problem, graph_outcomes in zip(survivors, problems, outcomes):
+            try:
+                layering = self._pack_layering(unit, problem, graph_outcomes, params)
+                metrics = evaluate_layering(
+                    unit.graph, layering, nd_width=unit.nd_width
+                )
+            except Exception as exc:
+                results.append(
+                    (
+                        pos,
+                        (
+                            "error",
+                            CellError(
+                                exc_type=type(exc).__name__,
+                                message=str(exc),
+                                traceback=traceback.format_exc(),
+                                running_time=0.0,
+                            ),
+                        ),
+                    )
+                )
+            else:
+                results.append((pos, ("ok", metrics)))
+
+        # Per-cell wall-clock cannot be observed inside one fused kernel
+        # sweep; each cell reports a share of the pack's wall-clock weighted
+        # by its graph's vertex count — an estimate (and recorded as such in
+        # the cache/journal), but one that keeps per-size running-time
+        # aggregates meaningful when packs mix graph sizes.
+        elapsed = time.perf_counter() - start
+        total_vertices = sum(unit.graph.n_vertices for _, unit in survivors)
+        weight = {
+            pos: unit.graph.n_vertices / total_vertices if total_vertices else 1.0
+            for pos, unit in survivors
+        }
+        for pos, outcome in results:
+            share = elapsed * weight[pos]
+            if outcome[0] == "ok":
+                ready[pos] = ("ok", outcome[1], share)
+            else:
+                error = outcome[1]
+                ready[pos] = (
+                    "error",
+                    CellError(
+                        exc_type=error.exc_type,
+                        message=error.message,
+                        traceback=error.traceback,
+                        running_time=share,
+                    ),
+                )
+
+    @staticmethod
+    def _pack_layering(unit, problem, graph_outcomes, params: ACOParams) -> Layering:
+        """The cell's final layering from its pack outcomes.
+
+        Mirrors the serial path exactly: a single-colony cell returns the
+        colony's best assignment (:func:`repro.aco.layering_aco.aco_layering`
+        protocol); an ``n_colonies > 1`` portfolio re-evaluates each colony's
+        layering and keeps the first objective maximum in colony order
+        (:func:`repro.aco.runtime.colonies_aco_layering` protocol).
+        """
+        if len(graph_outcomes) == 1:
+            layering = problem.assignment_to_layering(
+                graph_outcomes[0].assignment, normalize=True
+            )
+            layering.validate(unit.graph)
+            return layering
+        best_layering: Layering | None = None
+        best_objective = float("-inf")
+        for outcome in graph_outcomes:
+            layering = problem.assignment_to_layering(outcome.assignment, normalize=True)
+            metrics = evaluate_layering(
+                unit.graph, layering, nd_width=params.nd_width
+            )
+            if best_layering is None or metrics.objective > best_objective:
+                best_layering, best_objective = layering, metrics.objective
+        assert best_layering is not None
+        best_layering.validate(unit.graph)
+        return best_layering

@@ -45,13 +45,18 @@ def topological_sort(graph: DiGraph) -> list[Vertex]:
         If the graph contains a directed cycle; the exception carries a
         witness cycle.
     """
-    in_deg = {v: graph.in_degree(v) for v in graph.vertices()}
-    queue: deque[Vertex] = deque(v for v in graph.vertices() if in_deg[v] == 0)
+    # Same-package fast path: read the adjacency dictionaries directly (no
+    # per-vertex membership checks, no defensive list copies) — this sort
+    # runs at the top of every layering algorithm, several times per
+    # experiment cell.
+    succ = graph._succ
+    in_deg = {v: len(pred) for v, pred in graph._pred.items()}
+    queue: deque[Vertex] = deque(v for v, d in in_deg.items() if d == 0)
     order: list[Vertex] = []
     while queue:
         v = queue.popleft()
         order.append(v)
-        for w in graph.successors(v):
+        for w in succ[v]:
             in_deg[w] -= 1
             if in_deg[w] == 0:
                 queue.append(w)
@@ -190,13 +195,15 @@ def longest_path_lengths(graph: DiGraph, *, from_sinks: bool = True) -> dict[Ver
     order = topological_sort(graph)
     dist = {v: 0 for v in graph.vertices()}
     if from_sinks:
+        succ = graph._succ
         for v in reversed(order):
-            for w in graph.successors(v):
+            for w in succ[v]:
                 if dist[w] + 1 > dist[v]:
                     dist[v] = dist[w] + 1
     else:
+        pred = graph._pred
         for v in order:
-            for u in graph.predecessors(v):
+            for u in pred[v]:
                 if dist[u] + 1 > dist[v]:
                     dist[v] = dist[u] + 1
     return dist

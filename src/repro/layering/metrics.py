@@ -237,19 +237,78 @@ def evaluate_layering(
         first, so metric values are never silently computed on a broken
         layering.
     """
-    if validate:
-        layering.validate(graph)
     _check_nd_width(nd_width)
-    h = layering_height(layering)
-    w_incl = width_including_dummies(graph, layering, nd_width=nd_width)
+    # Single-pass fast path: the historical implementation walked the edge
+    # dictionaries once per metric (plus once more for validation) — at
+    # full-corpus scale those five passes of per-edge dict lookups dominated
+    # the cost of evaluating tiny graphs.  One vertex pass and one edge pass
+    # feed every metric below with the exact arithmetic (and the same
+    # per-layer float accumulation order) of the per-metric helpers.
+    assignment = layering._assignment
+    n_vertices = graph.n_vertices
+    n_edges = graph.n_edges
+    if validate and len(assignment) != n_vertices:
+        layering.validate(graph)  # canonical missing/extra-vertex error
+    try:
+        layers = np.fromiter(
+            (assignment[v] for v in graph.vertices()), dtype=np.int64, count=n_vertices
+        )
+    except KeyError:
+        layering.validate(graph)  # canonical missing-vertex error
+        raise  # pragma: no cover - validate always raises first
+    if n_vertices == 0:
+        return LayeringMetrics(
+            n_vertices=0,
+            n_edges=n_edges,
+            height=0,
+            width_including_dummies=0.0,
+            width_excluding_dummies=0.0,
+            dummy_vertex_count=0,
+            edge_density=0,
+            objective=0.0,
+            nd_width=nd_width,
+        )
+    widths = np.fromiter(
+        (graph.vertex_width(v) for v in graph.vertices()),
+        dtype=np.float64,
+        count=n_vertices,
+    )
+    if n_edges:
+        tails = np.empty(n_edges, dtype=np.int64)
+        heads = np.empty(n_edges, dtype=np.int64)
+        for e, (u, v) in enumerate(graph.edges()):
+            tails[e] = assignment[u]
+            heads[e] = assignment[v]
+        if validate and not (tails > heads).all():
+            layering.validate(graph)  # canonical upward-edge error
+    else:
+        tails = heads = np.empty(0, dtype=np.int64)
+
+    lo = int(layers.min())
+    hi = int(layers.max())
+    shifted = layers - lo
+    occupancy = np.bincount(shifted, minlength=hi - lo + 1)
+    height = int(np.count_nonzero(occupancy))
+    real = np.bincount(shifted, weights=widths, minlength=hi - lo + 1)
+    w_excl = float(real.max())
+    totals = real
+    if nd_width > 0 and n_edges:
+        dummies = _interval_counts(heads + 1, tails, lo, hi)
+        totals = real + nd_width * dummies
+    w_incl = float(totals.max())
+    dvc = int((tails - heads).sum()) - n_edges if n_edges else 0
+    if n_edges == 0 or hi == lo:
+        density = 0
+    else:
+        density = int(_interval_counts(heads, tails, lo, hi - 1).max())
     return LayeringMetrics(
-        n_vertices=graph.n_vertices,
-        n_edges=graph.n_edges,
-        height=h,
+        n_vertices=n_vertices,
+        n_edges=n_edges,
+        height=height,
         width_including_dummies=w_incl,
-        width_excluding_dummies=width_excluding_dummies(graph, layering),
-        dummy_vertex_count=dummy_vertex_count(graph, layering),
-        edge_density=edge_density(graph, layering),
-        objective=1.0 / (h + w_incl) if (h + w_incl) > 0 else 0.0,
+        width_excluding_dummies=w_excl,
+        dummy_vertex_count=dvc,
+        edge_density=density,
+        objective=1.0 / (height + w_incl) if (height + w_incl) > 0 else 0.0,
         nd_width=nd_width,
     )

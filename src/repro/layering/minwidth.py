@@ -40,7 +40,7 @@ import numpy as np
 from repro.graph.digraph import DiGraph, Vertex
 from repro.graph.validation import require_dag, require_nonempty
 from repro.layering.base import Layering
-from repro.layering.metrics import width_including_dummies
+from repro.layering.metrics import _interval_counts, width_including_dummies
 from repro.utils.exceptions import ValidationError
 
 __all__ = ["minwidth_layering", "minwidth_layering_sweep"]
@@ -150,76 +150,153 @@ def minwidth_layering(
     return Layering(assignment).normalized()
 
 
+class _MinWidthIndex:
+    """Index-based view of one graph, shared by every ``(UBW, c)`` run.
+
+    The heuristic is inherently a sequential placement loop, so the wins at
+    corpus scale are constant-factor: the graph is indexed once (the sweep
+    re-runs the heuristic eight times), candidacy is tracked *event-driven*
+    (a vertex enters the candidate set exactly when its last successor
+    retires below, so one placement scans the handful of current candidates
+    instead of an ``n``-vector), and the sweep scores each result in array
+    space without materialising intermediate :class:`Layering` objects.
+    Selection order, tie-breaking and the scalar float width bookkeeping are
+    exactly the reference engine's.
+    """
+
+    __slots__ = (
+        "vertices", "n", "out_degree", "in_degree", "widths", "preds",
+        "edge_src", "edge_dst",
+    )
+
+    def __init__(self, graph: DiGraph) -> None:
+        self.vertices = list(graph.vertices())
+        index = {v: i for i, v in enumerate(self.vertices)}
+        self.n = len(self.vertices)
+        self.out_degree = [graph.out_degree(v) for v in self.vertices]
+        self.in_degree = [graph.in_degree(v) for v in self.vertices]
+        self.widths = [graph.vertex_width(v) for v in self.vertices]
+        self.preds = [[index[u] for u in graph.predecessors(v)] for v in self.vertices]
+        src: list[int] = []
+        dst: list[int] = []
+        for v, name in enumerate(self.vertices):
+            for w in graph.successors(name):
+                src.append(v)
+                dst.append(index[w])
+        self.edge_src = np.array(src, dtype=np.int64)
+        self.edge_dst = np.array(dst, dtype=np.int64)
+
+    def run(self, *, ubw: float, c: float, nd_width: float) -> list[int]:
+        """One MinWidth pass; returns the raw (un-normalised) layer list.
+
+        A vertex is a candidate exactly when ``succ_below[v] ==
+        out_degree[v]`` and it is unplaced.  The reference finds the *first*
+        maximal out-degree in index order; over a set that is "maximum
+        out-degree, smallest index", which is iteration-order independent,
+        so a plain set stands in for the full rescans.
+        """
+        n = self.n
+        out_degree = self.out_degree
+        preds = self.preds
+        # Per-vertex width contributions for this nd_width, hoisted out of
+        # the placement loop (the very expressions the reference evaluates,
+        # so the running floats are bit-equal).
+        down = [self.widths[v] - nd_width * out_degree[v] for v in range(n)]
+        up = [nd_width * self.in_degree[v] for v in range(n)]
+
+        succ_below = [0] * n
+        assignment = [0] * n
+        placed = [False] * n
+        candidates = {v for v in range(n) if out_degree[v] == 0}
+        pending: list[int] = []            # placed since the last go-up
+
+        current_layer = 1
+        width_current = 0.0
+        width_up = 0.0
+        n_placed = 0
+
+        while n_placed < n:
+            selected = -1
+            if candidates:
+                # ConditionSelect: maximum out-degree, ties to the smallest
+                # index (== insertion order, as in both reference engines).
+                best_deg = -1
+                for v in candidates:
+                    d = out_degree[v]
+                    if d > best_deg or (d == best_deg and v < selected):
+                        best_deg, selected = d, v
+                candidates.discard(selected)
+                assignment[selected] = current_layer
+                placed[selected] = True
+                pending.append(selected)
+                n_placed += 1
+                width_current += down[selected]
+                width_up += up[selected]
+
+            go_up = False
+            if selected < 0:
+                go_up = True
+            else:
+                # ConditionGoUp: same two tests as the reference engine.
+                if width_current >= ubw and out_degree[selected] < 1:
+                    go_up = True
+                if width_up >= c * ubw:
+                    go_up = True
+
+            if go_up and n_placed < n:
+                current_layer += 1
+                for w in pending:
+                    # w enters `below`: its predecessors gain one retired
+                    # successor; the last retirement makes them candidates.
+                    for u in preds[w]:
+                        succ_below[u] += 1
+                        if not placed[u] and succ_below[u] == out_degree[u]:
+                            candidates.add(u)
+                pending.clear()
+                width_current = width_up
+                width_up = 0.0
+
+        return assignment
+
+    def score(self, assignment: list[int], nd_width: float) -> tuple[float, int]:
+        """``(width_including_dummies, height)`` of the normalised layering.
+
+        Array-space equivalent of evaluating the compacted layering through
+        :func:`repro.layering.metrics.width_including_dummies`: identical
+        per-layer accumulation order (``np.bincount`` folds vertex widths in
+        index order, which *is* graph insertion order), identical dummy
+        arithmetic — so sweep selection keys are bit-equal to the historical
+        per-``Layering`` evaluation.
+        """
+        layers = np.asarray(assignment, dtype=np.int64)
+        # Rank used layers 1..height without a sort: layers are small
+        # positive ints, so a bincount + cumsum is the normalisation map.
+        rank = np.cumsum(np.bincount(layers) > 0)
+        height = int(rank[-1])
+        compact = rank[layers]  # 1-based normalised layers
+        real = np.bincount(
+            compact, weights=np.asarray(self.widths), minlength=height + 2
+        )[1 : height + 1]
+        if nd_width > 0 and len(self.edge_src):
+            tails = compact[self.edge_src]
+            heads = compact[self.edge_dst]
+            dummies = _interval_counts(heads + 1, tails, 1, height)
+            real = real + nd_width * dummies
+        return float(real.max()), height
+
+    def to_layering(self, assignment: list[int]) -> Layering:
+        """Label-keyed, normalised layering from a raw layer list."""
+        return Layering(
+            {self.vertices[i]: assignment[i] for i in range(self.n)}
+        ).normalized()
+
+
 def _minwidth_vectorized(
     graph: DiGraph, *, ubw: float, c: float, nd_width: float
 ) -> Layering:
-    """Array-native MinWidth: same algorithm, candidate scan on NumPy masks.
-
-    The reference scans every vertex (checking its full successor list
-    against the ``below`` set) once per placement.  Here a vertex is a
-    candidate exactly when ``succ_below[v] == out_degree[v]`` and it is not
-    placed, maintained incrementally: whenever the heuristic moves up a
-    layer, the vertices placed since the previous move enter ``below`` and
-    bump the counters of their predecessors.  ``max(cands, key=out_degree)``
-    with insertion-order tie-breaking becomes a masked ``argmax`` (NumPy
-    returns the first maximum, and index order *is* insertion order).  The
-    scalar width bookkeeping is untouched, so the produced layering is
-    identical to the reference engine's.
-    """
-    vertices = list(graph.vertices())
-    index = {v: i for i, v in enumerate(vertices)}
-    n = len(vertices)
-    out_degree = np.array([graph.out_degree(v) for v in vertices], dtype=np.int64)
-    in_degree = np.array([graph.in_degree(v) for v in vertices], dtype=np.int64)
-    widths = np.array([graph.vertex_width(v) for v in vertices], dtype=np.float64)
-    pred = [np.array([index[u] for u in graph.predecessors(v)], dtype=np.int64)
-            for v in vertices]
-
-    placed = np.zeros(n, dtype=bool)
-    succ_below = np.zeros(n, dtype=np.int64)   # successors already in Z (below)
-    assignment = np.zeros(n, dtype=np.int64)
-    pending: list[int] = []                    # placed since the last go-up
-
-    current_layer = 1
-    width_current = 0.0
-    width_up = 0.0
-    n_placed = 0
-
-    while n_placed < n:
-        candidates = (~placed) & (succ_below == out_degree)
-        selected = -1
-        if candidates.any():
-            # ConditionSelect: first maximal out-degree among the candidates.
-            selectable = np.where(candidates, out_degree, -1)
-            selected = int(selectable.argmax())
-            assignment[selected] = current_layer
-            placed[selected] = True
-            pending.append(selected)
-            n_placed += 1
-            width_current += float(widths[selected]) - nd_width * int(out_degree[selected])
-            width_up += nd_width * int(in_degree[selected])
-
-        go_up = False
-        if selected < 0:
-            go_up = True
-        else:
-            # ConditionGoUp: same two tests as the reference engine.
-            if width_current >= ubw and int(out_degree[selected]) < 1:
-                go_up = True
-            if width_up >= c * ubw:
-                go_up = True
-
-        if go_up and n_placed < n:
-            current_layer += 1
-            for w in pending:
-                # w enters `below`: its predecessors gain one retired successor.
-                succ_below[pred[w]] += 1
-            pending.clear()
-            width_current = width_up
-            width_up = 0.0
-
-    layering = Layering({vertices[i]: int(assignment[i]) for i in range(n)})
-    return layering.normalized()
+    """Index-based MinWidth for one setting (see :class:`_MinWidthIndex`)."""
+    index = _MinWidthIndex(graph)
+    return index.to_layering(index.run(ubw=ubw, c=c, nd_width=nd_width))
 
 
 def minwidth_layering_sweep(
@@ -237,15 +314,44 @@ def minwidth_layering_sweep(
     require_nonempty(graph)
     if not grid:
         raise ValidationError("sweep grid must contain at least one (ubw, c) pair")
-    best: Layering | None = None
-    best_key: tuple[float, int] | None = None
-    for ubw, c in grid:
-        layering = minwidth_layering(graph, ubw=ubw, c=c, nd_width=nd_width, engine=engine)
-        key = (
-            width_including_dummies(graph, layering, nd_width=nd_width),
-            layering.height,
+    if engine not in MINWIDTH_ENGINES:
+        raise ValidationError(
+            f"engine must be one of {MINWIDTH_ENGINES}, got {engine!r}"
         )
+    if engine == "python":
+        best: Layering | None = None
+        best_key: tuple[float, int] | None = None
+        for ubw, c in grid:
+            layering = minwidth_layering(
+                graph, ubw=ubw, c=c, nd_width=nd_width, engine=engine
+            )
+            key = (
+                width_including_dummies(graph, layering, nd_width=nd_width),
+                layering.height,
+            )
+            if best_key is None or key < best_key:
+                best, best_key = layering, key
+        assert best is not None
+        return best
+
+    # Index once, run the grid over it, score in array space, and build a
+    # Layering only for the winner — the selection keys are bit-equal to
+    # the per-Layering evaluation above, so both sweep engines agree.
+    require_dag(graph)
+    if nd_width < 0:
+        raise ValidationError(f"nd_width must be >= 0, got {nd_width}")
+    index = _MinWidthIndex(graph)
+    best_raw: list[int] | None = None
+    best_key = None
+    for ubw, c in grid:
+        if ubw <= 0:
+            raise ValidationError(f"ubw must be positive, got {ubw}")
+        if c <= 0:
+            raise ValidationError(f"c must be positive, got {c}")
+        raw = index.run(ubw=ubw, c=c, nd_width=nd_width)
+        width, height = index.score(raw, nd_width)
+        key = (width, height)
         if best_key is None or key < best_key:
-            best, best_key = layering, key
-    assert best is not None
-    return best
+            best_raw, best_key = raw, key
+    assert best_raw is not None
+    return index.to_layering(best_raw)

@@ -15,6 +15,8 @@ dummy vertices in a DAG layered by some list scheduling algorithm".
 
 from __future__ import annotations
 
+import heapq
+
 from typing import Mapping
 
 from repro.graph.digraph import DiGraph, Vertex
@@ -99,12 +101,89 @@ def promote_layering(
     if max_rounds is not None and max_rounds < 0:
         raise ValidationError(f"max_rounds must be >= 0, got {max_rounds}")
 
-    assignment = layering.to_dict()
+    vertices = list(graph.vertices())
+    index = {v: i for i, v in enumerate(vertices)}
+    n = len(vertices)
+    preds = [[index[u] for u in graph.predecessors(v)] for v in vertices]
+    diff = [graph.out_degree(v) - graph.in_degree(v) for v in vertices]
+    asg = [layering.layer_of(v) for v in vertices]
+
+    # Worklist refinement of the reference round loop.  A vertex's promotion
+    # decision reads only the layers of its promotion set and of that set's
+    # predecessors (the one-above equality tests); while none of those
+    # values move, re-evaluating the vertex would reject identically.  Each
+    # rejection registers the vertex as a *reader* of everything it read;
+    # each accepted promotion wakes exactly the registered readers of the
+    # moved vertices (plus the movers themselves).  A woken vertex ahead of
+    # the round's ascending cursor is re-evaluated in the *same* round —
+    # exactly when the reference's full pass would reach it — and one behind
+    # the cursor waits for the next round.  The accept sequence, the
+    # per-round accept counts and hence the final layering are identical to
+    # full passes; the all-reject convergence tail costs nothing.
+    readers: dict[int, set[int]] = {}
+    current = {v for v in range(n) if preds[v]}
     rounds = 0
-    while True:
+    while current:
         if max_rounds is not None and rounds >= max_rounds:
             break
-        if promotion_round(graph, assignment) == 0:
+        accepted = 0
+        nxt: set[int] = set()
+        heap = sorted(current)  # a sorted list already satisfies the heap invariant
+        in_heap = set(heap)
+
+        def wake(x: int, cursor: int) -> None:
+            if x > cursor:
+                if x not in in_heap:
+                    in_heap.add(x)
+                    heapq.heappush(heap, x)
+            else:
+                nxt.add(x)
+
+        while heap:
+            v = heapq.heappop(heap)
+            in_heap.discard(v)
+            # Common case first: no predecessor sits exactly one layer
+            # above, so the promotion set is {v} alone — no set/stack churn.
+            lv_above = asg[v] + 1
+            cascade = False
+            for u in preds[v]:
+                if asg[u] == lv_above:
+                    cascade = True
+                    break
+            if not cascade:
+                members: tuple[int, ...] | set[int] = (v,)
+                total = diff[v]
+            else:
+                promoted = {v}
+                stack = [v]
+                total = diff[v]
+                while stack:
+                    x = stack.pop()
+                    lx_above = asg[x] + 1
+                    for u in preds[x]:
+                        if u not in promoted and asg[u] == lx_above:
+                            promoted.add(u)
+                            stack.append(u)
+                            total += diff[u]
+                members = promoted
+            if total < 0:
+                for x in members:
+                    asg[x] += 1
+                accepted += 1
+                for x in members:
+                    woken = readers.pop(x, None)
+                    if woken:
+                        for r in woken:
+                            wake(r, v)
+                    if preds[x]:
+                        wake(x, v)
+            else:
+                for x in members:
+                    readers.setdefault(x, set()).add(v)
+                    for u in preds[x]:
+                        readers.setdefault(u, set()).add(v)
+        if accepted == 0:
             break
         rounds += 1
-    return Layering(assignment).normalized()
+        current = nxt
+    return Layering({vertices[i]: asg[i] for i in range(n)}).normalized()
