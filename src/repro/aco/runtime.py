@@ -61,6 +61,7 @@ from repro.aco.problem import LayeringProblem, PackedProblems, _padded_neighbour
 from repro.graph.digraph import DiGraph
 from repro.layering.base import Layering
 from repro.layering.metrics import evaluate_layering
+from repro.utils import shm_manifest
 from repro.utils.exceptions import ValidationError
 from repro.utils.pool import effective_workers, map_with_state
 from repro.utils.rng import as_generator
@@ -157,11 +158,12 @@ class SharedProblem:
         self.shm.close()
 
     def unlink(self) -> None:
-        """Destroy the block (idempotent)."""
+        """Destroy the block (idempotent) and drop it from the run manifest."""
         try:
             self.shm.unlink()
         except FileNotFoundError:
             pass
+        shm_manifest.unregister(self.shm.name)
 
     def __enter__(self) -> "SharedProblem":
         return self
@@ -184,6 +186,9 @@ def _publish_arrays(arrays: dict[str, np.ndarray]) -> tuple[dict[str, Any], shar
         }
         offset += arr.nbytes
     shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    # Registered the moment it exists: a publisher killed between here and
+    # its ``finally`` leaves a manifest entry the next run's sweep reclaims.
+    shm_manifest.register(shm.name)
     for name, arr in arrays.items():
         spec = layout[name]
         view = np.ndarray(
@@ -194,16 +199,27 @@ def _publish_arrays(arrays: dict[str, np.ndarray]) -> tuple[dict[str, Any], shar
 
 
 def _attach_views(manifest: dict[str, Any]) -> tuple[dict[str, np.ndarray], shared_memory.SharedMemory]:
-    """Zero-copy views over a block published with :func:`_publish_arrays`."""
+    """Zero-copy views over a block published with :func:`_publish_arrays`.
+
+    If any array fails to map (truncated block, corrupted manifest), the
+    just-attached handle is closed before the error propagates — otherwise
+    the partially-mapped block stays referenced by this process for the
+    lifetime of the worker, pinning the segment.
+    """
     shm = _attach_untracked(manifest["shm_name"])
-    views: dict[str, np.ndarray] = {}
-    for name, spec in manifest["arrays"].items():
-        views[name] = np.ndarray(
-            tuple(spec["shape"]),
-            dtype=np.dtype(spec["dtype"]),
-            buffer=shm.buf,
-            offset=spec["offset"],
-        )
+    try:
+        views: dict[str, np.ndarray] = {}
+        for name, spec in manifest["arrays"].items():
+            views[name] = np.ndarray(
+                tuple(spec["shape"]),
+                dtype=np.dtype(spec["dtype"]),
+                buffer=shm.buf,
+                offset=spec["offset"],
+            )
+    except BaseException:
+        views = None  # drop the buffer references before closing the mapping
+        shm.close()
+        raise
     return views, shm
 
 
@@ -241,38 +257,45 @@ def attach_problem(
     callers convert index assignments back to labels in the parent.
     """
     views, shm = _attach_views(manifest)
-
-    n = manifest["n_vertices"]
-    succ = [
-        piece.tolist()
-        for piece in np.split(views["succ_indices"], views["succ_indptr"][1:-1])
-    ]
-    pred = [
-        piece.tolist()
-        for piece in np.split(views["pred_indices"], views["pred_indptr"][1:-1])
-    ]
-    problem = LayeringProblem(
-        graph=None,  # type: ignore[arg-type] — labels stay in the parent
-        vertices=list(range(n)),
-        n_vertices=n,
-        n_layers=manifest["n_layers"],
-        succ=succ,
-        pred=pred,
-        succ_indptr=views["succ_indptr"],
-        succ_indices=views["succ_indices"],
-        pred_indptr=views["pred_indptr"],
-        pred_indices=views["pred_indices"],
-        succ_pad=views["succ_pad"],
-        pred_pad=views["pred_pad"],
-        edge_src=views["edge_src"],
-        edge_dst=views["succ_indices"],
-        out_degree=views["out_degree"],
-        in_degree=views["in_degree"],
-        widths=views["widths"],
-        nd_width=manifest["nd_width"],
-        initial_assignment=views["initial_assignment"],
-        lpl_height=manifest["lpl_height"],
-    )
+    try:
+        n = manifest["n_vertices"]
+        succ = [
+            piece.tolist()
+            for piece in np.split(views["succ_indices"], views["succ_indptr"][1:-1])
+        ]
+        pred = [
+            piece.tolist()
+            for piece in np.split(views["pred_indices"], views["pred_indptr"][1:-1])
+        ]
+        problem = LayeringProblem(
+            graph=None,  # type: ignore[arg-type] — labels stay in the parent
+            vertices=list(range(n)),
+            n_vertices=n,
+            n_layers=manifest["n_layers"],
+            succ=succ,
+            pred=pred,
+            succ_indptr=views["succ_indptr"],
+            succ_indices=views["succ_indices"],
+            pred_indptr=views["pred_indptr"],
+            pred_indices=views["pred_indices"],
+            succ_pad=views["succ_pad"],
+            pred_pad=views["pred_pad"],
+            edge_src=views["edge_src"],
+            edge_dst=views["succ_indices"],
+            out_degree=views["out_degree"],
+            in_degree=views["in_degree"],
+            widths=views["widths"],
+            nd_width=manifest["nd_width"],
+            initial_assignment=views["initial_assignment"],
+            lpl_height=manifest["lpl_height"],
+        )
+    except BaseException:
+        # A malformed manifest must not leave the block pinned by this
+        # process: drop the view references, then release the mapping.
+        views = None
+        problem = None
+        shm.close()
+        raise
     return problem, shm
 
 
@@ -649,6 +672,21 @@ def attach_packed(
     those views (``graph`` is ``None`` — labels stay in the parent).
     """
     views, shm = _attach_views(manifest)
+    try:
+        packed = _rebuild_packed(manifest, views)
+    except BaseException:
+        # Same leak guard as attach_problem: a manifest whose later arrays
+        # fail to map must not leave the mapping referenced.
+        views = None
+        shm.close()
+        raise
+    return packed, shm
+
+
+def _rebuild_packed(
+    manifest: dict[str, Any], views: dict[str, np.ndarray]
+) -> PackedProblems:
+    """Materialise the worker-side :class:`PackedProblems` from mapped views."""
     nd_width = manifest["nd_width"]
     lpl_heights = manifest["lpl_heights"]
 
@@ -693,7 +731,7 @@ def attach_packed(
             )
         )
 
-    packed = PackedProblems(
+    return PackedProblems(
         problems=problems,
         n_vertices_per=views["n_vertices_per"],
         n_layers_per=views["n_layers_per"],
@@ -716,7 +754,6 @@ def attach_packed(
         init_crossing=views["init_crossing"],
         init_occupancy=views["init_occupancy"],
     )
-    return packed, shm
 
 
 def _run_packed_range(

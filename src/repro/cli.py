@@ -22,6 +22,10 @@ Installed as the ``repro-dag`` console script (also reachable via
 ``cache``
     Inspect (``stats``) or bound (``prune --max-size/--older-than``) a
     result-cache directory.
+``clean``
+    Reclaim shared-memory blocks leaked by killed runs (sweeps the per-run
+    shm manifests; also runs automatically at the start of every
+    experiment run).
 
 The experiment sub-commands (``compare``, ``figures``, ``tune``) dispatch
 their (graph × algorithm) cells through the shared experiment engine
@@ -40,7 +44,12 @@ Full-corpus-scale runs add: ``compare --full`` (the paper's entire
 and excluded from the aggregates; ``--strict`` restores fail-fast), a live
 stderr progress line (automatic on a terminal, forced with ``--progress``),
 and ``--run-dir DIR`` journaling every completed cell so an interrupted run
-finishes with ``--resume`` instead of restarting from zero.
+finishes with ``--resume`` instead of restarting from zero.  Hardening on
+top: ``--timeout S`` bounds every cell by a deadline, ``--retries N``
+re-executes failed/timed-out/crashed cells, and SIGINT/SIGTERM tear down
+cleanly — the journal is flushed, published shared memory is released, and
+the exit message names the exact ``--resume`` invocation that finishes the
+run.
 
 Graph files may be in the library's edge-list format (``.edgelist``, see
 :func:`repro.graph.io.write_edgelist`) or JSON (``.json``,
@@ -53,6 +62,7 @@ import argparse
 import contextlib
 import json
 import re
+import signal
 import sys
 import time
 from pathlib import Path
@@ -71,6 +81,7 @@ from repro.graph.io import read_edgelist, read_json, write_json
 from repro.layering.metrics import evaluate_layering
 from repro.sugiyama.pipeline import LAYERING_METHODS, sugiyama_layout
 from repro.sugiyama.render import render_ascii, render_svg
+from repro.utils import shm_manifest
 from repro.utils.exceptions import ReproError
 
 __all__ = ["main", "build_parser"]
@@ -194,9 +205,11 @@ class _ProgressReporter:
         if progress.done < progress.total and now - self._last_write < 0.1:
             return
         self._last_write = now
+        retried = f"  retried {progress.retried}" if progress.retried else ""
         self.stream.write(
             f"\rcells {progress.done}/{progress.total}"
             f"  failures {progress.failures}"
+            f"{retried}"
             f"  cache {progress.cache_hits}"
             f"  replayed {progress.replayed}"
             f"  eta {_format_eta(progress.eta_s)}   "
@@ -212,12 +225,20 @@ class _ProgressReporter:
             runs = [*self._banked, self.last]
             done = sum(p.done for p in runs)
             total = sum(p.total for p in runs)
+            # New counters append after the original four so scripts keying
+            # on the `run: D/T cells (E executed, R replayed, ...` prefix
+            # (the CI resume smoke among them) keep matching.
+            retried = sum(p.retried for p in runs)
+            timed_out = sum(p.timed_out for p in runs)
+            extras = ""
+            if retried or timed_out:
+                extras = f", {retried} retried, {timed_out} timed out"
             self.stream.write(
                 f"run: {done}/{total} cells "
                 f"({sum(p.executed for p in runs)} executed, "
                 f"{sum(p.replayed for p in runs)} replayed, "
                 f"{sum(p.cache_hits for p in runs)} cache hits, "
-                f"{sum(p.failures for p in runs)} failures) "
+                f"{sum(p.failures for p in runs)} failures{extras}) "
                 f"in {sum(p.elapsed_s for p in runs):.1f}s\n"
             )
             self.stream.flush()
@@ -301,6 +322,43 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
             "terminal"
         ),
     )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        dest="cell_timeout",
+        metavar="SECONDS",
+        help=(
+            "per-cell deadline: a cell over budget is recorded as a timeout "
+            "failure (excluded from the aggregates, never cached) instead "
+            "of stalling the run (default: no deadline)"
+        ),
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help=(
+            "re-execute failed, timed-out or crashed cells up to this many "
+            "extra times with jittered backoff before recording the failure "
+            "(default 0)"
+        ),
+    )
+
+
+class _SignalInterrupt(BaseException):
+    """A SIGINT/SIGTERM landed mid-run (BaseException so nothing swallows it)."""
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(signum)
+        self.signum = signum
+
+    @property
+    def name(self) -> str:
+        try:
+            return signal.Signals(self.signum).name
+        except ValueError:  # pragma: no cover - unknown signal number
+            return f"signal {self.signum}"
 
 
 @contextlib.contextmanager
@@ -309,8 +367,19 @@ def _engine(args: argparse.Namespace):
 
     On exit — normal, interrupted or strict-failed — the progress line is
     finalised (the run summary always prints) and the journal handle is
-    closed.
+    closed.  While the run is active SIGINT/SIGTERM are converted into a
+    clean teardown: the journal is flushed and closed, any shared-memory
+    blocks this process still has registered are released, and the error
+    message names the ``--resume`` invocation that finishes the run.  Stale
+    shm left behind by previously *killed* runs (SIGKILL skips teardown) is
+    swept before the engine starts.
     """
+    swept = shm_manifest.sweep()
+    if swept.blocks_reclaimed:
+        sys.stderr.write(
+            f"reclaimed {swept.blocks_reclaimed} shared-memory block(s) "
+            f"from {swept.manifests_removed} dead run(s)\n"
+        )
     reporter = _ProgressReporter(enabled=args.progress or sys.stderr.isatty())
     engine = ExperimentEngine.from_options(
         executor=args.executor,
@@ -321,10 +390,41 @@ def _engine(args: argparse.Namespace):
         resume=args.resume,
         progress=reporter,
         batch_size=args.batch_size,
+        cell_timeout=args.cell_timeout,
+        retries=args.retries,
     )
+
+    def _on_signal(signum, frame):
+        raise _SignalInterrupt(signum)
+
+    previous: dict[int, object] = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, _on_signal)
+        except ValueError:  # pragma: no cover - not the main thread
+            pass
     try:
         yield engine
+    except (_SignalInterrupt, KeyboardInterrupt) as exc:
+        name = exc.name if isinstance(exc, _SignalInterrupt) else "SIGINT"
+        if args.run_dir:
+            hint = (
+                f"; journal flushed — finish with --resume --run-dir {args.run_dir}"
+            )
+        else:
+            hint = "; pair with --run-dir to make runs resumable"
+        raise ReproError(f"run interrupted by {name}{hint}") from None
     finally:
+        for signum, handler in previous.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, TypeError):  # pragma: no cover
+                pass
+        released = shm_manifest.release_all()
+        if released:
+            sys.stderr.write(
+                f"released {released} shared-memory block(s) on teardown\n"
+            )
         reporter.finish()
         if engine.cache is not None:
             # The per-layer counters live on the in-process cache object, so
@@ -473,6 +573,8 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"cache: {cache.directory}")
         print(f"  entries: {stats.entries}")
         print(f"  total size: {_format_bytes(stats.total_bytes)}")
+        if stats.quarantined:
+            print(f"  quarantined (corrupt/): {stats.quarantined}")
         if stats.oldest_mtime is not None and stats.newest_mtime is not None:
             now = time.time()
             print(f"  oldest entry: {(now - stats.oldest_mtime) / 3600:.1f} h ago")
@@ -492,6 +594,30 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     print(
         f"pruned {result.removed} entries ({_format_bytes(result.freed_bytes)}); "
         f"kept {result.kept} ({_format_bytes(result.kept_bytes)})"
+    )
+    if result.quarantine_removed:
+        print(f"removed {result.quarantine_removed} quarantined entries")
+    if older_than is not None:
+        # Age-bounded cache maintenance doubles as shm housekeeping: stale
+        # run manifests past the same cutoff are swept too.
+        shm = shm_manifest.sweep(older_than_seconds=older_than)
+        if shm.manifests_removed or shm.blocks_reclaimed:
+            print(
+                f"swept {shm.manifests_removed} stale shm manifests "
+                f"({shm.blocks_reclaimed} blocks reclaimed)"
+            )
+    return 0
+
+
+def _cmd_clean(args: argparse.Namespace) -> int:
+    older_than = (
+        _parse_duration(args.older_than) if args.older_than is not None else None
+    )
+    result = shm_manifest.sweep(older_than_seconds=older_than)
+    print(
+        f"swept {result.manifests_removed} stale run manifests; "
+        f"reclaimed {result.blocks_reclaimed} shared-memory blocks "
+        f"(manifest dir: {shm_manifest.manifest_dir()})"
     )
     return 0
 
@@ -607,6 +733,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--older-than", help="evict entries older than this, e.g. 30s, 45m, 12h, 7d"
     )
     p_cache_prune.set_defaults(func=_cmd_cache)
+
+    p_clean = sub.add_parser(
+        "clean",
+        help="reclaim shared-memory blocks leaked by killed runs",
+    )
+    p_clean.add_argument(
+        "--older-than",
+        default=None,
+        help=(
+            "also sweep manifests older than this even if a process with "
+            "the recorded pid is still alive (pids recycle), e.g. 12h, 7d"
+        ),
+    )
+    p_clean.set_defaults(func=_cmd_clean)
 
     return parser
 

@@ -28,6 +28,15 @@ are written atomically (temp file + rename) so concurrent runs sharing a
 cache directory never observe torn entries; unreadable or foreign files are
 treated as misses.
 
+Integrity: every entry embeds a SHA-256 checksum of its own payload,
+verified on read.  An entry whose bytes rot on disk (bit flips, truncated
+writes on a dying filesystem, a torn copy of a cache directory between
+machines) is *quarantined* — moved into ``<cache-dir>/corrupt/`` — and the
+lookup reports a miss, so the cell is recomputed instead of poisoning the
+aggregate tables with garbled metrics.  ``repro-dag cache stats`` reports
+the quarantine count and ``repro-dag cache prune --older-than`` sweeps aged
+quarantine files along with ordinary entries.
+
 Because keys are never invalidated, a long-lived ``--cache-dir`` grows
 without bound (version bumps orphan old entries on disk).
 :meth:`ResultCache.stats` and :meth:`ResultCache.prune` (CLI: ``repro-dag
@@ -51,6 +60,7 @@ from typing import Any
 
 import repro
 from repro.layering.metrics import LayeringMetrics
+from repro.utils import chaos
 from repro.utils.exceptions import ValidationError
 
 __all__ = [
@@ -59,6 +69,7 @@ __all__ = [
     "CacheStats",
     "DEFAULT_MEMORY_ENTRIES",
     "PruneResult",
+    "QUARANTINE_DIR",
     "ResultCache",
     "canonical_json",
     "content_digest",
@@ -74,7 +85,13 @@ DEFAULT_MEMORY_ENTRIES = 16384
 CACHE_FORMAT = "repro-cell-result"
 
 #: Bump to invalidate every existing entry when the result schema changes.
-CACHE_VERSION = 1
+#: Version 2 added the embedded SHA-256 payload checksum, so every entry
+#: reachable from a current key carries one — a checksum-less entry at a
+#: current key can only be corruption.
+CACHE_VERSION = 2
+
+#: Quarantine subdirectory for entries that failed integrity verification.
+QUARANTINE_DIR = "corrupt"
 
 _METRIC_FIELDS = (
     "n_vertices",
@@ -128,6 +145,8 @@ class CacheStats:
     total_bytes: int
     oldest_mtime: float | None
     newest_mtime: float | None
+    #: Files sitting in the ``corrupt/`` quarantine (failed checksum reads).
+    quarantined: int = 0
 
 
 @dataclass(frozen=True)
@@ -154,6 +173,8 @@ class PruneResult:
     freed_bytes: int
     kept: int
     kept_bytes: int
+    #: Quarantined files swept by this pass (``--older-than`` only).
+    quarantine_removed: int = 0
 
 
 class ResultCache:
@@ -180,10 +201,32 @@ class ResultCache:
         self._memory_misses = 0
         self._disk_hits = 0
         self._disk_misses = 0
+        self._quarantined = 0
 
     def path_for(self, key: str) -> Path:
         """Where the entry for *key* lives (two-character shard directories)."""
         return self.directory / key[:2] / f"{key}.json"
+
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where entries that failed integrity verification are moved."""
+        return self.directory / QUARANTINE_DIR
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a failed entry into ``corrupt/`` instead of re-reading it forever.
+
+        Non-destructive on purpose: the bytes stay available for post-mortem
+        inspection, but they are out of the lookup path so every future read
+        of the key is an honest miss.  Best-effort — a concurrent reader may
+        quarantine the same file first.
+        """
+        target = self.quarantine_dir / path.name
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            return
+        self._quarantined += 1
 
     def _remember(self, key: str, cell: CachedCell) -> None:
         if self.memory_entries == 0:
@@ -203,7 +246,13 @@ class ResultCache:
         )
 
     def get(self, key: str) -> CachedCell | None:
-        """Look up a cell result; any unreadable or foreign file is a miss."""
+        """Look up a cell result, verifying the entry's embedded checksum.
+
+        A missing file is an ordinary miss.  A file that is present but
+        unparsable, foreign, checksum-less or checksum-mismatched is
+        *corrupt*: it is quarantined to ``corrupt/`` and reported as a miss,
+        so the cell is recomputed rather than trusted.
+        """
         cell = self._memory.get(key)
         if cell is not None:
             self._memory_hits += 1
@@ -212,17 +261,30 @@ class ResultCache:
         self._memory_misses += 1
         path = self.path_for(key)
         try:
-            record = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
+            raw = path.read_text(encoding="utf-8")
+        except OSError:
             self._disk_misses += 1
             return None
-        if not isinstance(record, dict) or record.get("format") != CACHE_FORMAT:
+        try:
+            record = json.loads(raw)
+        except ValueError:
+            record = None  # torn or garbled JSON
+        stored_sha = record.pop("sha256", None) if isinstance(record, dict) else None
+        if (
+            not isinstance(record, dict)
+            or record.get("format") != CACHE_FORMAT
+            or not isinstance(stored_sha, str)
+            or content_digest(record) != stored_sha
+        ):
+            self._quarantine(path)
             self._disk_misses += 1
             return None
         try:
             metrics = LayeringMetrics(**{f: record["metrics"][f] for f in _METRIC_FIELDS})
             running_time = float(record["running_time"])
         except (KeyError, TypeError, ValueError):
+            # Checksum-valid but unparsable: schema skew, not bit rot.  A
+            # version bump should have orphaned it; treat as a plain miss.
             self._disk_misses += 1
             return None
         cell = CachedCell(metrics=metrics, running_time=running_time)
@@ -230,15 +292,33 @@ class ResultCache:
         self._remember(key, cell)
         return cell
 
-    def put(self, key: str, metrics: LayeringMetrics, running_time: float) -> None:
-        """Store one cell result atomically.
+    def put(
+        self,
+        key: str,
+        metrics: LayeringMetrics,
+        running_time: float,
+        *,
+        chaos_id: str | None = None,
+        attempt: int = 1,
+    ) -> None:
+        """Store one cell result atomically, with an embedded checksum.
 
         A concurrent ``prune`` may rmdir the shard directory between our
         ``mkdir`` and ``mkstemp`` (it only removes shards that are empty at
         that instant); recreate and retry instead of letting the race abort
         a running experiment.
+
+        *chaos_id* opts the write into ``corrupt-cache`` chaos rules (the
+        cell id the rules are matched against): a firing rule garbles the
+        entry's bytes on disk after the atomic write, rehearsing exactly the
+        corruption the checksum verification exists to catch.
         """
-        self._remember(key, CachedCell(metrics=metrics, running_time=running_time))
+        corrupting = chaos_id is not None and chaos.should_corrupt(chaos_id, attempt)
+        if not corrupting:
+            # A deliberately-corrupted entry must not linger in the memory
+            # layer, or the very lookup the chaos rule wants to poison would
+            # be served the healthy value.
+            self._remember(key, CachedCell(metrics=metrics, running_time=running_time))
         path = self.path_for(key)
         record = {
             "format": CACHE_FORMAT,
@@ -246,6 +326,7 @@ class ResultCache:
             "metrics": metrics.as_dict(),
             "running_time": running_time,
         }
+        record["sha256"] = content_digest(record)
         for attempt in range(3):
             path.parent.mkdir(parents=True, exist_ok=True)
             try:
@@ -265,6 +346,17 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        if corrupting:
+            self._garble(path)
+
+    @staticmethod
+    def _garble(path: Path) -> None:
+        """Flip the tail of an entry's bytes in place (chaos ``corrupt-cache``)."""
+        try:
+            data = path.read_bytes()
+            path.write_bytes(data[: max(0, len(data) - 16)] + b"\x00garbled\x00")
+        except OSError:
+            pass
 
     def __len__(self) -> int:
         """Number of entries currently stored (walks the shard directories)."""
@@ -287,8 +379,22 @@ class ResultCache:
             entries.append((path, stat.st_size, stat.st_mtime))
         return entries
 
+    def _scan_quarantine(self) -> list[tuple[Path, int, float]]:
+        """``(path, size, mtime)`` for every quarantined file."""
+        entries: list[tuple[Path, int, float]] = []
+        if not self.quarantine_dir.is_dir():
+            return entries
+        for path in self.quarantine_dir.iterdir():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            if path.is_file():
+                entries.append((path, stat.st_size, stat.st_mtime))
+        return entries
+
     def stats(self) -> CacheStats:
-        """Entry count, total size and age range of the cache directory."""
+        """Entry count, total size, age range and quarantine count of the cache."""
         entries = self._scan()
         mtimes = [m for _, _, m in entries]
         return CacheStats(
@@ -296,6 +402,7 @@ class ResultCache:
             total_bytes=sum(size for _, size, _ in entries),
             oldest_mtime=min(mtimes) if mtimes else None,
             newest_mtime=max(mtimes) if mtimes else None,
+            quarantined=len(self._scan_quarantine()),
         )
 
     def prune(
@@ -355,9 +462,24 @@ class ResultCache:
                 shard.rmdir()  # only succeeds if the shard is now empty
             except OSError:
                 pass
+        quarantine_removed = 0
+        if older_than_seconds is not None:
+            cutoff = now - older_than_seconds
+            for path, _, mtime in self._scan_quarantine():
+                if mtime < cutoff:
+                    try:
+                        path.unlink()
+                    except OSError:
+                        continue
+                    quarantine_removed += 1
+            try:
+                self.quarantine_dir.rmdir()
+            except OSError:
+                pass
         return PruneResult(
             removed=removed,
             freed_bytes=freed,
             kept=len(entries),
             kept_bytes=sum(size for _, size, _ in entries),
+            quarantine_removed=quarantine_removed,
         )

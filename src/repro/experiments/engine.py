@@ -58,18 +58,36 @@ custom algorithms keep working with any executor — they just do not gain
 multi-core speed-up unless registered in :data:`BUILTIN_METHODS`, and they
 are neither cached nor journaled (their behaviour has no content identity).
 
-Two environment hooks exist for exercising this machinery end to end (used
-by the fault-isolation tests and the CI resume smoke):
-``REPRO_ENGINE_FAIL`` holds comma-separated ``algorithm:graph_name``
-fnmatch patterns — matching cells raise inside the executor; and
-``REPRO_ENGINE_MAX_CELLS=N`` interrupts the run (raising
-:class:`RunInterrupted`) after N freshly executed cells, simulating a kill
-mid-run without racing an actual signal.
+Hardening (this is the substrate a long-lived ``repro-dag serve`` will sit
+on, so the impolite failure modes are first-class):
+
+* **Deadlines** — ``cell_timeout=`` (CLI: ``--timeout``) bounds every
+  cell's execution: serial/thread cells through watchdog-bounded waits,
+  process/colonies cells through pool-side supervision (the overdue worker
+  is killed and replaced), batched packs through a pack-level budget of
+  ``cell_timeout × pack size`` with a per-cell serial fallback.  A timed
+  out cell is recorded as ``CellError(kind="timeout")`` and never cached.
+* **Crash isolation** — a process-pool worker that dies (OOM kill,
+  segfault) costs exactly its in-flight cell, recorded as
+  ``CellError(kind="crash")``; the pool respawns the worker and the run
+  continues.
+* **Retries** — ``retries=N`` re-executes failed/timed-out/crashed cells
+  up to N more times (in-parent, deadline-bounded), with deterministic
+  jittered backoff seeded from the cell's content digest so a retried run
+  remains reproducible.  ``CellResult.attempts`` records the count.
+
+Fault injection goes through the shared chaos plane
+(:mod:`repro.utils.chaos`): ``REPRO_CHAOS`` rules can make matching cells
+raise, hang, ``kill -9`` their worker, run slow, or corrupt their freshly
+written cache entry — and the legacy ``REPRO_ENGINE_FAIL`` raise-only hook
+keeps working unchanged.  ``REPRO_ENGINE_MAX_CELLS=N`` interrupts the run
+(raising :class:`RunInterrupted`) after N freshly executed cells,
+simulating a kill mid-run without racing an actual signal.
 """
 
 from __future__ import annotations
 
-import fnmatch
+import hashlib
 import os
 import sys
 import time
@@ -90,8 +108,16 @@ from repro.layering.longest_path import longest_path_layering
 from repro.layering.metrics import LayeringMetrics, evaluate_layering
 from repro.layering.minwidth import minwidth_layering_sweep
 from repro.layering.promote import promote_layering
+from repro.utils import chaos
+from repro.utils.chaos import FAIL_CELLS_ENV
 from repro.utils.exceptions import ReproError, ValidationError
-from repro.utils.pool import EXECUTORS, effective_workers, imap_with_state
+from repro.utils.pool import (
+    EXECUTORS,
+    TaskFailure,
+    effective_workers,
+    imap_with_state,
+    run_with_deadline,
+)
 
 __all__ = [
     "BUILTIN_METHODS",
@@ -122,11 +148,6 @@ ENGINE_EXECUTORS = EXECUTORS + ("colonies", "batched")
 #: per-pack arrays (pheromone stack, walk state) to tens of megabytes at
 #: corpus sizes while leaving only a handful of kernel sweeps per corpus.
 DEFAULT_BATCH_SIZE = 128
-
-#: Fault-injection hook: comma-separated ``algorithm:graph_name`` fnmatch
-#: patterns; matching cells raise inside the executor.  Inherited by pool
-#: workers through the environment, so it works on every executor.
-FAIL_CELLS_ENV = "REPRO_ENGINE_FAIL"
 
 #: Interruption hook: abort the run (``RunInterrupted``) after this many
 #: freshly executed cells — a deterministic stand-in for kill -9 mid-run.
@@ -337,12 +358,18 @@ class WorkUnit:
 
 @dataclass(frozen=True)
 class CellError:
-    """A captured per-cell failure: what raised, where, and how long it took."""
+    """A captured per-cell failure: what went wrong, where, and how long it took.
+
+    ``kind`` classifies the failure mode: ``"exception"`` (the cell raised),
+    ``"timeout"`` (the per-cell deadline passed) or ``"crash"`` (the worker
+    process running the cell died).
+    """
 
     exc_type: str
     message: str
     traceback: str
     running_time: float
+    kind: str = "exception"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"{self.exc_type}: {self.message}"
@@ -368,6 +395,8 @@ class CellResult:
     cached: bool = False
     replayed: bool = False
     error: CellError | None = None
+    #: Execution attempts this outcome took (1 = first try; > 1 = retried).
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
@@ -407,6 +436,10 @@ class RunProgress:
     replayed: int
     executed: int
     elapsed_s: float
+    #: Cells that needed more than one execution attempt.
+    retried: int = 0
+    #: Deadline expiries observed, recovered-by-retry ones included.
+    timed_out: int = 0
 
     @property
     def eta_s(self) -> float | None:
@@ -422,20 +455,6 @@ class RunProgress:
             return None
         rate_basis = self.executed if self.executed > 0 else self.done
         return (self.total - self.done) * (self.elapsed_s / rate_basis)
-
-
-def _fail_patterns() -> tuple[str, ...]:
-    raw = os.environ.get(FAIL_CELLS_ENV, "").strip()
-    if not raw:
-        return ()
-    return tuple(p.strip() for p in raw.split(",") if p.strip())
-
-
-def _maybe_inject_failure(cell_id: str) -> None:
-    """Raise for cells matching the ``REPRO_ENGINE_FAIL`` fnmatch patterns."""
-    for pattern in _fail_patterns():
-        if fnmatch.fnmatchcase(cell_id, pattern):
-            raise RuntimeError(f"injected failure for cell {cell_id!r} ({FAIL_CELLS_ENV})")
 
 
 def _max_cells() -> int | None:
@@ -467,17 +486,21 @@ def _execute_unit(unit: WorkUnit) -> tuple[LayeringMetrics, float]:
 CellOutcome = tuple
 
 
-def _safe_execute(unit: WorkUnit, cell_id: str | None = None) -> CellOutcome:
+def _safe_execute(
+    unit: WorkUnit, cell_id: str | None = None, attempt: int = 1
+) -> CellOutcome:
     """Execute one cell, capturing any exception as a :class:`CellError`.
 
     Runs wherever the cell runs (process-pool worker included), so the
     recorded traceback is the executor's own.  ``KeyboardInterrupt`` and
     other non-``Exception`` conditions propagate — fault isolation is for
-    cell bugs, not for the operator's Ctrl-C.
+    cell bugs, not for the operator's Ctrl-C.  *attempt* (1-based) is handed
+    to the chaos plane so attempt-bounded fault rules count correctly even
+    across pool workers.
     """
     start = time.perf_counter()
     try:
-        _maybe_inject_failure(cell_id if cell_id is not None else unit.cell_id)
+        chaos.inject(cell_id if cell_id is not None else unit.cell_id, attempt)
         return ("ok", *_execute_unit(unit))
     except Exception as exc:
         return (
@@ -489,6 +512,23 @@ def _safe_execute(unit: WorkUnit, cell_id: str | None = None) -> CellOutcome:
                 running_time=time.perf_counter() - start,
             ),
         )
+
+
+def _normalize_outcome(outcome: Any) -> CellOutcome:
+    """Fold pool-level failures (crash/timeout) into the CellOutcome shape."""
+    if isinstance(outcome, TaskFailure):
+        exc_type = "WorkerCrashed" if outcome.kind == "crash" else "TaskDeadlineExceeded"
+        return (
+            "error",
+            CellError(
+                exc_type=exc_type,
+                message=outcome.message,
+                traceback="",
+                running_time=0.0,
+                kind=outcome.kind,
+            ),
+        )
+    return outcome
 
 
 def _decode_graph_table(payload: Mapping[str, dict[str, Any]]) -> dict[str, DiGraph]:
@@ -548,6 +588,19 @@ class ExperimentEngine:
     progress:
         Optional callable receiving a :class:`RunProgress` snapshot after
         every completed cell.
+    cell_timeout:
+        Optional per-cell deadline in seconds (CLI: ``--timeout``).  A cell
+        still running when it passes is abandoned/killed (per executor) and
+        recorded as ``CellError(kind="timeout")`` — never cached.
+    retries:
+        Re-execute failed, timed-out or crashed cells up to this many extra
+        times (in-parent, deadline-bounded), with deterministic jittered
+        backoff between attempts.  ``0`` (default) keeps single-shot
+        semantics.
+    retry_backoff:
+        Base seconds of the exponential backoff between attempts; the
+        jitter is seeded from the cell's content digest, so the delays — and
+        with them the whole retried run — are reproducible.
     """
 
     executor: str = "serial"
@@ -558,6 +611,9 @@ class ExperimentEngine:
     resume: bool = False
     progress: Callable[[RunProgress], None] | None = None
     batch_size: int | None = None
+    cell_timeout: float | None = None
+    retries: int = 0
+    retry_backoff: float = 0.05
     _replay: dict[str, CellResult] | None = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -573,6 +629,12 @@ class ExperimentEngine:
             raise ValidationError(f"jobs must be >= 1, got {self.jobs}")
         if self.batch_size is not None and self.batch_size < 1:
             raise ValidationError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.cell_timeout is not None and self.cell_timeout <= 0:
+            raise ValidationError(f"cell_timeout must be > 0, got {self.cell_timeout}")
+        if self.retries < 0:
+            raise ValidationError(f"retries must be >= 0, got {self.retries}")
+        if self.retry_backoff < 0:
+            raise ValidationError(f"retry_backoff must be >= 0, got {self.retry_backoff}")
         if self.resume and self.journal is None:
             raise ValidationError("resume=True needs a journal (run directory)")
 
@@ -588,6 +650,8 @@ class ExperimentEngine:
         resume: bool = False,
         progress: Callable[[RunProgress], None] | None = None,
         batch_size: int | None = None,
+        cell_timeout: float | None = None,
+        retries: int = 0,
     ) -> "ExperimentEngine":
         """Build an engine from CLI-style options (``None`` means default)."""
         if resume and not run_dir:
@@ -601,6 +665,8 @@ class ExperimentEngine:
             resume=resume,
             progress=progress,
             batch_size=batch_size,
+            cell_timeout=cell_timeout,
+            retries=retries,
         )
 
     def run(self, units: Sequence[WorkUnit]) -> list[CellResult]:
@@ -707,22 +773,38 @@ class ExperimentEngine:
             json_stash.clear()  # all cells replayed/hit: nothing will be shipped
         start = time.perf_counter()
         done = failures = cache_hits = replayed = executed = 0
+        retried = timed_out = 0
         try:
             for i, unit in enumerate(units):
                 cell = ready.pop(i, None)
                 if cell is None:
-                    outcome = next(stream)
+                    outcome = _normalize_outcome(next(stream))
+                    outcome, attempts, timeouts = self._with_retries(
+                        unit, keys[i], outcome
+                    )
+                    timed_out += timeouts
+                    retried += 1 if attempts > 1 else 0
                     if outcome[0] == "ok":
-                        cell = self._finished(unit, outcome[1], None, outcome[2])
+                        cell = self._finished(
+                            unit, outcome[1], None, outcome[2], attempts=attempts
+                        )
                     else:
                         error = outcome[1]
-                        cell = self._finished(unit, None, error, error.running_time)
+                        cell = self._finished(
+                            unit, None, error, error.running_time, attempts=attempts
+                        )
                     if keys[i] is not None:
                         if self.journal is not None:
                             self.journal.record(keys[i], cell)
                         if self.cache is not None and cell.ok:
                             assert cell.metrics is not None
-                            self.cache.put(keys[i], cell.metrics, cell.running_time)
+                            self.cache.put(
+                                keys[i],
+                                cell.metrics,
+                                cell.running_time,
+                                chaos_id=unit.cell_id,
+                                attempt=attempts,
+                            )
                     executed += 1
                 elif self.journal is not None and cell.cached and keys[i] is not None:
                     # Cache hits are journaled too, so a resumed run replays
@@ -742,6 +824,8 @@ class ExperimentEngine:
                             replayed=replayed,
                             executed=executed,
                             elapsed_s=time.perf_counter() - start,
+                            retried=retried,
+                            timed_out=timed_out,
                         )
                     )
                 if self.strict and not cell.ok:
@@ -789,6 +873,7 @@ class ExperimentEngine:
             metrics=journaled.metrics,
             running_time=journaled.running_time,
             replayed=True,
+            attempts=journaled.attempts,
         )
 
     @staticmethod
@@ -799,6 +884,7 @@ class ExperimentEngine:
         elapsed: float,
         *,
         cached: bool = False,
+        attempts: int = 1,
     ) -> CellResult:
         return CellResult(
             algorithm=unit.algorithm,
@@ -809,7 +895,72 @@ class ExperimentEngine:
             running_time=elapsed,
             cached=cached,
             error=error,
+            attempts=attempts,
         )
+
+    # ------------------------------------------------------------------ #
+    # deadlines and retries
+    # ------------------------------------------------------------------ #
+
+    def _attempt_cell(self, unit: WorkUnit, attempt: int) -> CellOutcome:
+        """One in-parent, deadline-bounded execution attempt of a cell."""
+        if self.cell_timeout is None:
+            return _safe_execute(unit, attempt=attempt)
+        completed, value = run_with_deadline(
+            lambda: _safe_execute(unit, attempt=attempt), self.cell_timeout
+        )
+        if completed:
+            return value
+        return (
+            "error",
+            CellError(
+                exc_type="TaskDeadlineExceeded",
+                message=(
+                    f"cell {unit.cell_id} exceeded the "
+                    f"{self.cell_timeout:.6g}s deadline"
+                ),
+                traceback="",
+                running_time=self.cell_timeout,
+                kind="timeout",
+            ),
+        )
+
+    def _backoff_delay(self, token: str, attempt: int) -> float:
+        """Deterministic jittered exponential backoff before retry *attempt*.
+
+        The jitter is a pure function of the cell's identity (cache key when
+        it has one, cell id otherwise) and the attempt number, so a retried
+        run sleeps the same amounts every time — reproducibility extends to
+        the recovery path.
+        """
+        if self.retry_backoff <= 0:
+            return 0.0
+        digest = hashlib.sha256(f"{token}:{attempt}".encode("utf-8")).digest()
+        h = int.from_bytes(digest[:4], "big")
+        return self.retry_backoff * (2 ** (attempt - 1)) * (0.5 + h / 0xFFFFFFFF)
+
+    def _with_retries(
+        self, unit: WorkUnit, key: str | None, outcome: CellOutcome
+    ) -> tuple[CellOutcome, int, int]:
+        """Re-execute a failed cell up to ``retries`` more times.
+
+        Retries run in the parent process (deadline-bounded) regardless of
+        the executor: the faulted worker may be gone, and one straggler cell
+        does not need a pool.  Returns ``(outcome, attempts, timeouts)``
+        where *timeouts* counts deadline expiries across all attempts.
+        """
+        attempts = 1
+        timeouts = 1 if outcome[0] == "error" and outcome[1].kind == "timeout" else 0
+        token = key if key is not None else unit.cell_id
+        while outcome[0] == "error" and attempts <= self.retries:
+            delay = self._backoff_delay(token, attempts)
+            if delay > 0:
+                time.sleep(delay)
+            attempts += 1
+            outcome = self._attempt_cell(unit, attempts)
+            if outcome[0] == "error" and outcome[1].kind == "timeout":
+                timeouts += 1
+        return outcome, attempts, timeouts
 
     def _dispatch_iter(
         self,
@@ -833,6 +984,8 @@ class ExperimentEngine:
                 executor=executor,
                 max_workers=self.jobs,
                 shared_state=pending_units,
+                task_timeout=self.cell_timeout,
+                failure_mode="result",
             )
             return
 
@@ -861,6 +1014,8 @@ class ExperimentEngine:
                 max_workers=self.jobs,
                 init_fn=_decode_graph_table,
                 payload=table,
+                task_timeout=self.cell_timeout,
+                failure_mode="result",
             )
             if tasks
             else iter(())
@@ -871,8 +1026,9 @@ class ExperimentEngine:
                     yield next(pool_stream)
                 else:
                     # Callable-backed methods cannot be pickled; run them
-                    # in-process, lazily, when their turn comes.
-                    yield _safe_execute(unit)
+                    # in-process, lazily (and deadline-bounded), when their
+                    # turn comes.
+                    yield self._attempt_cell(unit, 1)
         finally:
             close = getattr(pool_stream, "close", None)
             if close is not None:
@@ -935,7 +1091,7 @@ class ExperimentEngine:
                 )
                 yield ready.pop(pos)
             else:
-                yield _safe_execute(unit)
+                yield self._attempt_cell(unit, 1)
 
     def _execute_pack(
         self,
@@ -961,11 +1117,34 @@ class ExperimentEngine:
         problems: list[LayeringProblem] = []
         for pos, unit in cells:
             cell_start = time.perf_counter()
+
+            def build(unit=unit) -> LayeringProblem:
+                chaos.inject(unit.cell_id)
+                return LayeringProblem.from_graph(unit.graph, nd_width=params.nd_width)
+
             try:
-                _maybe_inject_failure(unit.cell_id)
-                problems.append(
-                    LayeringProblem.from_graph(unit.graph, nd_width=params.nd_width)
-                )
+                if self.cell_timeout is None:
+                    problem = build()
+                else:
+                    # The per-cell setup (chaos hangs included) is bounded by
+                    # the cell deadline even on the batched path.
+                    completed, problem = run_with_deadline(build, self.cell_timeout)
+                    if not completed:
+                        ready[pos] = (
+                            "error",
+                            CellError(
+                                exc_type="TaskDeadlineExceeded",
+                                message=(
+                                    f"cell {unit.cell_id} exceeded the "
+                                    f"{self.cell_timeout:.6g}s deadline during "
+                                    "pack setup"
+                                ),
+                                traceback="",
+                                running_time=self.cell_timeout,
+                                kind="timeout",
+                            ),
+                        )
+                        continue
             except Exception as exc:
                 ready[pos] = (
                     "error",
@@ -977,6 +1156,7 @@ class ExperimentEngine:
                     ),
                 )
             else:
+                problems.append(problem)
                 survivors.append((pos, unit))
         if not survivors:
             return
@@ -987,11 +1167,32 @@ class ExperimentEngine:
             colony_seeds = [params.seed]
         seeds_per_graph = [colony_seeds] * len(problems)
 
-        try:
+        def run_pack():
             packed = PackedProblems.pack(problems)
-            outcomes = run_packed_colonies(
+            return run_packed_colonies(
                 packed, params, seeds_per_graph, max_workers=self.jobs
             )
+
+        try:
+            if self.cell_timeout is None:
+                outcomes = run_pack()
+            else:
+                # One fused pack cannot observe per-cell wall-clock, so the
+                # deadline generalises to a pack budget; on expiry every cell
+                # falls back to the individually-bounded serial path, where a
+                # single hung cell costs only its own deadline.
+                budget = self.cell_timeout * len(survivors)
+                completed, outcomes = run_with_deadline(run_pack, budget)
+                if not completed:
+                    print(
+                        f"note: pack of {len(survivors)} cells exceeded its "
+                        f"{budget:.6g}s budget; re-running the cells serially "
+                        "under individual deadlines",
+                        file=sys.stderr,
+                    )
+                    for pos, unit in survivors:
+                        ready[pos] = self._attempt_cell(unit, 1)
+                    return
         except Exception as exc:
             # The packed path failed wholesale; isolate by running each
             # surviving cell through the ordinary serial path instead — with
@@ -1002,7 +1203,7 @@ class ExperimentEngine:
                 file=sys.stderr,
             )
             for pos, unit in survivors:
-                ready[pos] = _safe_execute(unit)
+                ready[pos] = self._attempt_cell(unit, 1)
             return
 
         results: list[tuple[int, CellOutcome]] = []

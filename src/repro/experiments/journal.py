@@ -13,7 +13,12 @@ remainder of the corpus is computed.
 Robustness properties:
 
 * appends are line-buffered and flushed per cell; a kill mid-write leaves at
-  most one torn trailing line, which :meth:`RunJournal.load` skips;
+  most one torn trailing line, which :meth:`RunJournal.load` quarantines;
+* every record line embeds a SHA-256 checksum of its own payload, verified
+  on load; torn or bit-rotted lines are moved (appended) to
+  ``<run-dir>/corrupt/journal.jsonl`` for post-mortems and treated as
+  absent, so a resumed run recomputes those cells instead of replaying
+  garbage into the aggregate tables;
 * journaled *failures* are recorded (for post-mortems) but never replayed —
   a resumed run retries them, so a transient fault does not poison the
   resumed aggregate;
@@ -32,6 +37,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any, Mapping
 
 import repro
+from repro.experiments.cache import content_digest
 from repro.layering.metrics import LayeringMetrics
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -42,8 +48,9 @@ __all__ = ["JOURNAL_FORMAT", "JOURNAL_VERSION", "RunJournal"]
 #: Format marker written in the header line of every journal.
 JOURNAL_FORMAT = "repro-run-journal"
 
-#: Bump to orphan journals when the record schema changes.
-JOURNAL_VERSION = 1
+#: Bump to orphan journals when the record schema changes.  Version 2 added
+#: the per-line SHA-256 checksum and the ``attempts`` field.
+JOURNAL_VERSION = 2
 
 _METRIC_FIELDS = (
     "n_vertices",
@@ -59,7 +66,7 @@ _METRIC_FIELDS = (
 
 
 def _record_from_cell(key: str, cell: "CellResult") -> dict[str, Any]:
-    return {
+    record = {
         "key": key,
         "algorithm": cell.algorithm,
         "graph_name": cell.graph_name,
@@ -68,7 +75,10 @@ def _record_from_cell(key: str, cell: "CellResult") -> dict[str, Any]:
         "metrics": cell.metrics.as_dict() if cell.metrics is not None else None,
         "error": asdict(cell.error) if cell.error is not None else None,
         "running_time": cell.running_time,
+        "attempts": getattr(cell, "attempts", 1),
     }
+    record["sha256"] = content_digest(record)
+    return record
 
 
 def _cell_from_record(record: Mapping[str, Any]) -> "CellResult | None":
@@ -88,6 +98,7 @@ def _cell_from_record(record: Mapping[str, Any]) -> "CellResult | None":
             metrics=metrics,
             running_time=float(record["running_time"]),
             replayed=True,
+            attempts=int(record.get("attempts", 1)),
         )
     except (KeyError, TypeError, ValueError):
         return None
@@ -106,6 +117,26 @@ class RunJournal:
         self.path = self.directory / "journal.jsonl"
         self._handle = None
         self._stale = False
+        #: Corrupt lines quarantined by the most recent :meth:`load`.
+        self.quarantined = 0
+
+    @property
+    def quarantine_path(self) -> Path:
+        """Where corrupt journal lines are preserved for post-mortems."""
+        return self.directory / "corrupt" / "journal.jsonl"
+
+    def _quarantine_lines(self, lines: list[str]) -> None:
+        """Append corrupt lines to the quarantine file (best-effort)."""
+        if not lines:
+            return
+        self.quarantined += len(lines)
+        try:
+            self.quarantine_path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.quarantine_path, "a", encoding="utf-8") as handle:
+                for line in lines:
+                    handle.write(line + "\n")
+        except OSError:
+            pass
 
     # ------------------------------------------------------------------ #
     # reading
@@ -119,12 +150,19 @@ class RunJournal:
         most recent record.  A journal written under a different
         :data:`JOURNAL_VERSION` is ignored wholesale — its record semantics
         may have changed — and the cells are simply recomputed.
+
+        Every record line's embedded SHA-256 checksum is verified: torn or
+        bit-rotted lines are quarantined (appended to
+        ``corrupt/journal.jsonl`` in the run directory, counted in
+        :attr:`quarantined`) and excluded from replay.
         """
         replayable: dict[str, CellResult] = {}
+        self.quarantined = 0
         try:
             lines = self.path.read_text(encoding="utf-8").splitlines()
         except OSError:
             return replayable
+        corrupt: list[str] = []
         for line in lines:
             line = line.strip()
             if not line:
@@ -132,8 +170,10 @@ class RunJournal:
             try:
                 record = json.loads(line)
             except ValueError:
-                continue  # torn trailing line from a killed run
+                corrupt.append(line)  # torn trailing line from a killed run
+                continue
             if not isinstance(record, dict):
+                corrupt.append(line)
                 continue
             if record.get("format") == JOURNAL_FORMAT:
                 if record.get("version") != JOURNAL_VERSION:
@@ -144,6 +184,10 @@ class RunJournal:
                     self._stale = True
                     return {}
                 continue  # current-version header line
+            stored_sha = record.pop("sha256", None)
+            if not isinstance(stored_sha, str) or content_digest(record) != stored_sha:
+                corrupt.append(line)
+                continue
             key = record.get("key")
             if not isinstance(key, str):
                 continue
@@ -153,6 +197,7 @@ class RunJournal:
             cell = _cell_from_record(record)
             if cell is not None:
                 replayable[key] = cell
+        self._quarantine_lines(corrupt)
         return replayable
 
     # ------------------------------------------------------------------ #

@@ -39,8 +39,19 @@ def format_failures(failures: Sequence[CellResult], total: int) -> str:
         if first.error is not None
         else f"first: {first.algorithm} on {first.graph_name}"
     )
+    # Break the count down by failure mode (exception/timeout/crash) when
+    # more than one mode is present — a run losing cells to timeouts needs a
+    # different response than one losing them to exceptions.
+    kinds: dict[str, int] = {}
+    for cell in failures:
+        kind = cell.error.kind if cell.error is not None else "exception"
+        kinds[kind] = kinds.get(kind, 0) + 1
+    breakdown = ""
+    if len(kinds) > 1 or "exception" not in kinds:
+        ordered = sorted(kinds.items(), key=lambda item: (-item[1], item[0]))
+        breakdown = " (" + ", ".join(f"{n} {kind}" for kind, n in ordered) + ")"
     return (
-        f"! {len(failures)} of {total} cells failed and are excluded "
+        f"! {len(failures)} of {total} cells failed{breakdown} and are excluded "
         f"from the means ({detail})"
     )
 

@@ -1,0 +1,278 @@
+"""Deterministic fault-injection plane (``REPRO_CHAOS``) for the execution stack.
+
+The experiment engine grew up with a single ad-hoc hook —
+``REPRO_ENGINE_FAIL``, comma-separated ``algorithm:graph_name`` fnmatch
+patterns whose matching cells raise.  That covers exactly one failure mode
+(a polite exception); the hardened execution layer needs to rehearse the
+impolite ones too: a cell that *hangs* (driving the watchdog deadlines), a
+worker that dies with ``kill -9`` (driving crash-safe pool supervision), a
+cache entry whose bytes rot on disk (driving checksum quarantine), and a
+cell that is merely slow (driving latency/overhead measurements).  This
+module is the shared fault plane all of those rehearsals go through:
+
+``REPRO_CHAOS`` holds comma-separated rules of the form
+``action[@arg[@attempts]]:pattern`` where *pattern* is fnmatch-matched
+against the cell id (``algorithm:graph_name``, the same ids
+``REPRO_ENGINE_FAIL`` uses):
+
+* ``raise[@attempts]:pattern`` — raise ``RuntimeError`` inside the cell;
+* ``hang[@seconds[@attempts]]:pattern`` — block for *seconds* (default
+  3600: "forever" at experiment scale), exercising deadline enforcement;
+* ``kill9[@attempts]:pattern`` — ``SIGKILL`` the executing process when it
+  is a supervised pool worker (exercising crash detection + respawn); in
+  the parent process it degrades to ``raise`` so an injected crash can
+  never take down the run it is testing;
+* ``slow[@seconds[@attempts]]:pattern`` — sleep *seconds* (default 0.05)
+  and continue normally;
+* ``corrupt-cache[@attempts]:pattern`` — after the cell's result is
+  written to the result cache, garble the entry's bytes on disk
+  (exercising checksum verification + quarantine-as-miss).
+
+*attempts* bounds how many execution attempts of a cell the rule fires on
+(default 1: the fault is transient and a retry succeeds — the shape the
+chaos test matrix needs to assert byte-identical recovery).  ``@*`` or
+``@0`` makes the rule permanent.  Execution attempts are numbered from 1
+and threaded through the engine explicitly, so the semantics are identical
+in-process and across pool workers (which keep no shared counters).
+
+Injected hangs block on an :class:`threading.Event` rather than a plain
+``sleep`` so an executor that abandons a timed-out thread can release it
+(:func:`release_hangs`) instead of leaking a thread that would stall
+interpreter shutdown.
+
+``REPRO_ENGINE_FAIL`` keeps working unchanged (patterns are treated as
+permanent ``raise`` rules with the historical error message).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.utils.exceptions import ValidationError
+
+__all__ = [
+    "CHAOS_ENV",
+    "FAIL_CELLS_ENV",
+    "ChaosRule",
+    "active",
+    "chaos_rules",
+    "inject",
+    "in_worker",
+    "mark_worker",
+    "release_hangs",
+    "reset_hangs",
+    "should_corrupt",
+]
+
+#: The chaos rule environment variable.
+CHAOS_ENV = "REPRO_CHAOS"
+
+#: The legacy raise-only hook, kept working as permanent ``raise`` rules.
+FAIL_CELLS_ENV = "REPRO_ENGINE_FAIL"
+
+#: Recognised rule actions.
+ACTIONS = ("raise", "hang", "kill9", "slow", "corrupt-cache")
+
+#: Default durations (seconds) for the timed actions.
+DEFAULT_HANG_SECONDS = 3600.0
+DEFAULT_SLOW_SECONDS = 0.05
+
+
+@dataclass(frozen=True)
+class ChaosRule:
+    """One parsed ``REPRO_CHAOS`` rule."""
+
+    action: str
+    pattern: str
+    seconds: float
+    #: Fires while ``attempt <= attempts``; ``0`` means every attempt.
+    attempts: int
+
+    def fires(self, cell_id: str, attempt: int) -> bool:
+        if self.attempts and attempt > self.attempts:
+            return False
+        return fnmatch.fnmatchcase(cell_id, self.pattern)
+
+
+#: Whether this process is a supervised pool worker (set by the pool's
+#: worker main).  Gates ``kill9``: only a process whose death the parent
+#: supervises may actually be killed.
+_IN_WORKER = False
+
+#: Release valve for injected hangs: executors that abandon a timed-out
+#: thread set this event so the thread unblocks instead of leaking.
+_HANG_RELEASE = threading.Event()
+
+#: Parse memo keyed by the raw env strings (rules are reparsed when the
+#: environment changes, so tests can monkeypatch freely).
+_PARSE_MEMO: dict[tuple[str, str], tuple[ChaosRule, ...]] = {}
+
+
+def mark_worker() -> None:
+    """Record that this process is a supervised pool worker (kill9 gate)."""
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def in_worker() -> bool:
+    """Whether this process is a supervised pool worker."""
+    return _IN_WORKER
+
+
+def release_hangs() -> None:
+    """Unblock every thread currently stuck in an injected hang."""
+    _HANG_RELEASE.set()
+
+
+def reset_hangs() -> None:
+    """Re-arm the hang release valve (tests re-using one process)."""
+    _HANG_RELEASE.clear()
+
+
+def _parse_attempts(raw: str, rule: str) -> int:
+    if raw in ("*", "0"):
+        return 0
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValidationError(
+            f"{CHAOS_ENV}: invalid attempt count {raw!r} in rule {rule!r}"
+        ) from None
+    if value < 1:
+        raise ValidationError(
+            f"{CHAOS_ENV}: attempt count must be >= 1 (or 0/'*' for always), "
+            f"got {value} in rule {rule!r}"
+        )
+    return value
+
+
+def _parse_seconds(raw: str, rule: str) -> float:
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValidationError(
+            f"{CHAOS_ENV}: invalid duration {raw!r} in rule {rule!r}"
+        ) from None
+    if value < 0:
+        raise ValidationError(
+            f"{CHAOS_ENV}: duration must be >= 0, got {value} in rule {rule!r}"
+        )
+    return value
+
+
+def _parse_rule(raw: str) -> ChaosRule:
+    head, sep, pattern = raw.partition(":")
+    if not sep or not pattern:
+        raise ValidationError(
+            f"{CHAOS_ENV}: rule {raw!r} is not of the form "
+            "'action[@arg[@attempts]]:pattern'"
+        )
+    parts = head.split("@")
+    action = parts[0].strip()
+    if action not in ACTIONS:
+        raise ValidationError(
+            f"{CHAOS_ENV}: unknown action {action!r} in rule {raw!r}; "
+            f"choose from {ACTIONS}"
+        )
+    timed = action in ("hang", "slow")
+    seconds = DEFAULT_HANG_SECONDS if action == "hang" else DEFAULT_SLOW_SECONDS
+    attempts = 1
+    args = [p.strip() for p in parts[1:]]
+    if timed:
+        if len(args) > 2:
+            raise ValidationError(f"{CHAOS_ENV}: too many arguments in rule {raw!r}")
+        if len(args) >= 1 and args[0]:
+            seconds = _parse_seconds(args[0], raw)
+        if len(args) == 2:
+            attempts = _parse_attempts(args[1], raw)
+    else:
+        if len(args) > 1:
+            raise ValidationError(f"{CHAOS_ENV}: too many arguments in rule {raw!r}")
+        if len(args) == 1 and args[0]:
+            attempts = _parse_attempts(args[0], raw)
+    return ChaosRule(action=action, pattern=pattern, seconds=seconds, attempts=attempts)
+
+
+def chaos_rules() -> tuple[ChaosRule, ...]:
+    """The active rule set: ``REPRO_CHAOS`` rules plus legacy fail patterns."""
+    raw_chaos = os.environ.get(CHAOS_ENV, "").strip()
+    raw_legacy = os.environ.get(FAIL_CELLS_ENV, "").strip()
+    memo_key = (raw_chaos, raw_legacy)
+    cached = _PARSE_MEMO.get(memo_key)
+    if cached is not None:
+        return cached
+    rules = [
+        _parse_rule(piece.strip())
+        for piece in raw_chaos.split(",")
+        if piece.strip()
+    ]
+    for pattern in raw_legacy.split(","):
+        pattern = pattern.strip()
+        if pattern:
+            # Legacy patterns raise on every attempt — the pre-chaos contract.
+            rules.append(
+                ChaosRule(action="raise", pattern=pattern, seconds=0.0, attempts=0)
+            )
+    result = tuple(rules)
+    _PARSE_MEMO.clear()  # the env rarely flips; keep the memo tiny
+    _PARSE_MEMO[memo_key] = result
+    return result
+
+
+def active() -> bool:
+    """Whether any fault rule is configured (cheap guard for hot paths)."""
+    return bool(
+        os.environ.get(CHAOS_ENV, "").strip()
+        or os.environ.get(FAIL_CELLS_ENV, "").strip()
+    )
+
+
+def inject(cell_id: str, attempt: int = 1) -> None:
+    """Apply the execution-time fault rules matching *cell_id* at *attempt*.
+
+    Called from wherever a cell actually executes — the engine's in-process
+    paths, pool workers, the packed runtime's per-graph setup — so the
+    fault happens in the same process/thread the real work would.  ``slow``
+    rules apply first (they modify timing but not outcome), then ``hang``,
+    then ``raise``/``kill9`` (which end the attempt).
+    """
+    if not active():
+        return
+    matched = [r for r in chaos_rules() if r.fires(cell_id, attempt)]
+    if not matched:
+        return
+    for rule in matched:
+        if rule.action == "slow":
+            time.sleep(rule.seconds)
+    for rule in matched:
+        if rule.action == "hang":
+            _HANG_RELEASE.wait(rule.seconds)
+    for rule in matched:
+        if rule.action == "kill9":
+            if in_worker() and hasattr(signal, "SIGKILL"):
+                os.kill(os.getpid(), signal.SIGKILL)
+            # Outside a supervised worker a real SIGKILL would take down the
+            # whole run (or the test harness); degrade to a transient raise,
+            # which still exercises the retry path.
+            raise RuntimeError(
+                f"injected kill9 for cell {cell_id!r} "
+                f"(degraded to raise outside a supervised worker)"
+            )
+    for rule in matched:
+        if rule.action == "raise":
+            raise RuntimeError(f"injected failure for cell {cell_id!r} ({FAIL_CELLS_ENV})")
+
+
+def should_corrupt(cell_id: str, attempt: int = 1) -> bool:
+    """Whether a ``corrupt-cache`` rule fires for this cell's cache write."""
+    if not active():
+        return False
+    return any(
+        r.action == "corrupt-cache" and r.fires(cell_id, attempt)
+        for r in chaos_rules()
+    )

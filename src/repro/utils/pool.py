@@ -1,34 +1,77 @@
-"""Reusable process/thread/serial pool plumbing with per-worker shared state.
+"""Reusable process/thread/serial pool plumbing with per-worker shared state,
+crash-safe supervision and per-task deadlines.
 
 This generalises the worker-initializer pattern introduced for the
 multi-colony ACO driver (:mod:`repro.aco.parallel`): a payload describing the
-shared, read-only inputs of a run is shipped to every worker exactly once (as
-pool-initializer arguments) and decoded into per-worker state; the individual
-task submissions then carry only small per-task arguments.  For process pools
-this avoids paying O(tasks x payload) serialisation cost; for thread pools
-and the serial executor the state can be used directly without any
-serialisation at all (``shared_state``).
+shared, read-only inputs of a run is shipped to every worker exactly once and
+decoded into per-worker state; the individual task submissions then carry
+only small per-task arguments.  For process pools this avoids paying
+O(tasks x payload) serialisation cost; for thread pools and the serial
+executor the state can be used directly without any serialisation at all
+(``shared_state``).
 
 Determinism: tasks are submitted in order and results are collected in
 submission order, so the returned list is independent of the executor kind
 and the worker count.
+
+Hardening (the robustness layer the experiment engine sits on):
+
+* **Supervised process workers.**  The process back end no longer uses
+  ``concurrent.futures.ProcessPoolExecutor`` — whose reaction to a worker
+  dying (OOM kill, segfault, ``kill -9``) is to poison the whole pool with
+  ``BrokenProcessPool`` — but a small supervised pool: each worker is a
+  ``multiprocessing.Process`` with its own duplex pipe, and the parent
+  multiplexes result pipes *and* process sentinels through
+  :func:`multiprocessing.connection.wait`.  A worker that dies takes down
+  only its in-flight task (reported as a :class:`TaskFailure` of kind
+  ``"crash"`` or raised as :class:`WorkerCrashed`, per *failure_mode*); a
+  replacement worker is spawned with the same initializer payload and the
+  run continues.
+* **Per-task deadlines.**  ``task_timeout=`` bounds every task's execution:
+  a process worker that exceeds it is killed (``SIGKILL``) and replaced and
+  the task reports a ``"timeout"`` :class:`TaskFailure`; the serial back
+  end runs each task on a watchdog-monitored daemon thread; the thread back
+  end bounds the wait for each task's result (the stuck thread itself
+  cannot be reclaimed — that is a CPython limitation — but the run moves
+  on, and injected chaos hangs are released so they cannot stall
+  interpreter shutdown).
+* **failure_mode.**  ``"raise"`` (default, the historical contract):
+  crashes and timeouts raise :class:`WorkerCrashed` /
+  :class:`TaskDeadlineExceeded` in the consumer.  ``"result"``: they are
+  yielded in-stream as :class:`TaskFailure` values, so a streaming consumer
+  (the experiment engine) can record the failure against the right task and
+  keep going.
 """
 
 from __future__ import annotations
 
+import atexit
 import concurrent.futures
 import itertools
+import multiprocessing
 import os
+import queue
+import signal
+import threading
+import time
+import traceback
+from dataclasses import dataclass
+from multiprocessing import connection
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
-from repro.utils.exceptions import ValidationError
+from repro.utils import chaos
+from repro.utils.exceptions import ReproError, ValidationError
 
 __all__ = [
     "EXECUTORS",
     "REPRO_JOBS_ENV",
+    "TaskFailure",
+    "TaskDeadlineExceeded",
+    "WorkerCrashed",
     "effective_workers",
     "imap_with_state",
     "map_with_state",
+    "run_with_deadline",
 ]
 
 #: The supported execution back ends.
@@ -38,6 +81,34 @@ EXECUTORS = ("process", "thread", "serial")
 #: library (useful on oversubscribed CI boxes where ``os.cpu_count()`` lies
 #: about the cores actually available to the job).
 REPRO_JOBS_ENV = "REPRO_JOBS"
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """A task that produced no result: its worker crashed or its deadline passed.
+
+    Yielded in place of the task's result under ``failure_mode="result"``;
+    ``kind`` is ``"crash"`` (worker process died) or ``"timeout"`` (the
+    per-task deadline passed).
+    """
+
+    kind: str
+    message: str
+
+
+class WorkerCrashed(ReproError):
+    """A pool worker died while running a task (``failure_mode="raise"``)."""
+
+
+class TaskDeadlineExceeded(ReproError):
+    """A task exceeded the per-task deadline (``failure_mode="raise"``)."""
+
+
+class _RemoteTraceback(Exception):
+    """Carries a worker-side traceback as the ``__cause__`` of a re-raised error."""
+
+    def __init__(self, tb: str) -> None:
+        super().__init__(f"\n--- worker-side traceback ---\n{tb}")
 
 
 def effective_workers(requested: int | None = None, n_tasks: int | None = None) -> int:
@@ -76,28 +147,439 @@ def effective_workers(requested: int | None = None, n_tasks: int | None = None) 
         requested = min(requested, n_tasks)
     return max(1, requested)
 
+
+class _DeadlineWatchdog:
+    """A reusable daemon thread serving one :func:`run_with_deadline` at a time.
+
+    Spawning a fresh thread per call costs ~50 µs, which at full-corpus
+    scale (thousands of deadline-bounded cells) adds whole percents to the
+    run; a pooled watchdog brings the per-call cost down to a queue
+    round-trip.  A watchdog whose deadline expired is simply *not* returned
+    to the idle pool by the caller — the stuck thread re-idles itself only
+    if and when the abandoned call finally finishes, so reuse never hands a
+    new task to a busy thread.
+    """
+
+    __slots__ = ("inbox", "thread")
+
+    def __init__(self) -> None:
+        self.inbox: queue.SimpleQueue = queue.SimpleQueue()
+        self.thread = threading.Thread(
+            target=self._loop, daemon=True, name="repro-deadline"
+        )
+        self.thread.start()
+
+    def _loop(self) -> None:
+        while True:
+            fn, box, done = self.inbox.get()
+            try:
+                box["value"] = fn()
+            except BaseException as exc:  # re-raised in the caller
+                box["error"] = exc
+            finally:
+                done.set()
+                with _WATCHDOG_LOCK:
+                    _IDLE_WATCHDOGS.append(self)
+
+
+#: Idle reusable watchdog threads (valid only for ``_WATCHDOG_PID``).
+_IDLE_WATCHDOGS: list[_DeadlineWatchdog] = []
+_WATCHDOG_LOCK = threading.Lock()
+_WATCHDOG_PID: int | None = None
+
+
+class _DeadlineAlarm(BaseException):
+    """Raised by the ``SIGALRM`` handler when an armed deadline fires.
+
+    A ``BaseException`` so task code catching broad ``Exception`` cannot
+    swallow its own deadline.
+    """
+
+
+#: Monotonic instant the armed alarm deadline expires; ``None`` when no
+#: alarm deadline is armed (also the nesting guard: an inner deadline falls
+#: back to the watchdog thread).
+_ALARM_DEADLINE: float | None = None
+
+#: Current repeating ``ITIMER_REAL`` tick in seconds (0 = not ticking) and
+#: how many consecutive ticks found no armed deadline.
+_ALARM_TICK = 0.0
+_ALARM_IDLE_TICKS = 0
+
+#: Pid that installed the SIGALRM handler (itimers do not survive fork).
+_ALARM_PID: int | None = None
+
+#: Stop the idle tick after this many handler runs with nothing armed.
+_ALARM_IDLE_LIMIT = 8
+
+
+def _on_alarm(signum, frame) -> None:
+    global _ALARM_DEADLINE, _ALARM_TICK, _ALARM_IDLE_TICKS
+    if _ALARM_DEADLINE is not None:
+        _ALARM_IDLE_TICKS = 0
+        if time.monotonic() >= _ALARM_DEADLINE:
+            _ALARM_DEADLINE = None
+            raise _DeadlineAlarm()
+    else:
+        # Between deadline-bounded calls the timer keeps ticking so the next
+        # call arms for free; after a quiet spell it switches itself off.
+        _ALARM_IDLE_TICKS += 1
+        if _ALARM_IDLE_TICKS >= _ALARM_IDLE_LIMIT:
+            _ALARM_TICK = 0.0
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+
+
+def _disarm_alarm() -> None:
+    global _ALARM_TICK
+    _ALARM_TICK = 0.0
+    try:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+    except (OSError, ValueError):  # pragma: no cover - shutdown edge
+        pass
+
+
+def _run_with_alarm(fn: Callable[[], Any], timeout: float) -> tuple[bool, Any]:
+    """Deadline via a repeating ``SIGALRM`` tick: the work runs *inline*.
+
+    Arming a call is a Python variable write — the interval timer is
+    started once and shared across calls (it disarms itself after a quiet
+    spell), so at full-corpus scale the per-cell cost is nanoseconds where
+    a per-call watchdog thread pays two context switches (~50 µs).  The
+    trade-offs: expiry lands within one tick *after* the deadline (the
+    tick is ``timeout/8``, clamped to [1 ms, 250 ms]), and the interrupt
+    fires between Python bytecodes, so a hang inside a non-returning C
+    call is not cut — callers needing that guarantee get the watchdog
+    fallback, and the supervised process pool kills such workers outright.
+    """
+    global _ALARM_DEADLINE, _ALARM_TICK, _ALARM_IDLE_TICKS, _ALARM_PID
+    if _ALARM_PID != os.getpid():
+        # First use in this process (or first after fork, which clears both
+        # the inherited handler's relevance and the itimer).
+        signal.signal(signal.SIGALRM, _on_alarm)
+        # A tick landing during interpreter shutdown — after Python signal
+        # dispatch is torn down — would kill the process with SIGALRM's
+        # default action ("Alarm clock"); stop the timer before that.
+        atexit.register(_disarm_alarm)
+        _ALARM_PID = os.getpid()
+        _ALARM_TICK = 0.0
+    tick = min(max(timeout / 8.0, 0.001), 0.25)
+    if _ALARM_TICK == 0.0 or tick < _ALARM_TICK * 0.75:
+        # Not ticking yet, or the current tick is too coarse to enforce
+        # this call's deadline promptly.
+        _ALARM_TICK = tick
+        signal.setitimer(signal.ITIMER_REAL, tick, tick)
+    _ALARM_IDLE_TICKS = 0
+    _ALARM_DEADLINE = time.monotonic() + timeout
+    try:
+        value = fn()
+    except _DeadlineAlarm:
+        return False, None
+    finally:
+        _ALARM_DEADLINE = None
+    return True, value
+
+
+def run_with_deadline(fn: Callable[[], Any], timeout: float) -> tuple[bool, Any]:
+    """Run ``fn()`` under a *timeout*-second deadline.
+
+    Returns ``(True, result)`` when the call finishes in time and
+    ``(False, None)`` when the deadline passes first; exceptions raised by
+    ``fn`` propagate to the caller.  On a POSIX main thread the deadline is
+    a shared interval timer and ``fn`` runs inline (near-zero cost,
+    interrupts the work in place); everywhere else — non-main threads,
+    nested deadlines, Windows — ``fn`` runs on a pooled watchdog daemon
+    thread that is abandoned when the deadline passes (it cannot block
+    interpreter shutdown, and any result it eventually produces is
+    discarded).
+    """
+    global _WATCHDOG_PID
+    if (
+        _ALARM_DEADLINE is None
+        and hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    ):
+        return _run_with_alarm(fn, timeout)
+    with _WATCHDOG_LOCK:
+        # Threads do not survive fork: a child inheriting the parent's idle
+        # list would enqueue onto watchdogs that no longer run.
+        if _WATCHDOG_PID != os.getpid():
+            _IDLE_WATCHDOGS.clear()
+            _WATCHDOG_PID = os.getpid()
+        watchdog = _IDLE_WATCHDOGS.pop() if _IDLE_WATCHDOGS else None
+    if watchdog is None:
+        watchdog = _DeadlineWatchdog()
+    box: dict[str, Any] = {}
+    done = threading.Event()
+    watchdog.inbox.put((fn, box, done))
+    if not done.wait(timeout):
+        return False, None
+    if "error" in box:
+        raise box["error"]
+    return True, box["value"]
+
+
 #: Monotonically increasing tokens distinguishing concurrent runs.
 _RUN_TOKENS = itertools.count()
 
 #: Per-worker state installed by the pool initializer.  Keyed by a per-run
 #: token: thread-pool workers share this module with the caller (and with any
-#: concurrent runs), process-pool workers get their own copy that dies with
-#: the pool.
+#: concurrent runs).
 _WORKER_STATE: dict[int, Any] = {}
 
 #: Sentinel distinguishing "no shared state given" from ``None`` state.
 _UNSET = object()
 
 
-def _init_worker(token: int, init_fn: Callable[[Any], Any], payload: Any) -> None:
-    """Pool initializer: decode the shared payload once for this worker."""
-    if token not in _WORKER_STATE:
-        _WORKER_STATE[token] = init_fn(payload)
-
-
 def _run_task(token: int, task_fn: Callable[..., Any], args: Sequence[Any]) -> Any:
-    """Worker entry point using the state installed by :func:`_init_worker`."""
+    """Thread-pool worker entry point using the state installed for this run."""
     return task_fn(_WORKER_STATE[token], *args)
+
+
+# --------------------------------------------------------------------------- #
+# supervised process workers
+# --------------------------------------------------------------------------- #
+
+
+def _supervised_worker_main(
+    conn: connection.Connection, init_fn: Callable[[Any], Any], payload: Any
+) -> None:
+    """Worker loop: decode the payload once, then serve tasks until told to stop.
+
+    Exceptions raised by a task are reported as data (the exception object
+    plus its formatted traceback) so the worker survives to run the next
+    task; only process death (crash, kill, deadline SIGKILL) ends the loop
+    abnormally — which the parent detects through the process sentinel.
+    """
+    chaos.mark_worker()  # kill9 chaos rules may really kill this process
+    state = init_fn(payload)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        index, task_fn, args = message
+        try:
+            outcome: tuple = ("ok", task_fn(state, *args))
+        except BaseException as exc:
+            outcome = ("exc", exc, traceback.format_exc())
+        try:
+            conn.send((index, outcome))
+        except Exception:
+            # Unpicklable result or exception: send pickles before writing,
+            # so nothing partial went out — report the traceback instead.
+            tb = (
+                outcome[2]
+                if outcome[0] == "exc"
+                else f"result of task {index} could not be pickled"
+            )
+            conn.send((index, ("exc", None, tb)))
+    conn.close()
+
+
+class _SupervisedWorker:
+    """One supervised worker process plus its parent-side bookkeeping."""
+
+    __slots__ = ("conn", "process", "current", "deadline")
+
+    def __init__(self, init_fn: Callable[[Any], Any], payload: Any) -> None:
+        parent_conn, child_conn = multiprocessing.Pipe()
+        self.process = multiprocessing.Process(
+            target=_supervised_worker_main,
+            args=(child_conn, init_fn, payload),
+            name="repro-pool-worker",
+        )
+        self.process.start()
+        child_conn.close()
+        self.conn = parent_conn
+        self.current: int | None = None  # index of the in-flight task
+        self.deadline: float | None = None
+
+    def kill(self) -> None:
+        try:
+            self.process.kill()
+        except (OSError, ValueError):
+            pass
+
+    def reap(self, *, timeout: float = 5.0) -> None:
+        try:
+            self.process.join(timeout)
+        except (OSError, ValueError, AssertionError):
+            pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+def _supervised_imap(
+    task_fn: Callable[..., Any],
+    task_list: Sequence[tuple],
+    *,
+    max_workers: int,
+    init_fn: Callable[[Any], Any],
+    payload: Any,
+    task_timeout: float | None,
+) -> Iterator[Any]:
+    """Stream ``("ok", result) | ("exc", exc, tb) | ("fail", TaskFailure)``
+    per task, in submission order, over supervised worker processes."""
+    n_tasks = len(task_list)
+    workers = [
+        _SupervisedWorker(init_fn, payload)
+        for _ in range(min(max_workers, n_tasks))
+    ]
+    results: dict[int, tuple] = {}
+    next_task = 0
+
+    def dispatch(worker: _SupervisedWorker) -> None:
+        nonlocal next_task
+        worker.current = None
+        worker.deadline = None
+        while next_task < n_tasks:
+            index = next_task
+            next_task += 1
+            try:
+                worker.conn.send((index, task_fn, task_list[index]))
+            except (OSError, ValueError, BrokenPipeError):
+                # The worker died between completions; its sentinel will
+                # surface the crash, but this task was never delivered —
+                # leave it for the replacement worker.
+                next_task = index
+                return
+            worker.current = index
+            if task_timeout is not None:
+                worker.deadline = time.monotonic() + task_timeout
+            return
+
+    def fail_and_respawn(worker: _SupervisedWorker, failure: TaskFailure) -> None:
+        index = workers.index(worker)
+        if worker.current is not None:
+            results[worker.current] = ("fail", failure)
+        worker.kill()
+        worker.reap(timeout=1.0)
+        replacement = _SupervisedWorker(init_fn, payload)
+        workers[index] = replacement
+        dispatch(replacement)
+
+    try:
+        for worker in workers:
+            dispatch(worker)
+        yield_index = 0
+        while yield_index < n_tasks:
+            while yield_index in results:
+                yield results.pop(yield_index)
+                yield_index += 1
+            if yield_index >= n_tasks:
+                break
+            busy = [w for w in workers if w.current is not None]
+            if not busy:
+                # Nothing in flight but results are still missing: tasks
+                # were lost without a crash record — a logic error worth
+                # failing loudly over rather than spinning forever.
+                raise WorkerCrashed(
+                    f"supervised pool lost track of task {yield_index} "
+                    f"({len(results)} buffered, {next_task}/{n_tasks} dispatched)"
+                )
+            timeout = None
+            deadlines = [w.deadline for w in busy if w.deadline is not None]
+            if deadlines:
+                timeout = max(0.0, min(deadlines) - time.monotonic())
+            sentinels = {w.process.sentinel: w for w in busy}
+            conns = {w.conn: w for w in busy}
+            ready = connection.wait(
+                list(conns) + list(sentinels), timeout=timeout
+            )
+            handled: set[int] = set()
+            for obj in ready:
+                worker = conns.get(obj)
+                crashed = False
+                if worker is None:
+                    worker = sentinels.get(obj)
+                    if worker is None or id(worker) in handled:
+                        continue
+                    crashed = True
+                if id(worker) in handled:
+                    continue
+                handled.add(id(worker))
+                # Even on a sentinel event, drain any result the worker
+                # managed to send before dying — that task did complete.
+                delivered = False
+                try:
+                    if not crashed or worker.conn.poll():
+                        index, outcome = worker.conn.recv()
+                        results[index] = outcome
+                        delivered = True
+                except (EOFError, OSError):
+                    crashed = True
+                if delivered:
+                    worker.current = None
+                    worker.deadline = None
+                    if crashed:
+                        # Completed its task, then died (e.g. kill between
+                        # send and the next recv): no task lost, replace it.
+                        fail_and_respawn(
+                            worker,
+                            TaskFailure("crash", "worker died after completing its task"),
+                        )
+                    else:
+                        dispatch(worker)
+                elif crashed:
+                    worker.process.join(0.2)  # let exitcode populate
+                    exitcode = worker.process.exitcode
+                    fail_and_respawn(
+                        worker,
+                        TaskFailure(
+                            "crash",
+                            f"worker process died (exit code {exitcode}) "
+                            f"while running task {worker.current}",
+                        ),
+                    )
+            if task_timeout is not None:
+                now = time.monotonic()
+                for worker in list(workers):
+                    if (
+                        worker.current is not None
+                        and worker.deadline is not None
+                        and now >= worker.deadline
+                    ):
+                        fail_and_respawn(
+                            worker,
+                            TaskFailure(
+                                "timeout",
+                                f"task {worker.current} exceeded the "
+                                f"{task_timeout:.6g}s deadline; worker killed",
+                            ),
+                        )
+    finally:
+        for worker in workers:
+            worker.kill()
+        for worker in workers:
+            worker.reap()
+
+
+def _deliver(outcome: tuple, failure_mode: str) -> Any:
+    """Translate one supervised-pool outcome into the caller-facing value."""
+    kind = outcome[0]
+    if kind == "ok":
+        return outcome[1]
+    if kind == "exc":
+        exc, tb = outcome[1], outcome[2]
+        if isinstance(exc, BaseException):
+            exc.__cause__ = _RemoteTraceback(tb)
+            raise exc
+        raise WorkerCrashed(f"task raised an unpicklable exception:\n{tb}")
+    failure: TaskFailure = outcome[1]
+    if failure_mode == "result":
+        return failure
+    if failure.kind == "timeout":
+        raise TaskDeadlineExceeded(failure.message)
+    raise WorkerCrashed(failure.message)
+
+
+# --------------------------------------------------------------------------- #
+# the public map/imap API
+# --------------------------------------------------------------------------- #
 
 
 def imap_with_state(
@@ -109,6 +591,8 @@ def imap_with_state(
     init_fn: Callable[[Any], Any] | None = None,
     payload: Any = None,
     shared_state: Any = _UNSET,
+    task_timeout: float | None = None,
+    failure_mode: str = "raise",
 ) -> Iterator[Any]:
     """Streaming :func:`map_with_state`: yield results in submission order.
 
@@ -117,11 +601,22 @@ def imap_with_state(
     result of the *i*-th task, so consumers can aggregate incrementally
     without the full result list ever being materialised).  The serial back
     end executes each task lazily when its result is requested; the pool
-    back ends submit everything up front and the pool is shut down when the
+    back ends submit work as workers free up and shut the pool down when the
     generator is exhausted or closed early.
+
+    With ``task_timeout`` set, every task's execution is bounded (see the
+    module docstring for how each back end enforces it); ``failure_mode``
+    selects whether crashes/timeouts raise (``"raise"``, default) or are
+    yielded in-stream as :class:`TaskFailure` values (``"result"``).
     """
     if executor not in EXECUTORS:
         raise ValidationError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+    if failure_mode not in ("raise", "result"):
+        raise ValidationError(
+            f"failure_mode must be 'raise' or 'result', got {failure_mode!r}"
+        )
+    if task_timeout is not None and task_timeout <= 0:
+        raise ValidationError(f"task_timeout must be > 0, got {task_timeout}")
     task_list = [tuple(t) for t in tasks]
 
     if executor == "serial" or len(task_list) <= 1:
@@ -132,35 +627,83 @@ def imap_with_state(
                 raise ValidationError("map_with_state needs init_fn or shared_state")
             state = init_fn(payload)
         for t in task_list:
-            yield task_fn(state, *t)
+            if task_timeout is None:
+                yield task_fn(state, *t)
+                continue
+            completed, value = run_with_deadline(
+                lambda t=t: task_fn(state, *t), task_timeout
+            )
+            if completed:
+                yield value
+            else:
+                failure = TaskFailure(
+                    "timeout",
+                    f"task exceeded the {task_timeout:.6g}s deadline "
+                    "(watchdog thread abandoned)",
+                )
+                if failure_mode == "raise":
+                    raise TaskDeadlineExceeded(failure.message)
+                yield failure
         return
 
+    if executor == "process":
+        if init_fn is None:
+            raise ValidationError("map_with_state needs init_fn for pool executors")
+        stream = _supervised_imap(
+            task_fn,
+            task_list,
+            max_workers=effective_workers(max_workers, len(task_list)),
+            init_fn=init_fn,
+            payload=payload,
+            task_timeout=task_timeout,
+        )
+        try:
+            for outcome in stream:
+                yield _deliver(outcome, failure_mode)
+        finally:
+            stream.close()
+        return
+
+    # thread back end
     token = next(_RUN_TOKENS)
-    use_shared = executor == "thread" and shared_state is not _UNSET
+    use_shared = shared_state is not _UNSET
     if not use_shared and init_fn is None:
         raise ValidationError("map_with_state needs init_fn for pool executors")
-    pool_cls = (
-        concurrent.futures.ProcessPoolExecutor
-        if executor == "process"
-        else concurrent.futures.ThreadPoolExecutor
+    _WORKER_STATE[token] = shared_state if use_shared else init_fn(payload)
+    pool = concurrent.futures.ThreadPoolExecutor(
+        max_workers=effective_workers(max_workers, len(task_list))
     )
-    pool_kwargs: dict[str, Any] = {
-        "max_workers": effective_workers(max_workers, len(task_list))
-    }
-    if use_shared:
-        _WORKER_STATE[token] = shared_state
-    else:
-        pool_kwargs["initializer"] = _init_worker
-        pool_kwargs["initargs"] = (token, init_fn, payload)
-    pool = pool_cls(**pool_kwargs)
+    timed_out = False
     try:
         futures = [pool.submit(_run_task, token, task_fn, t) for t in task_list]
-        for f in futures:
-            yield f.result()
+        for index, future in enumerate(futures):
+            try:
+                yield (
+                    future.result()
+                    if task_timeout is None
+                    else future.result(timeout=task_timeout)
+                )
+            except concurrent.futures.TimeoutError:
+                timed_out = True
+                future.cancel()  # not started yet -> never runs
+                failure = TaskFailure(
+                    "timeout",
+                    f"task {index} exceeded the {task_timeout:.6g}s deadline "
+                    "(worker thread cannot be reclaimed)",
+                )
+                if failure_mode == "raise":
+                    raise TaskDeadlineExceeded(failure.message) from None
+                yield failure
     finally:
         # Abandoned mid-stream (interruption, strict-mode abort): drop the
-        # queued work instead of finishing it behind the caller's back.
-        pool.shutdown(wait=True, cancel_futures=True)
+        # queued work instead of finishing it behind the caller's back.  A
+        # pool with timed-out (stuck) threads cannot be waited on; release
+        # any chaos-injected hangs so interpreter shutdown is not stalled.
+        if timed_out:
+            chaos.release_hangs()
+            pool.shutdown(wait=False, cancel_futures=True)
+        else:
+            pool.shutdown(wait=True, cancel_futures=True)
         _WORKER_STATE.pop(token, None)  # thread workers share this module
 
 
@@ -173,6 +716,8 @@ def map_with_state(
     init_fn: Callable[[Any], Any] | None = None,
     payload: Any = None,
     shared_state: Any = _UNSET,
+    task_timeout: float | None = None,
+    failure_mode: str = "raise",
 ) -> list[Any]:
     """Run ``task_fn(state, *task)`` for every task and return results in task order.
 
@@ -197,6 +742,9 @@ def map_with_state(
         Ready-made state for the in-process back ends (``"serial"`` and
         ``"thread"``), short-circuiting the payload round trip.  Ignored by
         the process back end, which always decodes *payload* worker-side.
+    task_timeout / failure_mode:
+        Per-task deadline and crash/timeout reporting; see
+        :func:`imap_with_state`.
     """
     return list(
         imap_with_state(
@@ -207,5 +755,7 @@ def map_with_state(
             init_fn=init_fn,
             payload=payload,
             shared_state=shared_state,
+            task_timeout=task_timeout,
+            failure_mode=failure_mode,
         )
     )

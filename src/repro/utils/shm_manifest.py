@@ -1,0 +1,246 @@
+"""Per-run manifests of live shared-memory blocks, and the sweep that
+reclaims them after a crash.
+
+``multiprocessing.shared_memory`` blocks are kernel objects with no owner
+process: when a run that published problem arrays (:func:`repro.aco.runtime.
+publish_problem` / :func:`publish_packed`) is killed with ``SIGKILL`` the
+``finally`` blocks that would have unlinked them never run, and the segments
+stay allocated in ``/dev/shm`` until reboot.  At full-corpus scale a few
+killed runs can pin hundreds of megabytes.
+
+The fix is bookkeeping plus a sweeper:
+
+* every publish registers its block name in a small per-process manifest
+  file (``<manifest-dir>/run-<pid>-<token>.json``, rewritten atomically);
+  every unlink unregisters it, and a manifest with no blocks left is
+  deleted — so a run that shuts down cleanly leaves nothing behind;
+* :func:`sweep` scans the manifest directory for manifests whose owning
+  process is dead (or older than an explicit cutoff) and unlinks every
+  block they still list.  It runs automatically at the start of every CLI
+  experiment run and on demand via ``repro-dag clean``; ``repro-dag cache
+  prune --older-than`` sweeps aged manifests as part of cache maintenance.
+
+The manifest directory defaults to ``$TMPDIR/repro-shm-manifests`` (same
+host scope as the shm segments themselves) and can be overridden with
+``REPRO_SHM_MANIFEST_DIR`` — tests point it at a tmpdir so sweeps never
+touch another process's state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from pathlib import Path
+
+__all__ = [
+    "MANIFEST_DIR_ENV",
+    "SweepResult",
+    "manifest_dir",
+    "register",
+    "unregister",
+    "release_all",
+    "sweep",
+]
+
+#: Environment override for where run manifests live.
+MANIFEST_DIR_ENV = "REPRO_SHM_MANIFEST_DIR"
+
+#: Format marker inside every manifest file.
+MANIFEST_FORMAT = "repro-shm-manifest"
+
+#: This process's registered block names, in registration order.
+_REGISTERED: dict[str, None] = {}
+
+#: Lazily chosen manifest path; reset after fork (see :func:`_own_path`).
+_MANIFEST_PATH: Path | None = None
+_OWNER_PID: int | None = None
+_TOKEN = 0
+
+
+def manifest_dir() -> Path:
+    """Where run manifests live (``REPRO_SHM_MANIFEST_DIR`` or the tmpdir)."""
+    env = os.environ.get(MANIFEST_DIR_ENV, "").strip()
+    if env:
+        return Path(env)
+    return Path(tempfile.gettempdir()) / "repro-shm-manifests"
+
+
+def _ensure_owner() -> None:
+    """Reset inherited registry state in a forked child.
+
+    A forked worker inherits the parent's registered block names and
+    manifest path, but it owns neither: acting on them would let the child
+    clobber the parent's manifest or claim blocks it must not unlink.
+    """
+    global _MANIFEST_PATH, _OWNER_PID
+    pid = os.getpid()
+    if _OWNER_PID is None:
+        _OWNER_PID = pid
+    elif _OWNER_PID != pid:
+        _REGISTERED.clear()
+        _MANIFEST_PATH = None
+        _OWNER_PID = pid
+
+
+def _own_path() -> Path:
+    """This process's manifest file, minted lazily and re-minted after fork."""
+    global _MANIFEST_PATH, _TOKEN
+    _ensure_owner()
+    if _MANIFEST_PATH is None:
+        _TOKEN += 1
+        _MANIFEST_PATH = manifest_dir() / f"run-{os.getpid()}-{_TOKEN}.json"
+    return _MANIFEST_PATH
+
+
+def _write_manifest() -> None:
+    path = _own_path()
+    if not _REGISTERED:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return
+    path.parent.mkdir(parents=True, exist_ok=True)
+    record = {
+        "format": MANIFEST_FORMAT,
+        "pid": os.getpid(),
+        "created": time.time(),
+        "blocks": list(_REGISTERED),
+    }
+    tmp = path.with_suffix(".tmp")
+    try:
+        tmp.write_text(json.dumps(record), encoding="utf-8")
+        os.replace(tmp, path)
+    except OSError:
+        # Manifest writing is best-effort bookkeeping: a read-only tmpdir
+        # must not break the run it is trying to protect.
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+
+
+def register(name: str) -> None:
+    """Record *name* as a live block owned by this process."""
+    _ensure_owner()
+    _REGISTERED[name] = None
+    _write_manifest()
+
+
+def unregister(name: str) -> None:
+    """Drop *name* from this process's manifest (idempotent)."""
+    _ensure_owner()
+    if name in _REGISTERED:
+        del _REGISTERED[name]
+        _write_manifest()
+
+
+def _unlink_block(name: str) -> bool:
+    """Destroy the named block if it still exists; ``True`` when reclaimed."""
+    try:
+        block = shared_memory.SharedMemory(name=name)
+    except (FileNotFoundError, OSError):
+        return False
+    try:
+        block.unlink()
+    except (FileNotFoundError, OSError):
+        return False
+    finally:
+        try:
+            block.close()
+        except OSError:
+            pass
+    return True
+
+
+def release_all() -> int:
+    """Unlink every block this process still has registered (signal teardown).
+
+    The backstop for SIGINT/SIGTERM: the publishing code paths unlink their
+    blocks in ``finally`` clauses, but an interrupt that lands between
+    publish and cleanup leaves registrations behind — release them before
+    the process exits.  Returns the number of blocks reclaimed.
+    """
+    _ensure_owner()
+    reclaimed = 0
+    for name in list(_REGISTERED):
+        if _unlink_block(name):
+            reclaimed += 1
+        _REGISTERED.pop(name, None)
+    _write_manifest()
+    return reclaimed
+
+
+def _pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Outcome of one :func:`sweep` pass."""
+
+    manifests_removed: int
+    blocks_reclaimed: int
+
+
+def sweep(older_than_seconds: float | None = None, *, now: float | None = None) -> SweepResult:
+    """Reclaim shm blocks left behind by dead runs.
+
+    A manifest is swept when its owning pid is no longer alive, or — with
+    *older_than_seconds* — when it is older than the cutoff regardless of
+    pid liveness (pids recycle; an aged manifest from a long-gone run may
+    collide with an unrelated live process).  This process's own manifest
+    is never swept.  Entirely best-effort: unreadable manifests and blocks
+    that already vanished are skipped without error.
+    """
+    directory = manifest_dir()
+    if not directory.is_dir():
+        return SweepResult(manifests_removed=0, blocks_reclaimed=0)
+    now = now if now is not None else time.time()
+    own = _MANIFEST_PATH
+    manifests_removed = 0
+    blocks_reclaimed = 0
+    for path in sorted(directory.glob("run-*.json")):
+        if own is not None and path == own:
+            continue
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            continue
+        if not isinstance(record, dict) or record.get("format") != MANIFEST_FORMAT:
+            continue
+        try:
+            pid = int(record.get("pid", -1))
+            created = float(record.get("created", 0.0))
+        except (TypeError, ValueError):
+            continue
+        aged = older_than_seconds is not None and now - created > older_than_seconds
+        if _pid_alive(pid) and not aged:
+            continue
+        blocks = record.get("blocks")
+        if isinstance(blocks, list):
+            for name in blocks:
+                if isinstance(name, str) and _unlink_block(name):
+                    blocks_reclaimed += 1
+        try:
+            path.unlink()
+        except OSError:
+            continue
+        manifests_removed += 1
+    return SweepResult(
+        manifests_removed=manifests_removed, blocks_reclaimed=blocks_reclaimed
+    )

@@ -270,8 +270,9 @@ class TestCacheMaintenance:
 
     def test_prune_by_size_evicts_oldest_first(self, tmp_path):
         cache = self._fill(tmp_path, ages=(300, 200, 100))
-        entry_bytes = cache.stats().total_bytes // 3
-        result = cache.prune(max_size_bytes=entry_bytes + 1)
+        # A budget of one (largest) entry keeps exactly the newest file.
+        largest = max(p.stat().st_size for p in tmp_path.glob("??/*.json"))
+        result = cache.prune(max_size_bytes=largest)
         assert result.removed == 2
         # The newest entry (age 100 s) survives the size squeeze.
         import time as time_module
