@@ -748,7 +748,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_clean.set_defaults(func=_cmd_clean)
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="static invariant checks (determinism, signal-safety, shm, kernel contract)",
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(p_lint)
+    p_lint.set_defaults(func=_cmd_lint)
+
     return parser
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Imported lazily: the linter is stdlib-only and must stay importable in
+    # minimal environments, and normal CLI runs never pay for it.
+    from repro.lint.cli import run as run_lint_cli
+
+    return run_lint_cli(args)
 
 
 def main(argv: Sequence[str] | None = None) -> int:

@@ -34,7 +34,7 @@ from __future__ import annotations
 import json
 from dataclasses import asdict
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping, TextIO
 
 import repro
 from repro.experiments.cache import content_digest
@@ -115,7 +115,7 @@ class RunJournal:
     def __init__(self, directory: str | Path) -> None:
         self.directory = Path(directory)
         self.path = self.directory / "journal.jsonl"
-        self._handle = None
+        self._handle: TextIO | None = None
         self._stale = False
         #: Corrupt lines quarantined by the most recent :meth:`load`.
         self.quarantined = 0
@@ -204,7 +204,7 @@ class RunJournal:
     # writing
     # ------------------------------------------------------------------ #
 
-    def _open(self):
+    def _open(self) -> TextIO:
         if self._handle is None:
             self.directory.mkdir(parents=True, exist_ok=True)
             fresh = self._stale or not self.path.exists()
@@ -250,5 +250,5 @@ class RunJournal:
     def __enter__(self) -> "RunJournal":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()

@@ -1,0 +1,34 @@
+"""Static invariant checks for the repro-dag codebase (``repro-dag lint``).
+
+See :mod:`repro.lint.core` for the engine, :mod:`repro.lint.rules` for the
+five project rules (RPL001–RPL005), and :mod:`repro.lint.baseline` for the
+grandfathered-findings file format.
+"""
+
+from repro.lint.baseline import Baseline, write_baseline
+from repro.lint.core import (
+    Finding,
+    LintModule,
+    LintReport,
+    Project,
+    Rule,
+    collect_files,
+    parse_module,
+    run_lint,
+)
+from repro.lint.rules import ALL_RULES, rule_by_code
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "Finding",
+    "LintModule",
+    "LintReport",
+    "Project",
+    "Rule",
+    "collect_files",
+    "parse_module",
+    "rule_by_code",
+    "run_lint",
+    "write_baseline",
+]

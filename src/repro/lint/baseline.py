@@ -1,0 +1,116 @@
+"""Baseline file support: grandfather existing findings without hiding new ones.
+
+The baseline is a checked-in JSON document listing findings that predate the
+linter (or are individually justified).  Entries are keyed by a *content
+fingerprint* — SHA-256 over ``code``, ``path``, and the stripped text of the
+offending source line — never by line number, so edits elsewhere in a file
+do not invalidate them.  Identical lines are disambiguated by count: three
+matching entries absorb at most three matching findings.
+
+Matching *consumes* entries, so a finding that appears twice while the
+baseline lists it once still fails the build, and entries whose finding was
+fixed show up as "stale" (and are dropped on ``--update-baseline``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint.core import Finding, LintModule
+
+__all__ = ["Baseline", "fingerprint", "write_baseline"]
+
+BASELINE_FORMAT = "repro-lint-baseline"
+BASELINE_VERSION = 1
+
+
+def fingerprint(finding: Finding, line_text: str) -> str:
+    """Line-number-independent identity of a finding."""
+    material = "\x1f".join([finding.code, finding.path, line_text.strip()])
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:20]
+
+
+@dataclass
+class Baseline:
+    """Loaded baseline entries, consumed as findings match them."""
+
+    path: Path | None = None
+    #: (code, path, fingerprint) -> remaining allowance.
+    entries: Counter = field(default_factory=Counter)
+    #: Free-form per-entry notes, kept so --update-baseline preserves them.
+    notes: dict = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("format") != BASELINE_FORMAT:
+            raise ValueError(f"{path} is not a {BASELINE_FORMAT} file")
+        baseline = cls(path=path)
+        for entry in data.get("findings", []):
+            key = (entry["code"], entry["path"], entry["fingerprint"])
+            baseline.entries[key] += int(entry.get("count", 1))
+            if entry.get("note"):
+                baseline.notes[key] = entry["note"]
+        return baseline
+
+    def consume(self, finding: Finding, module: LintModule | None) -> bool:
+        """True (and decrement the allowance) if *finding* is baselined."""
+        line_text = module.line_text(finding.line) if module is not None else ""
+        key = (finding.code, finding.path, fingerprint(finding, line_text))
+        if self.entries.get(key, 0) > 0:
+            self.entries[key] -= 1
+            return True
+        return False
+
+    def unconsumed(self) -> int:
+        """Entries whose finding no longer exists (candidates for removal)."""
+        return sum(count for count in self.entries.values() if count > 0)
+
+
+def write_baseline(
+    path: Path,
+    findings: Iterable[Finding],
+    modules: dict[str, LintModule],
+    notes: dict | None = None,
+) -> int:
+    """Serialize *findings* as the new baseline; returns the entry count.
+
+    Findings on the same (code, path, line-text) collapse into one entry
+    with a count, keeping the file small and diff-stable.
+    """
+    notes = notes or {}
+    counts: Counter = Counter()
+    meta: dict = {}
+    for finding in findings:
+        module = modules.get(finding.path)
+        line_text = module.line_text(finding.line) if module is not None else ""
+        key = (finding.code, finding.path, fingerprint(finding, line_text))
+        counts[key] += 1
+        meta.setdefault(key, (finding.message, line_text.strip()))
+    entries = []
+    for key in sorted(counts):
+        code, rel, digest = key
+        message, line_text = meta[key]
+        entry = {
+            "code": code,
+            "path": rel,
+            "fingerprint": digest,
+            "count": counts[key],
+            "line": line_text,
+            "message": message,
+        }
+        if key in notes:
+            entry["note"] = notes[key]
+        entries.append(entry)
+    document = {
+        "format": BASELINE_FORMAT,
+        "version": BASELINE_VERSION,
+        "findings": entries,
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return len(entries)

@@ -1,0 +1,150 @@
+"""Command-line front end shared by ``repro-dag lint`` and ``python -m repro.lint``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.baseline import Baseline, write_baseline
+from repro.lint.core import collect_files, parse_module, run_lint
+from repro.lint.rules import ALL_RULES
+
+__all__ = ["add_lint_arguments", "main", "run"]
+
+#: Default target directories, filtered to the ones that exist under cwd.
+DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples")
+
+#: Conventional baseline location, picked up automatically when present.
+DEFAULT_BASELINE = ".repro-lint-baseline.json"
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to *parser* (shared with repro.cli)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=(
+            "files or directories to lint (default: "
+            + " ".join(DEFAULT_PATHS)
+            + ", whichever exist)"
+        ),
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=f"baseline file of grandfathered findings (default: {DEFAULT_BASELINE} if present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline file from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule codes and descriptions, then exit",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="print findings only, no summary line",
+    )
+
+
+def _resolve_paths(paths: Sequence[str], root: Path) -> list[str]:
+    if paths:
+        return list(paths)
+    found = [name for name in DEFAULT_PATHS if (root / name).exists()]
+    return found or ["."]
+
+
+def run(args: argparse.Namespace, *, root: Path | None = None) -> int:
+    """Execute a lint run from parsed arguments; returns the exit code."""
+    root = (root if root is not None else Path.cwd()).resolve()
+    out = sys.stdout
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code}  {rule.name}: {rule.description}", file=out)
+        return 0
+
+    paths = _resolve_paths(args.paths, root)
+
+    baseline_path: Path | None = None
+    if not args.no_baseline:
+        if args.baseline is not None:
+            baseline_path = Path(args.baseline)
+            if not baseline_path.is_absolute():
+                baseline_path = root / baseline_path
+        elif (root / DEFAULT_BASELINE).exists() or args.update_baseline:
+            baseline_path = root / DEFAULT_BASELINE
+
+    if args.update_baseline:
+        if baseline_path is None:
+            print("lint: --update-baseline requires a baseline path", file=sys.stderr)
+            return 2
+        # Keep inline suppressions effective while rebuilding the baseline:
+        # only unsuppressed findings are grandfathered.
+        notes: dict = {}
+        if baseline_path.exists():
+            notes = Baseline.load(baseline_path).notes
+        report = run_lint(paths, baseline=None, root=root)
+        modules = {
+            rel: parse_module(path, rel) for path, rel in collect_files(paths, root=root)
+        }
+        count = write_baseline(baseline_path, report.findings, modules, notes=notes)
+        if not args.quiet:
+            print(
+                f"lint: wrote {count} baseline entr{'y' if count == 1 else 'ies'} "
+                f"to {baseline_path}",
+                file=out,
+            )
+        return 0
+
+    baseline = None
+    if baseline_path is not None and baseline_path.exists():
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (ValueError, KeyError, OSError) as exc:
+            print(f"lint: cannot read baseline {baseline_path}: {exc}", file=sys.stderr)
+            return 2
+
+    report = run_lint(paths, baseline=baseline, root=root)
+    for finding in report.findings:
+        print(finding.render(), file=out)
+    if not args.quiet:
+        bits = [
+            f"{len(report.findings)} finding{'s' if len(report.findings) != 1 else ''}",
+            f"{report.files_checked} files",
+        ]
+        if report.suppressed:
+            bits.append(f"{len(report.suppressed)} suppressed")
+        if report.baselined:
+            bits.append(f"{len(report.baselined)} baselined")
+        if report.stale_baseline:
+            bits.append(f"{report.stale_baseline} stale baseline entries (run --update-baseline)")
+        print("lint: " + ", ".join(bits), file=out)
+    return 0 if report.ok else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="Static invariant checks for the repro-dag codebase.",
+    )
+    add_lint_arguments(parser)
+    args = parser.parse_args(argv)
+    return run(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m
+    raise SystemExit(main())

@@ -1,0 +1,314 @@
+"""Rule engine of ``repro-dag lint``: modules, findings, suppressions.
+
+The engine is deliberately stdlib-only (``ast`` + ``re``): it must run in
+minimal CI jobs and inside pre-commit hooks without the scientific stack.
+
+A lint run is::
+
+    files   -> LintModule (parsed source + suppression table)
+    modules -> Project    (cross-file view for contract rules)
+    rules   -> Finding    (code, message, location)
+    report  -> findings partitioned into actionable / suppressed / baselined
+
+Two rule granularities exist because the invariants do:
+
+* :meth:`Rule.check_module` sees one parsed file — enough for determinism,
+  signal-safety, shm-lifecycle and payload rules;
+* :meth:`Rule.check_project` sees every parsed file at once — required by
+  the kernel-contract rule, which cross-checks the C ``argtypes`` tuple in
+  ``aco/_native.py`` against the Python signatures in ``aco/kernels.py``.
+
+Suppressions are inline comments::
+
+    something_noisy()  # repro-lint: disable=RPL001 -- justification
+    # repro-lint: disable=RPL003 -- applies to the next line
+    publish_problem(problem)
+
+and ``# repro-lint: disable-file=RPL001`` anywhere in a file silences the
+code for the whole file.  Grandfathered findings live in a baseline file
+(:mod:`repro.lint.baseline`) keyed by line *content*, not line numbers, so
+unrelated edits above a finding do not invalidate the baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Sequence
+
+__all__ = [
+    "Finding",
+    "LintModule",
+    "LintReport",
+    "Project",
+    "Rule",
+    "collect_files",
+    "dotted_name",
+    "parse_module",
+    "run_lint",
+]
+
+#: Inline suppression: ``# repro-lint: disable=RPL001[,RPL003] [-- reason]``.
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Z0-9_,\s]+)")
+
+#: File-wide suppression: ``# repro-lint: disable-file=RPL001``.
+_SUPPRESS_FILE_RE = re.compile(r"#\s*repro-lint:\s*disable-file=([A-Z0-9_,\s]+)")
+
+#: Directory names never descended into when expanding path arguments.
+_SKIP_DIRS = {"__pycache__", ".git", ".ruff_cache", ".mypy_cache", "build", "dist"}
+
+#: The code used for files that do not parse at all.
+PARSE_ERROR_CODE = "RPL000"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str
+    message: str
+    path: str  # posix-style path as given/relativized by the runner
+    line: int
+    col: int = 0
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def _parse_codes(raw: str) -> set[str]:
+    return {part.strip() for part in raw.split(",") if part.strip()}
+
+
+@dataclass
+class LintModule:
+    """One parsed source file plus its suppression table."""
+
+    path: Path
+    rel: str
+    source: str
+    lines: list[str]
+    tree: ast.Module | None
+    parse_error: str | None
+    parse_error_line: int
+    #: Codes suppressed on specific physical lines (1-based).
+    line_suppressions: dict[int, set[str]]
+    #: Codes suppressed for the whole file.
+    file_suppressions: set[str]
+
+    def line_text(self, line: int) -> str:
+        """The physical source line (1-based); empty for out-of-range."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """Whether an inline or file-wide comment silences *finding*.
+
+        A suppression comment counts when it sits on the finding's own line
+        or on a comment-only line directly above it.
+        """
+        if finding.code in self.file_suppressions:
+            return True
+        codes = self.line_suppressions.get(finding.line, set())
+        if finding.code in codes:
+            return True
+        above = self.line_text(finding.line - 1).strip()
+        if above.startswith("#"):
+            return finding.code in self.line_suppressions.get(finding.line - 1, set())
+        return False
+
+
+def parse_module(path: Path, rel: str) -> LintModule:
+    """Read and parse one file; a syntax error becomes a reportable state."""
+    source = path.read_text(encoding="utf-8", errors="replace")
+    lines = source.splitlines()
+    line_suppressions: dict[int, set[str]] = {}
+    file_suppressions: set[str] = set()
+    for number, text in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match:
+            line_suppressions[number] = _parse_codes(match.group(1))
+        match = _SUPPRESS_FILE_RE.search(text)
+        if match:
+            file_suppressions |= _parse_codes(match.group(1))
+    tree: ast.Module | None = None
+    parse_error: str | None = None
+    parse_error_line = 1
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        parse_error = f"file does not parse: {exc.msg}"
+        parse_error_line = exc.lineno or 1
+    return LintModule(
+        path=path,
+        rel=rel,
+        source=source,
+        lines=lines,
+        tree=tree,
+        parse_error=parse_error,
+        parse_error_line=parse_error_line,
+        line_suppressions=line_suppressions,
+        file_suppressions=file_suppressions,
+    )
+
+
+@dataclass
+class Project:
+    """The cross-file view handed to every rule."""
+
+    modules: list[LintModule]
+
+    def find_suffix(self, suffix: str) -> LintModule | None:
+        """The module whose path ends with *suffix* (posix), or ``None``."""
+        for module in self.modules:
+            if module.rel.endswith(suffix) or module.path.as_posix().endswith(suffix):
+                return module
+        return None
+
+
+class Rule:
+    """Base class: one invariant, one ``RPLxxx`` code.
+
+    Subclasses override :meth:`check_module` (per-file invariants) and/or
+    :meth:`check_project` (cross-file contracts).  Rules must be pure
+    functions of the parsed sources — no filesystem access, no imports of
+    the linted code — so the linter can run on broken trees.
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check_module(self, module: LintModule, project: Project) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        return iter(())
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain; ``None`` for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def collect_files(paths: Sequence[str | Path], root: Path | None = None) -> list[tuple[Path, str]]:
+    """Expand path arguments into ``(absolute path, display path)`` pairs.
+
+    Directories are walked recursively for ``*.py`` (skipping caches, VCS
+    and build directories); explicit file arguments are taken as-is.  The
+    display path is relative to *root* when the file sits under it, which is
+    what keeps baseline entries stable across machines.
+    """
+    root = (root if root is not None else Path.cwd()).resolve()
+    seen: set[Path] = set()
+    collected: list[tuple[Path, str]] = []
+
+    def display(path: Path) -> str:
+        try:
+            return path.relative_to(root).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    def add(path: Path) -> None:
+        resolved = path.resolve()
+        if resolved in seen:
+            return
+        seen.add(resolved)
+        collected.append((resolved, display(resolved)))
+
+    for raw in paths:
+        path = Path(raw)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if any(part in _SKIP_DIRS or part.startswith(".") for part in sub.parts):
+                    continue
+                add(sub)
+        elif path.suffix == ".py" and path.exists():
+            add(path)
+    collected.sort(key=lambda pair: pair[1])
+    return collected
+
+
+@dataclass
+class LintReport:
+    """Partitioned outcome of one lint run."""
+
+    #: Actionable findings: not suppressed inline, not in the baseline.
+    findings: list[Finding] = field(default_factory=list)
+    #: Findings silenced by inline/file suppression comments.
+    suppressed: list[Finding] = field(default_factory=list)
+    #: Findings matched (and consumed) by baseline entries.
+    baselined: list[Finding] = field(default_factory=list)
+    #: Baseline entries that no longer match anything (fixed or moved).
+    stale_baseline: int = 0
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    *,
+    rules: Sequence[Rule] | None = None,
+    baseline: "object | None" = None,
+    root: Path | None = None,
+) -> LintReport:
+    """Lint *paths* and return the partitioned report.
+
+    *baseline* is a :class:`repro.lint.baseline.Baseline` (duck-typed here
+    to keep the engine import-light); ``None`` means every finding is
+    actionable.
+    """
+    if rules is None:
+        from repro.lint.rules import ALL_RULES
+
+        rules = ALL_RULES
+    files = collect_files(paths, root=root)
+    modules = [parse_module(path, rel) for path, rel in files]
+    project = Project(modules=modules)
+    by_rel = {module.rel: module for module in modules}
+
+    raw: list[Finding] = []
+    for module in modules:
+        if module.parse_error is not None:
+            raw.append(
+                Finding(
+                    code=PARSE_ERROR_CODE,
+                    message=module.parse_error,
+                    path=module.rel,
+                    line=module.parse_error_line,
+                )
+            )
+            continue
+        for rule in rules:
+            raw.extend(rule.check_module(module, project))
+    for rule in rules:
+        raw.extend(rule.check_project(project))
+    raw.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+
+    report = LintReport(files_checked=len(modules))
+    for finding in raw:
+        module = by_rel.get(finding.path)
+        if module is not None and module.is_suppressed(finding):
+            report.suppressed.append(finding)
+            continue
+        if baseline is not None and baseline.consume(finding, module):
+            report.baselined.append(finding)
+            continue
+        report.findings.append(finding)
+    if baseline is not None:
+        report.stale_baseline = baseline.unconsumed()
+    return report

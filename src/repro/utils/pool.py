@@ -213,7 +213,7 @@ _ALARM_PID: int | None = None
 _ALARM_IDLE_LIMIT = 8
 
 
-def _on_alarm(signum, frame) -> None:
+def _on_alarm(signum: int, frame: object) -> None:
     global _ALARM_DEADLINE, _ALARM_TICK, _ALARM_IDLE_TICKS
     if _ALARM_DEADLINE is not None:
         _ALARM_IDLE_TICKS = 0
