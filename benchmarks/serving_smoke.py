@@ -1,0 +1,127 @@
+"""CI smoke for the layout service (no thresholds, loud failures).
+
+Boots the real ``repro-dag serve`` process and asserts the serving
+contract end to end:
+
+* ~50 mixed requests (AntColony + builtin methods over a handful of tiny
+  DAGs) driven through the open-loop load generator all answer ``200``;
+* a second pass over the same AntColony requests is answered from the
+  two-layer cache (``cached: true`` with identical metric tables);
+* SIGTERM drains the server cleanly — the process exits ``0``.
+
+Run from the repository root: ``python benchmarks/serving_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import urllib.request
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.serving.loadgen import run_load_sync  # noqa: E402
+
+FAST_ACO = {"n_ants": 2, "n_tours": 2, "seed": 0}
+
+
+def chain_graph(n: int) -> dict:
+    edges = [[v, v + 1] for v in range(n - 1)]
+    edges.append([0, n - 1])
+    return {"edges": edges}
+
+
+def payload_mix() -> list[dict]:
+    """Ten distinct requests: eight AntColony graphs plus two builtins."""
+    payloads = [
+        {
+            "graph": chain_graph(4 + i),
+            "method": "AntColony",
+            "aco": dict(FAST_ACO),
+            "name": f"smoke-{i}",
+        }
+        for i in range(8)
+    ]
+    payloads.append({"graph": chain_graph(6), "method": "LPL", "name": "smoke-lpl"})
+    payloads.append(
+        {"graph": chain_graph(7), "method": "MinWidth", "name": "smoke-minwidth"}
+    )
+    return payloads
+
+
+def request(port: int, payload: dict) -> dict:
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}/layer",
+        data=json.dumps(payload).encode(),
+        headers={"content-type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=60) as resp:
+        return json.loads(resp.read().decode())
+
+
+def main() -> None:
+    env = dict(os.environ)
+    env.setdefault("PYTHONPATH", "src")
+    env.pop("REPRO_CHAOS", None)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        announce = proc.stdout.readline().strip()
+        match = re.search(r"http://127\.0\.0\.1:(\d+)$", announce)
+        if not match:
+            raise SystemExit(f"bad announce line: {announce!r}")
+        port = int(match.group(1))
+
+        payloads = payload_mix()
+        report = run_load_sync(
+            "127.0.0.1", port, payloads, total=50, rate_per_s=25.0, timeout_s=60.0
+        )
+        summary = report.as_dict()
+        if report.connect_errors or summary["by_status"] != {"200": 50}:
+            raise SystemExit(f"load pass not all 200s: {summary}")
+        print(
+            "load pass OK: %.1f req/s, p50 %.1f ms, p99 %.1f ms"
+            % (
+                summary["requests_per_s"],
+                summary["latency_ms"]["p50"],
+                summary["latency_ms"]["p99"],
+            )
+        )
+
+        # Second pass: every AntColony repeat must be a cache hit with the
+        # same metric table it computed the first time.
+        for payload in payloads[:8]:
+            first = request(port, payload)
+            if not first.get("cached"):
+                raise SystemExit(f"{payload['name']}: repeat not served from cache")
+            again = request(port, payload)
+            if again["metrics"] != first["metrics"]:
+                raise SystemExit(f"{payload['name']}: cached metrics diverged")
+        print("cache pass OK: 8/8 repeats served from the two-layer cache")
+
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=60)
+        if code != 0:
+            raise SystemExit(f"SIGTERM drain exited {code}, expected 0")
+        print("drain OK: SIGTERM -> exit 0")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        sys.stderr.write(proc.stderr.read())
+        proc.stdout.close()
+        proc.stderr.close()
+
+    print("serving smoke passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -26,6 +26,11 @@ Installed as the ``repro-dag`` console script (also reachable via
     Reclaim shared-memory blocks leaked by killed runs (sweeps the per-run
     shm manifests; also runs automatically at the start of every
     experiment run).
+``serve``
+    Run the layout service (:mod:`repro.serving`): an HTTP/JSON front end
+    that answers repeat requests from the result cache, coalesces
+    concurrent misses into cross-graph megabatches, sheds load beyond a
+    bounded queue (429), and drains gracefully on SIGTERM.
 
 The experiment sub-commands (``compare``, ``figures``, ``tune``) dispatch
 their (graph × algorithm) cells through the shared experiment engine
@@ -622,6 +627,27 @@ def _cmd_clean(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported lazily so plain CLI runs never pay for the serving stack.
+    from repro.serving import ServeConfig, serve
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        batch_window_s=args.batch_window,
+        batch_size=args.batch_size,
+        max_queue=args.max_queue,
+        request_timeout_s=args.timeout,
+        crash_retries=args.crash_retries,
+        drain_timeout_s=args.drain_timeout,
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        prewarm=not args.no_prewarm,
+        exit_on_drain_timeout=True,
+    )
+    return serve(config)
+
+
 def _cmd_corpus(args: argparse.Namespace) -> int:
     out_dir = Path(args.output_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -747,6 +773,56 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_clean.set_defaults(func=_cmd_clean)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the layout service (HTTP/JSON, megabatching, graceful drain)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    p_serve.add_argument(
+        "--port", type=int, default=8377, help="TCP port; 0 binds an ephemeral port (default 8377)"
+    )
+    p_serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.02,
+        help="seconds to wait for concurrent misses to coalesce (default 0.02)",
+    )
+    p_serve.add_argument(
+        "--batch-size", type=int, default=128, help="megabatch pack size cap (default 128)"
+    )
+    p_serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        help="admission bound; queued requests beyond this get 429 (default 256)",
+    )
+    p_serve.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="default per-request budget in seconds (default 30)",
+    )
+    p_serve.add_argument(
+        "--crash-retries",
+        type=int,
+        default=1,
+        help="bounded re-runs of crash-kind cell failures (default 1)",
+    )
+    p_serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="SIGTERM grace window before the hard-kill fallback (default 10)",
+    )
+    p_serve.add_argument("--cache-dir", help="result-cache directory shared with CLI runs")
+    p_serve.add_argument("--jobs", type=int, help="engine worker cap (default: REPRO_JOBS/CPUs)")
+    p_serve.add_argument(
+        "--no-prewarm",
+        action="store_true",
+        help="skip the packed-runtime warm-up before reporting ready",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_lint = sub.add_parser(
         "lint",

@@ -217,16 +217,25 @@ class ResultCache:
 
         Non-destructive on purpose: the bytes stay available for post-mortem
         inspection, but they are out of the lookup path so every future read
-        of the key is an honest miss.  Best-effort — a concurrent reader may
-        quarantine the same file first.
+        of the key is an honest miss.  Concurrency-safe: the move is one
+        atomic ``os.replace``; a source that vanished means a concurrent
+        reader quarantined (or a prune evicted) the same file first, and a
+        ``corrupt/`` directory swept from under us by a concurrent
+        ``prune --older-than`` is recreated and the move retried.
         """
         target = self.quarantine_dir / path.name
-        try:
-            target.parent.mkdir(parents=True, exist_ok=True)
-            os.replace(path, target)
-        except OSError:
+        for _ in range(3):
+            try:
+                target.parent.mkdir(parents=True, exist_ok=True)
+                os.replace(path, target)
+            except FileNotFoundError:
+                if not path.exists():
+                    return  # another process moved/removed it first
+                continue  # quarantine dir pruned from under us: re-create it
+            except OSError:
+                return
+            self._quarantined += 1
             return
-        self._quarantined += 1
 
     def _remember(self, key: str, cell: CachedCell) -> None:
         if self.memory_entries == 0:
@@ -371,26 +380,37 @@ class ResultCache:
     def _scan(self) -> list[tuple[Path, int, float]]:
         """``(path, size, mtime)`` for every entry file; vanished files skipped."""
         entries: list[tuple[Path, int, float]] = []
-        for path in self.directory.glob("??/*.json"):
-            try:
-                stat = path.stat()
-            except OSError:
-                continue  # concurrently pruned by another process
-            entries.append((path, stat.st_size, stat.st_mtime))
+        try:
+            for path in self.directory.glob("??/*.json"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue  # concurrently pruned by another process
+                entries.append((path, stat.st_size, stat.st_mtime))
+        except OSError:
+            pass  # a shard swept mid-walk: report what was seen
         return entries
 
     def _scan_quarantine(self) -> list[tuple[Path, int, float]]:
-        """``(path, size, mtime)`` for every quarantined file."""
+        """``(path, size, mtime)`` for every quarantined file.
+
+        Tolerates the directory being swept by a concurrent prune while we
+        iterate it (``iterdir`` lists lazily, so the deletion can land
+        mid-iteration, not just before the ``is_dir`` check).
+        """
         entries: list[tuple[Path, int, float]] = []
         if not self.quarantine_dir.is_dir():
             return entries
-        for path in self.quarantine_dir.iterdir():
-            try:
-                stat = path.stat()
-            except OSError:
-                continue
-            if path.is_file():
-                entries.append((path, stat.st_size, stat.st_mtime))
+        try:
+            for path in self.quarantine_dir.iterdir():
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                if path.is_file():
+                    entries.append((path, stat.st_size, stat.st_mtime))
+        except OSError:
+            pass  # quarantine dir removed from under the iteration
         return entries
 
     def stats(self) -> CacheStats:

@@ -1,4 +1,4 @@
-"""The five project-specific invariant rules behind ``repro-dag lint``.
+"""The six project-specific invariant rules behind ``repro-dag lint``.
 
 Each rule statically enforces an invariant the test suite can only catch
 after the fact:
@@ -19,6 +19,11 @@ after the fact:
   ``map_with_state`` / ``imap_with_state`` must be picklable by
   construction: no lambdas, nested functions, locks, open handles, or shm
   views.
+* **RPL006** async-safety — ``async def`` bodies (the serving front end's
+  event loop) must not make blocking calls: ``time.sleep``, synchronous
+  ``open``/``Path.read_text``-style file I/O, ``subprocess`` invocations,
+  or un-awaited ``.acquire()`` without a timeout all stall every request
+  on the loop; use ``await asyncio.sleep`` / ``run_in_executor`` instead.
 
 Rules work purely on the AST; name resolution is intentionally lexical
 (dotted-name pattern matching plus per-function assignment tracking), which
@@ -36,6 +41,7 @@ from repro.lint.core import Finding, LintModule, Project, Rule, dotted_name
 
 __all__ = [
     "ALL_RULES",
+    "AsyncSafetyRule",
     "DeterminismRule",
     "KernelContractRule",
     "PayloadRule",
@@ -1093,12 +1099,120 @@ class PayloadRule(Rule):
         yield from scan(payload, False)
 
 
+# ---------------------------------------------------------------------------
+# RPL006 — async safety
+# ---------------------------------------------------------------------------
+
+#: Dotted-name calls that block the calling thread outright.  Inside an
+#: ``async def`` they stall the whole event loop — every open connection,
+#: every pending response — for their full duration.
+_BLOCKING_CALLS: dict[str, str] = {
+    "time.sleep": "use `await asyncio.sleep(...)`",
+    "open": "do file I/O before entering the loop or via run_in_executor",
+    "input": "the loop thread must never wait on a terminal read",
+    "subprocess.run": "use `await asyncio.create_subprocess_exec(...)`",
+    "subprocess.call": "use `await asyncio.create_subprocess_exec(...)`",
+    "subprocess.check_call": "use `await asyncio.create_subprocess_exec(...)`",
+    "subprocess.check_output": "use `await asyncio.create_subprocess_exec(...)`",
+    "os.system": "use `await asyncio.create_subprocess_shell(...)`",
+    "socket.create_connection": "use `await asyncio.open_connection(...)`",
+}
+
+#: Blocking *method* suffixes: flagged on any receiver, because the
+#: receiver's type is unknowable lexically and every stdlib bearer of the
+#: name (file handles, Path objects, sync sockets) blocks.
+_BLOCKING_METHOD_TAILS: dict[str, str] = {
+    "read_text": "read the file before entering the loop or via run_in_executor",
+    "read_bytes": "read the file before entering the loop or via run_in_executor",
+    "write_text": "write the file via run_in_executor",
+    "write_bytes": "write the file via run_in_executor",
+}
+
+
+class AsyncSafetyRule(Rule):
+    code = "RPL006"
+    name = "async-safety"
+    description = (
+        "async def bodies must not block the event loop: no time.sleep, sync "
+        "file I/O, subprocess calls, or un-awaited .acquire() without timeout"
+    )
+
+    def check_module(self, module: LintModule, project: Project) -> Iterator[Finding]:
+        tree = module.tree
+        assert tree is not None
+        for node in ast.walk(tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_async_body(module, node)
+
+    def _check_async_body(
+        self, module: LintModule, fn: ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        # Nested defs/lambdas run on their own call stacks (often handed to
+        # run_in_executor precisely to get blocking work off the loop), so
+        # the walk stays within this coroutine's own body.
+        awaited: set[int] = set()
+        for sub in _walk_no_nested_functions(fn):
+            if isinstance(sub, ast.Await) and isinstance(sub.value, ast.Call):
+                awaited.add(id(sub.value))
+        for sub in _walk_no_nested_functions(fn):
+            if not isinstance(sub, ast.Call):
+                continue
+            name = dotted_name(sub.func)
+            if name is None:
+                continue
+            if name in _BLOCKING_CALLS:
+                yield self._finding(
+                    module, sub, fn.name, name, _BLOCKING_CALLS[name]
+                )
+                continue
+            tail = name.rsplit(".", 1)[-1]
+            if "." in name and tail in _BLOCKING_METHOD_TAILS:
+                yield self._finding(
+                    module, sub, fn.name, name, _BLOCKING_METHOD_TAILS[tail]
+                )
+                continue
+            if (
+                name.endswith(".acquire")
+                and id(sub) not in awaited  # `await lock.acquire()` is asyncio
+                and not sub.args
+                and not any(kw.arg == "timeout" for kw in sub.keywords)
+            ):
+                yield self._finding(
+                    module,
+                    sub,
+                    fn.name,
+                    name,
+                    "an unbounded lock acquisition parks the loop thread; "
+                    "pass a timeout or use an asyncio.Lock",
+                )
+
+    def _finding(
+        self,
+        module: LintModule,
+        node: ast.Call,
+        fn_name: str,
+        call_name: str,
+        fix: str,
+    ) -> Finding:
+        return Finding(
+            code=self.code,
+            message=(
+                f"blocking call {call_name}(...) inside async def {fn_name!r} "
+                f"stalls the event loop; {fix}"
+            ),
+            path=module.rel,
+            line=node.lineno,
+            col=node.col_offset,
+        )
+
+
 ALL_RULES: tuple[Rule, ...] = (
     DeterminismRule(),
     SignalSafetyRule(),
     ShmLifecycleRule(),
     KernelContractRule(),
     PayloadRule(),
+    AsyncSafetyRule(),
 )
 
 

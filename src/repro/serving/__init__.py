@@ -1,0 +1,13 @@
+"""Layout-as-a-service: the ``repro-dag serve`` subsystem.
+
+An asyncio HTTP/JSON front end (:mod:`repro.serving.server`) that answers
+repeat layering requests from the two-layer result cache and coalesces
+concurrent misses into cross-graph megabatches via the experiment engine's
+``"batched"`` executor, plus the minimal HTTP plumbing
+(:mod:`repro.serving.http`) and an open-loop load generator
+(:mod:`repro.serving.loadgen`).
+"""
+
+from repro.serving.server import LayoutServer, ServeConfig, build_unit, serve
+
+__all__ = ["LayoutServer", "ServeConfig", "build_unit", "serve"]

@@ -1,0 +1,166 @@
+"""A minimal HTTP/1.1 layer over asyncio streams.
+
+Just enough protocol for the layout service: request-line + header parsing,
+``Content-Length`` bodies, keep-alive by default, JSON responses.  No
+chunked encoding, no TLS, no multipart — callers that need a real edge put
+a reverse proxy in front.  Kept separate from the server so the protocol
+plumbing can be unit-tested without a running service and reused by the
+load generator's client side.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "REASONS",
+    "read_request",
+    "response_bytes",
+]
+
+#: Reason phrases for every status the service emits.
+REASONS: dict[int, str] = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Upper bound on the request head (request line + headers) in bytes.
+MAX_HEAD_BYTES = 32 * 1024
+
+#: Default upper bound on request bodies (an ~100k-vertex graph JSON).
+DEFAULT_MAX_BODY_BYTES = 32 * 1024 * 1024
+
+
+class HttpError(Exception):
+    """A protocol-level request defect, carrying the status to answer with."""
+
+    def __init__(self, status: int, detail: str) -> None:
+        super().__init__(detail)
+        self.status = status
+        self.detail = detail
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, path, lower-cased headers, raw body."""
+
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def wants_close(self) -> bool:
+        """Whether the client asked to drop the connection after the response."""
+        return self.headers.get("connection", "").lower() == "close"
+
+    def json(self) -> Any:
+        """Decode the body as JSON (:class:`HttpError` 400 on garbage)."""
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}") from exc
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    *,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+) -> HttpRequest | None:
+    """Parse one request off *reader*.
+
+    Returns ``None`` when the peer closed the connection cleanly before
+    sending a request line (the keep-alive idle case); raises
+    :class:`HttpError` on malformed input, which the caller answers and
+    then closes on.
+    """
+    try:
+        request_line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "truncated request line") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(400, "request line too long") from exc
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line {request_line!r}")
+    method, path, _version = parts
+
+    headers: dict[str, str] = {}
+    head_bytes = len(request_line)
+    while True:
+        try:
+            line = await reader.readuntil(b"\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError) as exc:
+            raise HttpError(400, "truncated headers") from exc
+        head_bytes += len(line)
+        if head_bytes > MAX_HEAD_BYTES:
+            raise HttpError(400, "request head too large")
+        if line == b"\r\n":
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError as exc:
+            raise HttpError(400, "non-numeric Content-Length") from exc
+        if length < 0:
+            raise HttpError(400, "negative Content-Length")
+        if length > max_body_bytes:
+            raise HttpError(413, f"request body exceeds {max_body_bytes} bytes")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise HttpError(400, "request body shorter than Content-Length") from exc
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked request bodies are not supported")
+    return HttpRequest(method=method, path=path, headers=headers, body=body)
+
+
+def response_bytes(
+    status: int,
+    payload: Mapping[str, Any] | bytes,
+    headers: Mapping[str, str] | None = None,
+    *,
+    close: bool = False,
+) -> bytes:
+    """Serialise one response.  Dict payloads become ``application/json``.
+
+    Responses are rendered with sorted keys so a repeated request yields a
+    byte-identical body — the chaos acceptance test compares whole tables
+    across fault-free and faulted runs.
+    """
+    if isinstance(payload, bytes):
+        body = payload
+        content_type = "application/octet-stream"
+    else:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        content_type = "application/json"
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"content-type: {content_type}",
+        f"content-length: {len(body)}",
+        f"connection: {'close' if close else 'keep-alive'}",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body

@@ -1,0 +1,187 @@
+"""Open-loop load generator for the layout service.
+
+Fires requests at a fixed arrival rate regardless of completions (the
+open-loop discipline: a slow server faces a growing backlog instead of a
+politely self-throttling client, which is what makes p99 under load an
+honest number).  Used by ``benchmarks/emit_serving_bench.py`` and the CI
+serving-smoke job; importable so tests can drive a server in-process.
+
+The client side speaks the same minimal HTTP/1.1 as the server, one
+connection per request (``Connection: close``) so no pooling artefact
+hides queueing behaviour.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+__all__ = ["LoadReport", "percentile", "request_once", "run_load", "run_load_sync"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile (``q`` in [0, 1]) of *values*."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = q * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load run: throughput, latency spread, status mix."""
+
+    sent: int = 0
+    completed: int = 0
+    connect_errors: int = 0
+    duration_s: float = 0.0
+    by_status: dict[str, int] = field(default_factory=dict)
+    latencies_ms: list[float] = field(default_factory=list)
+
+    @property
+    def requests_per_s(self) -> float:
+        return self.completed / self.duration_s if self.duration_s > 0 else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        """Benchmark-file form: summary numbers only, no raw latency list."""
+        return {
+            "sent": self.sent,
+            "completed": self.completed,
+            "connect_errors": self.connect_errors,
+            "duration_s": self.duration_s,
+            "requests_per_s": self.requests_per_s,
+            "by_status": dict(sorted(self.by_status.items())),
+            "latency_ms": {
+                "p50": percentile(self.latencies_ms, 0.50),
+                "p99": percentile(self.latencies_ms, 0.99),
+                "mean": (
+                    sum(self.latencies_ms) / len(self.latencies_ms)
+                    if self.latencies_ms
+                    else 0.0
+                ),
+            },
+        }
+
+
+async def request_once(
+    host: str,
+    port: int,
+    payload: Mapping[str, Any],
+    *,
+    path: str = "/layer",
+    method: str = "POST",
+    timeout_s: float = 30.0,
+) -> tuple[int, dict[str, Any]]:
+    """One request over a fresh connection; returns (status, decoded body).
+
+    Status ``0`` means the connection itself failed (refused, reset,
+    timed out) — the server never answered.
+    """
+    body = json.dumps(payload).encode("utf-8")
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"host: {host}\r\n"
+        "content-type: application/json\r\n"
+        f"content-length: {len(body)}\r\n"
+        "connection: close\r\n\r\n"
+    ).encode("latin-1")
+    try:
+        async with asyncio.timeout(timeout_s):
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                writer.write(head + body)
+                await writer.drain()
+                status_line = await reader.readline()
+                parts = status_line.split()
+                if len(parts) < 2:
+                    return 0, {"error": "malformed status line"}
+                status = int(parts[1])
+                raw = status_line + await reader.read()
+                _, _, response_body = raw.partition(b"\r\n\r\n")
+                try:
+                    decoded = json.loads(response_body.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    decoded = {}
+                return status, decoded if isinstance(decoded, dict) else {}
+            finally:
+                writer.close()
+    except (OSError, asyncio.TimeoutError, ValueError):
+        return 0, {"error": "connection failed"}
+
+
+async def run_load(
+    host: str,
+    port: int,
+    payloads: Sequence[Mapping[str, Any]],
+    *,
+    total: int,
+    rate_per_s: float,
+    timeout_s: float = 30.0,
+) -> LoadReport:
+    """Drive *total* requests at *rate_per_s*, cycling through *payloads*.
+
+    Open loop: request ``i`` launches at ``i / rate_per_s`` whether or not
+    earlier requests have finished.  Returns once every launched request
+    has completed or failed.
+    """
+    if not payloads:
+        raise ValueError("need at least one request payload")
+    if rate_per_s <= 0:
+        raise ValueError(f"rate_per_s must be > 0, got {rate_per_s}")
+    report = LoadReport()
+    interval = 1.0 / rate_per_s
+    started = time.perf_counter()
+
+    async def one(index: int) -> None:
+        launch_at = started + index * interval
+        delay = launch_at - time.perf_counter()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        begin = time.perf_counter()
+        status, _body = await request_once(
+            host, port, payloads[index % len(payloads)], timeout_s=timeout_s
+        )
+        elapsed_ms = (time.perf_counter() - begin) * 1000.0
+        if status == 0:
+            report.connect_errors += 1
+        else:
+            report.completed += 1
+            report.latencies_ms.append(elapsed_ms)
+        key = str(status)
+        report.by_status[key] = report.by_status.get(key, 0) + 1
+
+    report.sent = total
+    await asyncio.gather(*(one(i) for i in range(total)))
+    report.duration_s = time.perf_counter() - started
+    return report
+
+
+def run_load_sync(
+    host: str,
+    port: int,
+    payloads: Sequence[Mapping[str, Any]],
+    *,
+    total: int,
+    rate_per_s: float,
+    timeout_s: float = 30.0,
+) -> LoadReport:
+    """Blocking wrapper around :func:`run_load` for CLI/benchmark callers."""
+    return asyncio.run(
+        run_load(
+            host,
+            port,
+            payloads,
+            total=total,
+            rate_per_s=rate_per_s,
+            timeout_s=timeout_s,
+        )
+    )

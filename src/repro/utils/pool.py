@@ -45,6 +45,7 @@ Hardening (the robustness layer the experiment engine sits on):
 
 from __future__ import annotations
 
+import asyncio.events
 import atexit
 import concurrent.futures
 import itertools
@@ -279,6 +280,21 @@ def _run_with_alarm(fn: Callable[[], Any], timeout: float) -> tuple[bool, Any]:
     return True, value
 
 
+def _event_loop_running() -> bool:
+    """Whether an asyncio event loop is running in the *current* thread.
+
+    The SIGALRM deadline path must never engage on such a thread: the
+    handler raises :class:`_DeadlineAlarm` between arbitrary bytecodes, so
+    with a running loop the interrupt could land inside the loop's own
+    dispatch machinery (or a callback that is not the deadline-bounded
+    work) and tear the server down instead of cutting one call.  A server
+    normally drives blocking work from executor threads — which already
+    take the watchdog branch — but a synchronous call made directly from a
+    loop callback must fall back too.
+    """
+    return asyncio.events._get_running_loop() is not None
+
+
 def run_with_deadline(fn: Callable[[], Any], timeout: float) -> tuple[bool, Any]:
     """Run ``fn()`` under a *timeout*-second deadline.
 
@@ -287,8 +303,9 @@ def run_with_deadline(fn: Callable[[], Any], timeout: float) -> tuple[bool, Any]
     ``fn`` propagate to the caller.  On a POSIX main thread the deadline is
     a shared interval timer and ``fn`` runs inline (near-zero cost,
     interrupts the work in place); everywhere else — non-main threads,
-    nested deadlines, Windows — ``fn`` runs on a pooled watchdog daemon
-    thread that is abandoned when the deadline passes (it cannot block
+    nested deadlines, a thread running an asyncio event loop (the serving
+    front end), Windows — ``fn`` runs on a pooled watchdog daemon thread
+    that is abandoned when the deadline passes (it cannot block
     interpreter shutdown, and any result it eventually produces is
     discarded).
     """
@@ -297,6 +314,7 @@ def run_with_deadline(fn: Callable[[], Any], timeout: float) -> tuple[bool, Any]
         _ALARM_DEADLINE is None
         and hasattr(signal, "setitimer")
         and threading.current_thread() is threading.main_thread()
+        and not _event_loop_running()
     ):
         return _run_with_alarm(fn, timeout)
     with _WATCHDOG_LOCK:

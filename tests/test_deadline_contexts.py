@@ -1,0 +1,126 @@
+"""Regression tests: ``run_with_deadline`` context selection.
+
+PR 6 introduced two deadline mechanisms — an inline ``SIGALRM`` interval
+timer (POSIX main thread only) and a pooled watchdog thread (everywhere
+else).  A long-lived server drives deadline-bounded work from executor
+threads and from asyncio loop callbacks, where the alarm path would either
+raise ``ValueError`` (``signal.signal`` outside the main thread) or
+interrupt the event loop's own machinery.  These tests pin down that the
+watchdog fallback is picked automatically in both contexts — previously it
+was only exercised incidentally through the engine's retry path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.utils import pool
+from repro.utils.pool import run_with_deadline
+
+
+def _block(seconds: float):
+    def fn():
+        time.sleep(seconds)
+        return "done"
+
+    return fn
+
+
+class TestNonMainThread:
+    """Calls from worker threads must use the watchdog, not SIGALRM."""
+
+    def _call_in_thread(self, fn, timeout):
+        box = {}
+
+        def runner():
+            try:
+                box["result"] = run_with_deadline(fn, timeout)
+            except BaseException as exc:  # pragma: no cover - the regression
+                box["error"] = exc
+
+        thread = threading.Thread(target=runner)
+        thread.start()
+        thread.join(10)
+        assert not thread.is_alive()
+        if "error" in box:
+            raise box["error"]
+        return box["result"]
+
+    def test_fast_call_completes(self):
+        assert self._call_in_thread(lambda: 42, timeout=5.0) == (True, 42)
+
+    def test_hang_times_out(self):
+        completed, value = self._call_in_thread(_block(10.0), timeout=0.1)
+        assert completed is False and value is None
+
+    def test_alarm_path_never_engaged(self, monkeypatch):
+        def forbidden(fn, timeout):  # pragma: no cover - the regression
+            raise AssertionError("SIGALRM path used outside the main thread")
+
+        monkeypatch.setattr(pool, "_run_with_alarm", forbidden)
+        assert self._call_in_thread(lambda: "ok", timeout=1.0) == (True, "ok")
+
+
+class TestRunningEventLoop:
+    """Calls from a thread running an asyncio loop must use the watchdog.
+
+    The serving front end's loop thread may make synchronous
+    deadline-bounded calls (cache verification, admission-time checks); an
+    inline ``_DeadlineAlarm`` there could land inside the loop's dispatch
+    machinery instead of the bounded work.
+    """
+
+    def test_alarm_path_skipped_inside_loop(self, monkeypatch):
+        engaged = []
+
+        real = pool._run_with_alarm
+
+        def spy(fn, timeout):  # pragma: no cover - the regression
+            engaged.append(True)
+            return real(fn, timeout)
+
+        monkeypatch.setattr(pool, "_run_with_alarm", spy)
+
+        async def main():
+            # Synchronous call from a loop callback context.
+            return run_with_deadline(lambda: "served", 1.0)
+
+        assert asyncio.run(main()) == (True, "served")
+        assert engaged == []
+
+    def test_timeout_still_enforced_inside_loop(self):
+        async def main():
+            return run_with_deadline(_block(10.0), 0.1)
+
+        completed, value = asyncio.run(main())
+        assert completed is False and value is None
+
+    def test_exceptions_propagate_inside_loop(self):
+        async def main():
+            return run_with_deadline(
+                lambda: (_ for _ in ()).throw(RuntimeError("boom")), 1.0
+            )
+
+        with pytest.raises(RuntimeError, match="boom"):
+            asyncio.run(main())
+
+    def test_main_thread_without_loop_still_uses_alarm(self, monkeypatch):
+        """The fast inline path stays the default for plain CLI runs."""
+        import signal
+
+        if not hasattr(signal, "setitimer"):  # pragma: no cover - non-POSIX
+            pytest.skip("SIGALRM path is POSIX-only")
+        engaged = []
+        real = pool._run_with_alarm
+
+        def spy(fn, timeout):
+            engaged.append(True)
+            return real(fn, timeout)
+
+        monkeypatch.setattr(pool, "_run_with_alarm", spy)
+        assert run_with_deadline(lambda: 7, 1.0) == (True, 7)
+        assert engaged == [True]

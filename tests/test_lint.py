@@ -580,6 +580,100 @@ class TestPayloadRule:
 
 
 # ---------------------------------------------------------------------------
+# RPL006 — async safety
+# ---------------------------------------------------------------------------
+
+
+class TestAsyncSafetyRule:
+    def test_time_sleep_in_async_def_flagged(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            """
+            import time
+
+            async def handler():
+                time.sleep(1.0)
+            """,
+        )
+        assert codes(report) == ["RPL006"]
+        assert "asyncio.sleep" in report.findings[0].message
+
+    def test_sync_open_and_path_io_flagged(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            """
+            async def handler(path, cfg_path):
+                with open(path) as fh:
+                    data = fh.read()
+                return data + cfg_path.read_text()
+            """,
+        )
+        assert codes(report) == ["RPL006", "RPL006"]
+
+    def test_subprocess_run_flagged(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            """
+            import subprocess
+
+            async def handler():
+                subprocess.run(["ls"])
+            """,
+        )
+        assert codes(report) == ["RPL006"]
+        assert "create_subprocess_exec" in report.findings[0].message
+
+    def test_unbounded_acquire_flagged_but_awaited_or_bounded_ok(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            """
+            async def bad(lock):
+                lock.acquire()
+
+            async def fine_bounded(lock):
+                lock.acquire(timeout=1.0)
+
+            async def fine_asyncio(lock):
+                await lock.acquire()
+            """,
+        )
+        assert codes(report) == ["RPL006"]
+        assert report.findings[0].line == 3
+
+    def test_async_primitives_and_sync_functions_clean(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            """
+            import asyncio
+            import time
+
+            async def handler(loop, fn):
+                await asyncio.sleep(0.1)
+                return await loop.run_in_executor(None, fn)
+
+            def plain_sync():
+                time.sleep(1.0)  # fine: not on the event loop
+            """,
+        )
+        assert report.ok
+
+    def test_nested_sync_def_not_flagged(self, tmp_path):
+        """Nested defs run off-loop (e.g. handed to run_in_executor)."""
+        report = lint_source(
+            tmp_path,
+            """
+            import time
+
+            async def handler(loop):
+                def blocking_work():
+                    time.sleep(1.0)
+                return await loop.run_in_executor(None, blocking_work)
+            """,
+        )
+        assert report.ok
+
+
+# ---------------------------------------------------------------------------
 # Engine semantics: suppressions, baseline, CLI
 # ---------------------------------------------------------------------------
 
