@@ -7,6 +7,16 @@ compiler, cached by content hash) a small C kernel that executes *all* walks
 of a tour in a single call over the exact same flat arrays: CSR adjacency,
 pre-powered pheromone matrix, pre-drawn vertex orders and uniforms.
 
+The kernel is multithreaded over the *walk axis*: every walk owns its output
+rows (assignment, real/crossing/occupancy) and consumes pre-drawn randomness,
+so the walks are embarrassingly parallel and one process can saturate a
+multi-core box without pickling anything.  The compile probe prefers OpenMP,
+falls back to a small pthread fan-out, and degrades to the single-threaded
+loop when neither is available (``thread_support()`` reports which one
+compiled in).  The worker count is resolved per call by
+:func:`effective_threads` — explicit argument > ``REPRO_ACO_THREADS`` >
+``os.cpu_count()`` — with the same canonical errors as ``REPRO_JOBS``.
+
 Bit-identity with the Python and NumPy engines is preserved by construction:
 
 * the kernel is compiled with ``-ffp-contract=off`` so no FMA contraction
@@ -17,7 +27,11 @@ Bit-identity with the Python and NumPy engines is preserved by construction:
   small-integer powers);
 * argmax is a first-maximum scan with NumPy's NaN-propagation semantics,
   the roulette cumulative sum is sequential, and the roulette pick is a
-  ``searchsorted(..., side="right")``-equivalent upper-bound binary search.
+  ``searchsorted(..., side="right")``-equivalent upper-bound binary search;
+* threading cannot break any of this: each walk writes only its own rows,
+  reads only shared read-only inputs, and uses a per-chunk scratch slice,
+  so the result is byte-identical at every thread count and under every
+  partitioning.
 
 The backend is *optional*: :func:`load_native` returns ``None`` when no C
 compiler is available, compilation fails, or ``REPRO_ACO_NATIVE=0`` is set,
@@ -38,15 +52,39 @@ import warnings
 
 import numpy as np
 
-__all__ = ["load_native", "native_supports", "run_walks_native", "native_status"]
+from repro.utils.pool import effective_workers
+
+__all__ = [
+    "load_native",
+    "native_supports",
+    "run_walks_native",
+    "native_status",
+    "thread_support",
+    "effective_threads",
+    "REPRO_ACO_THREADS_ENV",
+]
 
 #: Small integer exponents whose decomposition the C kernel mirrors
 #: (must stay in sync with kernels.fused_pow).
 _SMALL_EXPONENTS = (0.0, 1.0, 2.0, 3.0, 4.0, 5.0)
 
+#: Environment variable capping the native kernel's walk-axis thread count.
+REPRO_ACO_THREADS_ENV = "REPRO_ACO_THREADS"
+
+#: Hard ceiling on the walk-axis thread count (bounds the pthread handle
+#: array in C and the per-thread scratch rows allocated by the wrapper; must
+#: stay in sync with MAX_THREADS in _C_SOURCE).
+_MAX_THREADS = 64
+
 _C_SOURCE = r"""
 #include <stdint.h>
 #include <math.h>
+
+#if defined(REPRO_THREADS_PTHREADS)
+#include <pthread.h>
+#endif
+
+#define MAX_THREADS 64
 
 /* Decomposed small-integer power; must mirror kernels.fused_pow exactly. */
 static inline double pow_small(double x, int64_t mode)
@@ -74,53 +112,70 @@ static inline int64_t upper_bound(const double *cum, int64_t k, double target)
     return lo;
 }
 
-void run_walks(
-    int64_t n_ants,
-    int64_t n_vertices,             /* walk-row stride (max vertices over the batch) */
-    int64_t n_cols,                 /* layer-row stride: max n_layers + 1 (column 0 unused) */
-    const int64_t *orders,          /* n_ants x n_vertices */
-    const double *uniforms,         /* n_ants x n_vertices, or NULL */
-    const int64_t *succ_indptr,
-    const int64_t *succ_indices,
-    const int64_t *pred_indptr,
-    const int64_t *pred_indices,
-    const int64_t *out_degree,
-    const int64_t *in_degree,
-    const double *vertex_widths,
-    const double *tau,              /* n_matrices x n_vertices x n_cols, pre-powered by alpha */
-    const int64_t *tau_index,       /* n_ants: which tau matrix each walk reads */
-    const int64_t *walk_steps,      /* n_ants: construction steps per walk, or NULL (= n_vertices) */
-    const int64_t *walk_vbase,      /* n_ants: per-walk offset into degree/width arrays, or NULL */
-    const int64_t *walk_ibase,      /* n_ants: per-walk offset into the CSR indptr arrays, or NULL */
-    const int64_t *walk_layers,     /* n_ants: per-walk layer count, or NULL (= n_cols - 1) */
-    int64_t beta_mode,              /* 0..5: decomposed integer exponent */
-    double nd_width,
-    double epsilon,
-    double q0,
-    int64_t *assignment,            /* n_ants x n_vertices, in/out */
-    double *real,                   /* n_ants x n_cols, in/out */
-    int64_t *crossing,              /* n_ants x n_cols, in/out */
-    int64_t *occupancy,             /* n_ants x n_cols, in/out */
-    double *scores)                 /* scratch, n_cols doubles */
+/* The full read-only + per-walk-output argument set of one kernel call,
+   bundled so the walk loop can run on any thread. */
+typedef struct {
+    int64_t n_vertices;
+    int64_t n_cols;
+    const int64_t *orders;
+    const double *uniforms;
+    const int64_t *succ_indptr;
+    const int64_t *succ_indices;
+    const int64_t *pred_indptr;
+    const int64_t *pred_indices;
+    const int64_t *out_degree;
+    const int64_t *in_degree;
+    const double *vertex_widths;
+    const double *tau;
+    const int64_t *tau_index;
+    const int64_t *walk_steps;
+    const int64_t *walk_vbase;
+    const int64_t *walk_ibase;
+    const int64_t *walk_layers;
+    int64_t beta_mode;
+    double nd_width;
+    double epsilon;
+    double q0;
+    int64_t *assignment;
+    double *real;
+    int64_t *crossing;
+    int64_t *occupancy;
+} walk_args;
+
+/* Run walks [start, end).  Each walk writes only its own rows and reads only
+   shared read-only inputs, so ranges can run concurrently; *scores* is this
+   range's private n_cols-double scratch. */
+static void run_walk_range(const walk_args *wa, int64_t start, int64_t end,
+                           double *scores)
 {
-    for (int64_t a = 0; a < n_ants; a++) {
-        int64_t *asg = assignment + a * n_vertices;
-        double *re = real + a * n_cols;
-        int64_t *cr = crossing + a * n_cols;
-        int64_t *oc = occupancy + a * n_cols;
-        const int64_t *order = orders + a * n_vertices;
-        const double *u_row = uniforms ? uniforms + a * n_vertices : 0;
-        const double *tau_mat = tau + tau_index[a] * n_vertices * n_cols;
+    int64_t n_vertices = wa->n_vertices;
+    int64_t n_cols = wa->n_cols;
+    const int64_t *succ_indices = wa->succ_indices;
+    const int64_t *pred_indices = wa->pred_indices;
+    const double *vertex_widths = wa->vertex_widths;
+    int64_t beta_mode = wa->beta_mode;
+    double nd_width = wa->nd_width;
+    double epsilon = wa->epsilon;
+    double q0 = wa->q0;
+
+    for (int64_t a = start; a < end; a++) {
+        int64_t *asg = wa->assignment + a * n_vertices;
+        double *re = wa->real + a * n_cols;
+        int64_t *cr = wa->crossing + a * n_cols;
+        int64_t *oc = wa->occupancy + a * n_cols;
+        const int64_t *order = wa->orders + a * n_vertices;
+        const double *u_row = wa->uniforms ? wa->uniforms + a * n_vertices : 0;
+        const double *tau_mat = wa->tau + wa->tau_index[a] * n_vertices * n_cols;
         /* Cross-graph batching: each walk may belong to a different graph,
            named by per-walk base offsets into the packed (block-diagonal)
            arrays.  NULL per-walk arrays mean the uniform single-graph case;
            walks shorter than the batch stride simply stop early (masked
            termination). */
-        int64_t steps = walk_steps ? walk_steps[a] : n_vertices;
-        int64_t vbase = walk_vbase ? walk_vbase[a] : 0;
-        const int64_t *sip = succ_indptr + (walk_ibase ? walk_ibase[a] : 0);
-        const int64_t *pip = pred_indptr + (walk_ibase ? walk_ibase[a] : 0);
-        int64_t n_layers = walk_layers ? walk_layers[a] : n_cols - 1;
+        int64_t steps = wa->walk_steps ? wa->walk_steps[a] : n_vertices;
+        int64_t vbase = wa->walk_vbase ? wa->walk_vbase[a] : 0;
+        const int64_t *sip = wa->succ_indptr + (wa->walk_ibase ? wa->walk_ibase[a] : 0);
+        const int64_t *pip = wa->pred_indptr + (wa->walk_ibase ? wa->walk_ibase[a] : 0);
+        int64_t n_layers = wa->walk_layers ? wa->walk_layers[a] : n_cols - 1;
 
         for (int64_t step = 0; step < steps; step++) {
             int64_t v = order[step];
@@ -203,8 +258,8 @@ void run_walks(
                 re[chosen] += wv;
                 oc[current] -= 1;
                 oc[chosen] += 1;
-                int64_t outdeg = out_degree[vbase + v];
-                int64_t indeg = in_degree[vbase + v];
+                int64_t outdeg = wa->out_degree[vbase + v];
+                int64_t indeg = wa->in_degree[vbase + v];
                 if (chosen > current) {
                     if (outdeg)
                         for (int64_t l = current; l < chosen; l++) cr[l] += outdeg;
@@ -221,9 +276,124 @@ void run_walks(
         }
     }
 }
+
+/* Which threading flavour this build carries: 2 = OpenMP, 1 = pthreads,
+   0 = single-threaded fallback. */
+int64_t thread_support(void)
+{
+#if defined(REPRO_THREADS_OPENMP)
+    return 2;
+#elif defined(REPRO_THREADS_PTHREADS)
+    return 1;
+#else
+    return 0;
+#endif
+}
+
+#if defined(REPRO_THREADS_PTHREADS)
+typedef struct {
+    const walk_args *wa;
+    int64_t start;
+    int64_t end;
+    double *scores;
+} walk_task;
+
+static void *run_walk_task(void *arg)
+{
+    walk_task *task = (walk_task *)arg;
+    run_walk_range(task->wa, task->start, task->end, task->scores);
+    return 0;
+}
+#endif
+
+void run_walks(
+    int64_t n_ants,
+    int64_t n_vertices,             /* walk-row stride (max vertices over the batch) */
+    int64_t n_cols,                 /* layer-row stride: max n_layers + 1 (column 0 unused) */
+    int64_t n_threads,              /* walk-axis workers, clamped to [1, min(n_ants, MAX_THREADS)] */
+    const int64_t *orders,          /* n_ants x n_vertices */
+    const double *uniforms,         /* n_ants x n_vertices, or NULL */
+    const int64_t *succ_indptr,     /* CSR adjacency: the only neighbour representation */
+    const int64_t *succ_indices,
+    const int64_t *pred_indptr,
+    const int64_t *pred_indices,
+    const int64_t *out_degree,
+    const int64_t *in_degree,
+    const double *vertex_widths,
+    const double *tau,              /* n_matrices x n_vertices x n_cols, pre-powered by alpha */
+    const int64_t *tau_index,       /* n_ants: which tau matrix each walk reads */
+    const int64_t *walk_steps,      /* n_ants: construction steps per walk, or NULL (= n_vertices) */
+    const int64_t *walk_vbase,      /* n_ants: per-walk offset into degree/width arrays, or NULL */
+    const int64_t *walk_ibase,      /* n_ants: per-walk offset into the CSR indptr arrays, or NULL */
+    const int64_t *walk_layers,     /* n_ants: per-walk layer count, or NULL (= n_cols - 1) */
+    int64_t beta_mode,              /* 0..5: decomposed integer exponent */
+    double nd_width,
+    double epsilon,
+    double q0,
+    int64_t *assignment,            /* n_ants x n_vertices, in/out */
+    double *real,                   /* n_ants x n_cols, in/out */
+    int64_t *crossing,              /* n_ants x n_cols, in/out */
+    int64_t *occupancy,             /* n_ants x n_cols, in/out */
+    double *scores)                 /* scratch, n_threads x n_cols doubles */
+{
+    walk_args wa = {
+        n_vertices, n_cols, orders, uniforms,
+        succ_indptr, succ_indices, pred_indptr, pred_indices,
+        out_degree, in_degree, vertex_widths, tau, tau_index,
+        walk_steps, walk_vbase, walk_ibase, walk_layers,
+        beta_mode, nd_width, epsilon, q0,
+        assignment, real, crossing, occupancy,
+    };
+    if (n_threads < 1) n_threads = 1;
+    if (n_threads > n_ants) n_threads = n_ants;
+    if (n_threads > MAX_THREADS) n_threads = MAX_THREADS;
+
+#if defined(REPRO_THREADS_OPENMP)
+    if (n_threads > 1) {
+        /* Static chunking over walk indices; chunk t owns scratch slice t,
+           so correctness holds no matter how OpenMP maps chunks to threads. */
+        #pragma omp parallel for schedule(static)
+        for (int64_t t = 0; t < n_threads; t++) {
+            run_walk_range(&wa, t * n_ants / n_threads,
+                           (t + 1) * n_ants / n_threads,
+                           scores + t * n_cols);
+        }
+        return;
+    }
+#elif defined(REPRO_THREADS_PTHREADS)
+    if (n_threads > 1) {
+        pthread_t handles[MAX_THREADS];
+        walk_task tasks[MAX_THREADS];
+        int started[MAX_THREADS];
+        for (int64_t t = 1; t < n_threads; t++) {
+            tasks[t].wa = &wa;
+            tasks[t].start = t * n_ants / n_threads;
+            tasks[t].end = (t + 1) * n_ants / n_threads;
+            tasks[t].scores = scores + t * n_cols;
+            started[t] = pthread_create(&handles[t], 0, run_walk_task, &tasks[t]) == 0;
+            if (!started[t])  /* spawn failed: run this chunk inline */
+                run_walk_range(tasks[t].wa, tasks[t].start, tasks[t].end, tasks[t].scores);
+        }
+        run_walk_range(&wa, 0, n_ants / n_threads, scores);
+        for (int64_t t = 1; t < n_threads; t++)
+            if (started[t]) pthread_join(handles[t], 0);
+        return;
+    }
+#endif
+    run_walk_range(&wa, 0, n_ants, scores);
+}
 """
 
 _CFLAGS = ["-O2", "-fPIC", "-shared", "-ffp-contract=off", "-fno-fast-math"]
+
+#: Compile-flag variants probed in preference order: OpenMP, then a plain
+#: pthread fan-out, then the single-threaded fallback.  The first variant
+#: that compiles (or is already cached) wins.
+_THREAD_VARIANTS = (
+    ["-fopenmp", "-DREPRO_THREADS_OPENMP"],
+    ["-pthread", "-DREPRO_THREADS_PTHREADS"],
+    [],
+)
 
 _lib: ctypes.CDLL | None = None
 _load_attempted = False
@@ -245,13 +415,10 @@ def _cache_dir() -> str:
     return os.path.join(base, "repro-aco-native")
 
 
-def _compile_library() -> str | None:
-    """Compile the kernel into a content-addressed cached shared object."""
-    compiler = shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
-    if compiler is None:
-        return None
+def _compile_variant(compiler: str, flags: list[str]) -> str | None:
+    """Compile one flag variant into a content-addressed cached shared object."""
     digest = hashlib.sha256(
-        (_C_SOURCE + " ".join(_CFLAGS) + compiler).encode()
+        (_C_SOURCE + " ".join(flags) + compiler).encode()
     ).hexdigest()[:16]
     cache = _cache_dir()
     lib_path = os.path.join(cache, f"aco_kernel_{digest}.so")
@@ -265,7 +432,7 @@ def _compile_library() -> str | None:
             with open(src, "w") as fh:
                 fh.write(_C_SOURCE)
             subprocess.run(
-                [compiler, *_CFLAGS, src, "-o", out, "-lm"],
+                [compiler, *flags, src, "-o", out, "-lm"],
                 check=True,
                 capture_output=True,
                 timeout=120,
@@ -274,6 +441,18 @@ def _compile_library() -> str | None:
     except (OSError, subprocess.SubprocessError):
         return None
     return lib_path
+
+
+def _compile_library() -> str | None:
+    """Compile the kernel, preferring OpenMP, then pthreads, then serial."""
+    compiler = shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
+    if compiler is None:
+        return None
+    for variant in _THREAD_VARIANTS:
+        path = _compile_variant(compiler, [*_CFLAGS, *variant])
+        if path is not None:
+            return path
+    return None
 
 
 _I64 = np.ctypeslib.ndpointer(dtype=np.int64, flags="C_CONTIGUOUS")
@@ -310,6 +489,7 @@ def load_native() -> ctypes.CDLL | None:
             ctypes.c_int64,  # n_ants
             ctypes.c_int64,  # n_vertices
             ctypes.c_int64,  # n_cols
+            ctypes.c_int64,  # n_threads
             _I64,  # orders
             ctypes.c_void_p,  # uniforms (nullable)
             _I64,  # succ_indptr
@@ -333,19 +513,53 @@ def load_native() -> ctypes.CDLL | None:
             _F64,  # real
             _I64,  # crossing
             _I64,  # occupancy
-            _F64,  # scores scratch
+            _F64,  # scores scratch (n_threads rows)
         ]
+        lib.thread_support.restype = ctypes.c_int64
+        lib.thread_support.argtypes = []
     except OSError:
         _status = "failed to load compiled library"
         return None
     _lib = lib
-    _status = f"loaded ({path})"
+    _status = f"loaded ({path}, threads: {_thread_mode(lib)})"
     return _lib
+
+
+def _thread_mode(lib: ctypes.CDLL) -> str:
+    return {2: "openmp", 1: "pthreads"}.get(int(lib.thread_support()), "none")
 
 
 def native_status() -> str:
     """Human-readable state of the native backend (for diagnostics)."""
     return _status
+
+
+def thread_support() -> str:
+    """Threading flavour of the loaded kernel.
+
+    ``"openmp"`` or ``"pthreads"`` when the compile probe found thread
+    support, ``"none"`` when only the single-threaded kernel compiled, and
+    ``"unavailable"`` when there is no native kernel at all (no compiler, or
+    ``REPRO_ACO_NATIVE=0``).
+    """
+    lib = load_native()
+    if lib is None:
+        return "unavailable"
+    return _thread_mode(lib)
+
+
+def effective_threads(requested: int | None = None, n_tasks: int | None = None) -> int:
+    """Resolve the native kernel's walk-axis thread count.
+
+    The same resolution ladder as :func:`repro.utils.pool.effective_workers`
+    — an explicit *requested* value wins, then the ``REPRO_ACO_THREADS``
+    environment variable, then ``os.cpu_count()`` — with the same canonical
+    :class:`~repro.utils.exceptions.ValidationError` for non-integer or
+    sub-1 values.  The result is clamped to *n_tasks* (one thread per walk
+    at most) and to the kernel's hard thread ceiling.
+    """
+    workers = effective_workers(requested, n_tasks, env_var=REPRO_ACO_THREADS_ENV)
+    return min(workers, _MAX_THREADS)
 
 
 def native_supports(beta: float) -> bool:
@@ -356,6 +570,7 @@ def native_supports(beta: float) -> bool:
 def run_walks_native(
     lib: ctypes.CDLL,
     *,
+    n_threads: int,
     orders: np.ndarray,
     uniforms: np.ndarray | None,
     succ_indptr: np.ndarray,
@@ -390,10 +605,16 @@ def run_walks_native(
     the packed degree/width and CSR ``indptr`` arrays, and per-walk layer
     counts (see :class:`repro.aco.problem.PackedProblems`).  ``None`` means
     the uniform single-graph batch.
+
+    *n_threads* fans the walk loop out over that many OS threads (resolved
+    by :func:`effective_threads`); the result is byte-identical at any
+    count because walks own their output rows and consume pre-drawn
+    randomness.
     """
     n_ants, n_vertices = orders.shape
     n_cols = real.shape[1]
-    scratch = np.empty(n_cols, dtype=np.float64)
+    n_threads = max(1, min(int(n_threads), n_ants, _MAX_THREADS))
+    scratch = np.empty((n_threads, n_cols), dtype=np.float64)
 
     def _opt_i64(arr: np.ndarray | None) -> ctypes.c_void_p | None:
         return None if arr is None else arr.ctypes.data_as(ctypes.c_void_p)
@@ -407,6 +628,7 @@ def run_walks_native(
         n_ants,
         n_vertices,
         n_cols,
+        n_threads,
         orders,
         uniforms_ptr,
         succ_indptr,

@@ -153,19 +153,53 @@ def draw_walk_randomness(
 # ---------------------------------------------------------------------- #
 
 
+def _csr_gather(
+    indptr: np.ndarray, indices: np.ndarray, v: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten the ragged CSR neighbour segments of ``v`` into two aligned arrays.
+
+    Returns ``(owner, neighbours)`` where ``neighbours`` is the concatenation
+    of every row's neighbour segment ``indices[indptr[v[a]]:indptr[v[a]+1]]``
+    and ``owner[j]`` names the row the ``j``-th neighbour belongs to.  This is
+    the O(E-touched) building block behind the batched span bounds — no
+    rectangular padded matrix is ever materialised.
+    """
+    start = indptr[v]
+    count = indptr[v + 1] - start
+    total = int(count.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    owner = np.repeat(np.arange(v.shape[0]), count)
+    seg_start = np.cumsum(count) - count
+    within = np.arange(total) - seg_start[owner]
+    return owner, indices[start[owner] + within]
+
+
 def batched_layer_spans(
     problem: LayeringProblem, assignment_ext: np.ndarray, v: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray]:
     """Feasible layer spans of vertex ``v[a]`` under each ant's assignment.
 
-    *assignment_ext* is the ``(n_ants, n_vertices + 2)`` extended assignment
-    matrix whose two sentinel columns hold layer ``0`` (successor padding)
-    and ``n_layers + 1`` (predecessor padding), turning the span bounds into
-    one padded gather plus a row ``max``/``min`` per side.
+    *assignment_ext* is the per-ant assignment matrix (row ``a`` holds ant
+    ``a``'s layers; only the first ``n_vertices`` columns are read, so the
+    historical two-sentinel-column extended matrix is still accepted).  The
+    bounds come straight from the CSR adjacency: a segmented ``max`` over
+    each vertex's successors (``+1``) and a segmented ``min`` over its
+    predecessors (``-1``), with the empty-segment identities layer ``0`` and
+    ``n_layers + 1``.
     """
-    rows = np.arange(assignment_ext.shape[0])[:, None]
-    lo = assignment_ext[rows, problem.succ_pad[v]].max(axis=1) + 1
-    hi = assignment_ext[rows, problem.pred_pad[v]].min(axis=1) - 1
+    n_rows = assignment_ext.shape[0]
+    lo = np.zeros(n_rows, dtype=np.int64)
+    owner, nbrs = _csr_gather(problem.succ_indptr, problem.succ_indices, v)
+    if owner.size:
+        np.maximum.at(lo, owner, assignment_ext[owner, nbrs])
+    lo += 1
+    hi = np.full(n_rows, problem.n_layers + 1, dtype=np.int64)
+    owner, nbrs = _csr_gather(problem.pred_indptr, problem.pred_indices, v)
+    if owner.size:
+        np.minimum.at(hi, owner, assignment_ext[owner, nbrs])
+    hi -= 1
     return lo, hi
 
 
@@ -256,6 +290,7 @@ def run_walks_batch(
         assignment[:] = base_assignment
         _native.run_walks_native(
             native_lib,
+            n_threads=_native.effective_threads(n_tasks=n_ants),
             orders=orders,
             uniforms=uniforms,
             succ_indptr=problem.succ_indptr,
@@ -281,13 +316,16 @@ def run_walks_batch(
     # NumPy fallback: the shared lockstep core with uniform per-walk
     # parameters (every walk is the same graph at offset zero).
     return _lockstep_walks(
-        succ_pad=problem.succ_pad,
-        pred_pad=problem.pred_pad,
+        succ_indptr=problem.succ_indptr,
+        succ_indices=problem.succ_indices,
+        pred_indptr=problem.pred_indptr,
+        pred_indices=problem.pred_indices,
         widths=problem.widths,
         out_degree=problem.out_degree,
         in_degree=problem.in_degree,
         steps=np.full(n_ants, n, dtype=np.int64),
         voff=np.zeros(n_ants, dtype=np.int64),
+        ibase=np.zeros(n_ants, dtype=np.int64),
         layers_w=np.full(n_ants, problem.n_layers, dtype=np.int64),
         max_n=n,
         max_cols=n_cols,
@@ -357,6 +395,7 @@ def run_walks_packed(
         assignment[:] = base_assignment
         _native.run_walks_native(
             native_lib,
+            n_threads=_native.effective_threads(n_tasks=n_walks),
             orders=orders,
             uniforms=uniforms,
             succ_indptr=packed.succ_indptr,
@@ -384,13 +423,16 @@ def run_walks_packed(
         return assignment
 
     return _lockstep_walks(
-        succ_pad=packed.succ_pad,
-        pred_pad=packed.pred_pad,
+        succ_indptr=packed.succ_indptr,
+        succ_indices=packed.succ_indices,
+        pred_indptr=packed.pred_indptr,
+        pred_indices=packed.pred_indices,
         widths=packed.widths,
         out_degree=packed.out_degree,
         in_degree=packed.in_degree,
         steps=steps,
         voff=voff,
+        ibase=packed.indptr_offset[walk_graph],
         layers_w=layers_w,
         max_n=max_n,
         max_cols=max_cols,
@@ -409,13 +451,16 @@ def run_walks_packed(
 
 def _lockstep_walks(
     *,
-    succ_pad: np.ndarray,
-    pred_pad: np.ndarray,
+    succ_indptr: np.ndarray,
+    succ_indices: np.ndarray,
+    pred_indptr: np.ndarray,
+    pred_indices: np.ndarray,
     widths: np.ndarray,
     out_degree: np.ndarray,
     in_degree: np.ndarray,
     steps: np.ndarray,
     voff: np.ndarray,
+    ibase: np.ndarray,
     layers_w: np.ndarray,
     max_n: int,
     max_cols: int,
@@ -438,6 +483,11 @@ def _lockstep_walks(
     protects the bit-identity contract between the serial and batched
     executors from the two copies drifting apart — the same altitude the C
     kernel takes with its nullable per-walk arrays.
+
+    The adjacency is CSR-only: ``ibase[a]`` offsets walk ``a``'s vertices
+    into the (possibly packed) ``indptr`` arrays, and the span bounds are
+    segmented ``max``/``min`` reductions over the ragged neighbour gathers —
+    O(V+E) state, no rectangular padded matrices at any point.
     """
     n_walks = orders.shape[0]
     beta = params.beta
@@ -445,13 +495,8 @@ def _lockstep_walks(
     q0 = params.exploitation_probability
     explore_possible = q0 < 1.0
 
-    # Two sentinel columns per walk: column max_n holds layer 0 (successor
-    # padding) and column max_n + 1 the walk's own n_layers + 1 (predecessor
-    # padding), so the padded span gathers work across graph boundaries.
-    assignment = np.empty((n_walks, max_n + 2), dtype=np.int64)
-    assignment[:, :max_n] = base_assignment
-    assignment[:, max_n] = 0
-    assignment[:, max_n + 1] = layers_w + 1
+    assignment = np.empty((n_walks, max_n), dtype=np.int64)
+    assignment[:] = base_assignment
 
     cols = np.arange(max_cols)
 
@@ -464,9 +509,22 @@ def _lockstep_walks(
         rows = np.arange(act.size)
         v = orders[act, step]
         gv = voff[act] + v
+        iv = ibase[act] + v
         current = assignment[act, v]
-        lo = assignment[act[:, None], succ_pad[gv]].max(axis=1) + 1
-        hi = assignment[act[:, None], pred_pad[gv]].min(axis=1) - 1
+        # Span bounds from the CSR segments: segmented max over successors
+        # (empty-segment identity: layer 0), segmented min over predecessors
+        # (identity: this walk's n_layers + 1) — integer-exact, so identical
+        # to any padded-gather formulation.
+        lo = np.zeros(act.size, dtype=np.int64)
+        owner, nbrs = _csr_gather(succ_indptr, succ_indices, iv)
+        if owner.size:
+            np.maximum.at(lo, owner, assignment[act[owner], nbrs])
+        lo += 1
+        hi = layers_w[act] + 1
+        owner, nbrs = _csr_gather(pred_indptr, pred_indices, iv)
+        if owner.size:
+            np.minimum.at(hi, owner, assignment[act[owner], nbrs])
+        hi -= 1
         wv = widths[gv]
 
         candidate = real[act] + nd_width * crossing[act]
@@ -542,7 +600,7 @@ def _lockstep_walks(
                     if outdeg:
                         row[new_l:old_l] -= outdeg
 
-    return assignment[:, :max_n]
+    return assignment
 
 
 def run_tour_vectorized(

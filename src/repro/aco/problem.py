@@ -10,7 +10,7 @@ LPL layering followed by stretching to ``|V|`` layers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -35,13 +35,39 @@ def _csr_arrays(adjacency: list[list[int]]) -> tuple[np.ndarray, np.ndarray]:
 
 
 def _padded_neighbours(adjacency: list[list[int]], *, sentinel: int) -> np.ndarray:
-    """Rectangular neighbour matrix, short rows padded with *sentinel*."""
+    """Rectangular neighbour matrix, short rows padded with *sentinel*.
+
+    O(V·max_degree) memory — quadratic on star-heavy graphs — so it is only
+    built lazily, behind the ``succ_pad``/``pred_pad`` cached properties, for
+    the few padded-gather consumers left outside the CSR kernel path.
+    """
     width = max((len(nbrs) for nbrs in adjacency), default=1)
     width = max(width, 1)
     pad = np.full((len(adjacency), width), sentinel, dtype=np.int64)
     for v, nbrs in enumerate(adjacency):
         if nbrs:
             pad[v, : len(nbrs)] = nbrs
+    return pad
+
+
+def _packed_pad_from_lists(
+    adjacencies: list[list[list[int]]], vert_offset: np.ndarray, *, sentinel: int
+) -> np.ndarray:
+    """Padded neighbour stack over a whole pack, one graph block per row range.
+
+    Neighbour ids stay local to each graph (matching the packed CSR
+    ``indices``); short rows get the pack-wide *sentinel* column.
+    """
+    width = max(
+        max((len(nbrs) for nbrs in adj), default=1) for adj in adjacencies
+    )
+    width = max(width, 1)
+    pad = np.full((int(vert_offset[-1]), width), sentinel, dtype=np.int64)
+    for g, adj in enumerate(adjacencies):
+        base = int(vert_offset[g])
+        for v, nbrs in enumerate(adj):
+            if nbrs:
+                pad[base + v, : len(nbrs)] = nbrs
     return pad
 
 
@@ -63,14 +89,10 @@ class LayeringProblem:
     succ_indptr, succ_indices, pred_indptr, pred_indices:
         The same adjacency in CSR form: the neighbours of vertex ``v`` are
         ``succ_indices[succ_indptr[v]:succ_indptr[v + 1]]`` (flat ``int64``
-        arrays, used by the vectorized kernels).
-    succ_pad, pred_pad:
-        Rectangular ``(n_vertices, max_degree)`` neighbour matrices padded
-        with the sentinel columns ``n_vertices`` (successors) and
-        ``n_vertices + 1`` (predecessors).  The kernels keep two extra
-        entries per assignment row — layer ``0`` for the successor sentinel
-        and ``n_layers + 1`` for the predecessor sentinel — so batched layer
-        spans reduce to one gather + one ``max``/``min`` per side.
+        arrays).  CSR is the *primary* kernel representation — the NumPy
+        lockstep, the C backend and the shared-memory runtime all traverse
+        it directly, so the kernel data path stays O(V+E) even on
+        star-heavy graphs whose max degree approaches ``|V|``.
     edge_src, edge_dst:
         Flat edge list (``edge_src[e]`` is the tail / upper vertex,
         ``edge_dst[e]`` the head / lower vertex of edge ``e``), aligned with
@@ -98,8 +120,6 @@ class LayeringProblem:
     succ_indices: np.ndarray
     pred_indptr: np.ndarray
     pred_indices: np.ndarray
-    succ_pad: np.ndarray
-    pred_pad: np.ndarray
     edge_src: np.ndarray
     edge_dst: np.ndarray
     out_degree: np.ndarray
@@ -108,6 +128,34 @@ class LayeringProblem:
     nd_width: float
     initial_assignment: np.ndarray
     lpl_height: int
+    _succ_pad_cache: np.ndarray | None = field(default=None, repr=False, compare=False)
+    _pred_pad_cache: np.ndarray | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def succ_pad(self) -> np.ndarray:
+        """Rectangular ``(n_vertices, max_degree)`` successor matrix, lazily built.
+
+        Short rows are padded with the sentinel column ``n_vertices`` (a
+        consumer keeping an extended assignment row maps it to layer ``0``).
+        O(V·max_degree) memory — the walk kernels never touch it; it exists
+        only for padded-gather consumers and is materialised on first access.
+        """
+        if self._succ_pad_cache is None:
+            self._succ_pad_cache = _padded_neighbours(self.succ, sentinel=self.n_vertices)
+        return self._succ_pad_cache
+
+    @property
+    def pred_pad(self) -> np.ndarray:
+        """Rectangular predecessor matrix with sentinel ``n_vertices + 1``.
+
+        The lazy, O(V·max_degree) twin of :attr:`succ_pad` (sentinel maps to
+        layer ``n_layers + 1`` in an extended assignment row).
+        """
+        if self._pred_pad_cache is None:
+            self._pred_pad_cache = _padded_neighbours(
+                self.pred, sentinel=self.n_vertices + 1
+            )
+        return self._pred_pad_cache
 
     # ------------------------------------------------------------------ #
     # construction
@@ -183,8 +231,6 @@ class LayeringProblem:
             succ_indices=succ_indices,
             pred_indptr=pred_indptr,
             pred_indices=pred_indices,
-            succ_pad=_padded_neighbours(succ, sentinel=n),
-            pred_pad=_padded_neighbours(pred, sentinel=n + 1),
             edge_src=edge_src,
             edge_dst=edge_dst,
             out_degree=out_degree,
@@ -308,16 +354,10 @@ class PackedProblems:
         (each graph contributes ``n_g + 1`` entries, so this is
         ``vert_offset[g] + g``).
     succ_indptr, succ_indices, pred_indptr, pred_indices:
-        Packed CSR adjacency.  ``indptr`` values are shifted so they index
-        straight into the packed ``indices`` arrays; ``indices`` values are
-        local vertex ids.
-    succ_pad, pred_pad:
-        ``(total_vertices, max_degree)`` padded neighbour stacks over the
-        whole pack (local ids).  The sentinels are the *pack-wide* columns
-        ``max_n_vertices`` (successors, layer 0) and ``max_n_vertices + 1``
-        (predecessors, layer ``n_layers_g + 1`` — a per-walk value, so the
-        sentinel column of the extended assignment matrix is filled per
-        walk).
+        Packed CSR adjacency — the only neighbour representation the kernel
+        path reads, O(V+E) over the whole pack.  ``indptr`` values are
+        shifted so they index straight into the packed ``indices`` arrays;
+        ``indices`` values are local vertex ids.
     out_degree, in_degree, widths:
         Concatenated per-vertex arrays, indexed globally.
     nd_width:
@@ -340,8 +380,6 @@ class PackedProblems:
     succ_indices: np.ndarray
     pred_indptr: np.ndarray
     pred_indices: np.ndarray
-    succ_pad: np.ndarray
-    pred_pad: np.ndarray
     out_degree: np.ndarray
     in_degree: np.ndarray
     widths: np.ndarray
@@ -352,6 +390,38 @@ class PackedProblems:
     init_real: np.ndarray
     init_crossing: np.ndarray
     init_occupancy: np.ndarray
+    _succ_pad_cache: np.ndarray | None = field(default=None, repr=False, compare=False)
+    _pred_pad_cache: np.ndarray | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def succ_pad(self) -> np.ndarray:
+        """Lazy ``(total_vertices, max_degree)`` successor stack (local ids).
+
+        Padded with the *pack-wide* sentinel column ``max_n_vertices``
+        (layer 0 in an extended assignment row).  O(V·max_degree) — only
+        padded-gather consumers pay for it, never the kernel path.
+        """
+        if self._succ_pad_cache is None:
+            self._succ_pad_cache = _packed_pad_from_lists(
+                [p.succ for p in self.problems],
+                self.vert_offset,
+                sentinel=self.max_n_vertices,
+            )
+        return self._succ_pad_cache
+
+    @property
+    def pred_pad(self) -> np.ndarray:
+        """Lazy predecessor stack with the pack-wide sentinel ``max_n_vertices + 1``
+        (layer ``n_layers_g + 1`` — a per-walk value, so the sentinel column
+        of an extended assignment matrix is filled per walk).
+        """
+        if self._pred_pad_cache is None:
+            self._pred_pad_cache = _packed_pad_from_lists(
+                [p.pred for p in self.problems],
+                self.vert_offset,
+                sentinel=self.max_n_vertices + 1,
+            )
+        return self._pred_pad_cache
 
     @property
     def n_graphs(self) -> int:
@@ -397,18 +467,6 @@ class PackedProblems:
         succ_indptr, succ_indices = _packed_csr("succ_indptr", "succ_indices")
         pred_indptr, pred_indices = _packed_csr("pred_indptr", "pred_indices")
 
-        def _packed_pad(name: str, local_sentinel_shift: int, sentinel: int):
-            width = max(getattr(p, name).shape[1] for p in problems)
-            pad = np.full((int(vert_offset[-1]), width), sentinel, dtype=np.int64)
-            for g, p in enumerate(problems):
-                block = getattr(p, name)
-                # Per-graph sentinels (n_g or n_g + 1) become the pack-wide one.
-                rows = pad[vert_offset[g] : vert_offset[g + 1], : block.shape[1]]
-                rows[...] = np.where(
-                    block == p.n_vertices + local_sentinel_shift, sentinel, block
-                )
-            return pad
-
         initial = np.zeros((len(problems), max_n), dtype=np.int64)
         init_real = np.zeros((len(problems), max_cols), dtype=np.float64)
         init_crossing = np.zeros((len(problems), max_cols), dtype=np.int64)
@@ -433,8 +491,6 @@ class PackedProblems:
             succ_indices=succ_indices,
             pred_indptr=pred_indptr,
             pred_indices=pred_indices,
-            succ_pad=_packed_pad("succ_pad", 0, max_n),
-            pred_pad=_packed_pad("pred_pad", 1, max_n + 1),
             out_degree=np.concatenate([p.out_degree for p in problems]),
             in_degree=np.concatenate([p.in_degree for p in problems]),
             widths=np.concatenate([p.widths for p in problems]),

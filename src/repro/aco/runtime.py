@@ -57,7 +57,7 @@ from repro.aco.kernels import (
 )
 from repro.aco.params import ACOParams
 from repro.aco.pheromone import PheromoneMatrix
-from repro.aco.problem import LayeringProblem, PackedProblems, _padded_neighbours
+from repro.aco.problem import LayeringProblem, PackedProblems
 from repro.graph.digraph import DiGraph
 from repro.layering.base import Layering
 from repro.layering.metrics import evaluate_layering
@@ -81,14 +81,14 @@ __all__ = [
 
 #: The flat arrays of a LayeringProblem that travel through shared memory.
 #: ``edge_dst`` is deliberately absent: it is the same array object as
-#: ``succ_indices`` and is re-aliased on attach.
+#: ``succ_indices`` and is re-aliased on attach.  The kernel adjacency is
+#: CSR-only, so no padded neighbour matrices cross the boundary — the block
+#: stays O(V+E) regardless of degree distribution.
 _SHARED_ARRAYS = (
     "succ_indptr",
     "succ_indices",
     "pred_indptr",
     "pred_indices",
-    "succ_pad",
-    "pred_pad",
     "edge_src",
     "out_degree",
     "in_degree",
@@ -279,8 +279,6 @@ def attach_problem(
             succ_indices=views["succ_indices"],
             pred_indptr=views["pred_indptr"],
             pred_indices=views["pred_indices"],
-            succ_pad=views["succ_pad"],
-            pred_pad=views["pred_pad"],
             edge_src=views["edge_src"],
             edge_dst=views["succ_indices"],
             out_degree=views["out_degree"],
@@ -617,6 +615,7 @@ def colonies_aco_layering(
 # ---------------------------------------------------------------------- #
 
 #: The flat arrays of a PackedProblems that travel through shared memory.
+#: CSR-only, like _SHARED_ARRAYS: the lazy padded stacks never cross.
 _PACKED_ARRAYS = (
     "n_vertices_per",
     "n_layers_per",
@@ -626,8 +625,6 @@ _PACKED_ARRAYS = (
     "succ_indices",
     "pred_indptr",
     "pred_indices",
-    "succ_pad",
-    "pred_pad",
     "out_degree",
     "in_degree",
     "widths",
@@ -642,9 +639,9 @@ def publish_packed(packed: PackedProblems) -> SharedProblem:
     """Copy a pack's flat arrays into one shared-memory block.
 
     The packed twin of :func:`publish_problem`: one block carries the
-    block-diagonal CSR, padded-neighbour and initial-state arrays of *every*
-    graph in the pack, so worker processes sharding the pack attach the
-    whole corpus slice zero-copy.
+    block-diagonal CSR and initial-state arrays of *every* graph in the
+    pack, so worker processes sharding the pack attach the whole corpus
+    slice zero-copy.
     """
     arrays = {
         name: np.ascontiguousarray(getattr(packed, name)) for name in _PACKED_ARRAYS
@@ -719,8 +716,6 @@ def _rebuild_packed(
                 succ_indices=succ_indices,
                 pred_indptr=pred_indptr,
                 pred_indices=pred_indices,
-                succ_pad=_padded_neighbours(succ, sentinel=n),
-                pred_pad=_padded_neighbours(pred, sentinel=n + 1),
                 edge_src=np.repeat(np.arange(n, dtype=np.int64), out_degree),
                 edge_dst=succ_indices,
                 out_degree=out_degree,
@@ -742,8 +737,6 @@ def _rebuild_packed(
         succ_indices=views["succ_indices"],
         pred_indptr=views["pred_indptr"],
         pred_indices=views["pred_indices"],
-        succ_pad=views["succ_pad"],
-        pred_pad=views["pred_pad"],
         out_degree=views["out_degree"],
         in_degree=views["in_degree"],
         widths=views["widths"],

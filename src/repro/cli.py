@@ -73,6 +73,7 @@ import time
 from pathlib import Path
 from typing import Sequence, TextIO
 
+from repro.aco import _native
 from repro.aco.params import ACOParams
 from repro.datasets.corpus import GROUP_VERTEX_COUNTS, att_like_corpus
 from repro.experiments.cache import ResultCache
@@ -515,6 +516,15 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         aco_params=params, include_aco=not args.no_aco, n_colonies=args.n_colonies
     )
     print(f"corpus: {len(corpus)} graphs over groups {sorted(set(vertex_counts))}")
+    if args.full:
+        # The full corpus is where the walk kernel dominates wall-clock, so
+        # announce how it will run.  Resolving the thread count up front also
+        # surfaces an invalid REPRO_ACO_THREADS as the canonical error before
+        # any work starts.
+        print(
+            f"walk kernel: {_native.effective_threads()} thread(s), "
+            f"{_native.thread_support()} backend"
+        )
     with _engine(args) as engine:
         # keep_results=False: the tables only need the per-group aggregates,
         # so even the full 1277-graph corpus holds O(groups) state.

@@ -547,7 +547,8 @@ class KernelContractRule(Rule):
     description = (
         "the C run_walks prototype, the ctypes argtypes list, run_walks_native, "
         "and the kernels.py entry points must agree on names, order, and the "
-        "nullable per-walk array set"
+        "nullable per-walk array set, and the prototype must carry the CSR + "
+        "thread-count contract anchors"
     )
 
     #: Maps a ctypes argtype spelling to the C parameter shape it implies.
@@ -557,6 +558,19 @@ class KernelContractRule(Rule):
         "ctypes.c_void_p": (None, True, True),  # nullable pointer, any type
         "_I64": ("int64_t", True, False),
         "_F64": ("double", True, False),
+    }
+
+    #: Structural anchors of the CSR-only, walk-threaded kernel contract:
+    #: these parameters must appear in the C prototype with exactly this
+    #: (type, pointer) shape and must never be nullable — the data path has
+    #: no padded fallback behind them, so losing one silently changes what
+    #: the kernel traverses.
+    _REQUIRED_ANCHORS = {
+        "n_threads": ("int64_t", False),
+        "succ_indptr": ("int64_t", True),
+        "succ_indices": ("int64_t", True),
+        "pred_indptr": ("int64_t", True),
+        "pred_indices": ("int64_t", True),
     }
 
     def check_project(self, project: Project) -> Iterator[Finding]:
@@ -647,6 +661,31 @@ class KernelContractRule(Rule):
                 line=c_line,
             )
             return None
+        by_name = {p.name: p for p in c_params}
+        for anchor, (ctype, pointer) in self._REQUIRED_ANCHORS.items():
+            param = by_name.get(anchor)
+            if param is None:
+                yield Finding(
+                    code=self.code,
+                    message=(
+                        f"the C prototype is missing required parameter {anchor!r}; "
+                        "the CSR adjacency pointers and the walk-axis thread count "
+                        "are structural anchors of the kernel contract"
+                    ),
+                    path=native.rel,
+                    line=c_line,
+                )
+            elif param.nullable or param.pointer != pointer or param.ctype != ctype:
+                shape = f"{'const ' if pointer else ''}{ctype}{' *' if pointer else ''}"
+                yield Finding(
+                    code=self.code,
+                    message=(
+                        f"C parameter {anchor!r} must be a required (never-NULL) "
+                        f"{shape}; the kernel has no fallback representation behind it"
+                    ),
+                    path=native.rel,
+                    line=c_line,
+                )
         if argtypes is None:
             yield Finding(
                 code=self.code,

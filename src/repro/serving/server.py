@@ -47,6 +47,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+from repro.aco import _native
 from repro.aco.params import ACOParams
 from repro.experiments.cache import ResultCache
 from repro.experiments.engine import (
@@ -332,6 +333,10 @@ class LayoutServer:
 
     async def run(self) -> int:
         """Serve until drained; returns the process exit code."""
+        # Resolve the walk-kernel thread count before binding the socket so
+        # an invalid REPRO_ACO_THREADS fails startup with the canonical
+        # error instead of surfacing mid-batch.
+        n_threads = _native.effective_threads()
         loop = asyncio.get_running_loop()
         self._loop = loop
         self._wake = asyncio.Event()
@@ -356,7 +361,13 @@ class LayoutServer:
                 pass
         self._ready = True
         if self.config.announce:
+            # The URL line stays bare: load tools anchor a port regex on it.
             print(f"serving on http://{self.config.host}:{self.port}", flush=True)
+            print(
+                f"walk kernel: {n_threads} thread(s), "
+                f"{_native.thread_support()} backend",
+                flush=True,
+            )
         await self._stopped.wait()
         return self._exit_code
 

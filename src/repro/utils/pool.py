@@ -112,35 +112,43 @@ class _RemoteTraceback(Exception):
         super().__init__(f"\n--- worker-side traceback ---\n{tb}")
 
 
-def effective_workers(requested: int | None = None, n_tasks: int | None = None) -> int:
+def effective_workers(
+    requested: int | None = None,
+    n_tasks: int | None = None,
+    *,
+    env_var: str = REPRO_JOBS_ENV,
+) -> int:
     """Resolve the worker count for a pool.
 
     An explicit *requested* value always wins.  When it is ``None`` the
-    ``REPRO_JOBS`` environment variable is consulted before falling back to
-    ``os.cpu_count()``, so CI boxes (and users) can cap every pool in the
-    library — the multi-colony driver, the experiment engine, the colony
-    runtime — with one setting instead of each call site reading the raw CPU
-    count.  The result is additionally clamped to *n_tasks* (no point
-    spawning more workers than tasks) and floored at 1.
+    *env_var* environment variable (``REPRO_JOBS`` by default) is consulted
+    before falling back to ``os.cpu_count()``, so CI boxes (and users) can
+    cap every pool in the library — the multi-colony driver, the experiment
+    engine, the colony runtime — with one setting instead of each call site
+    reading the raw CPU count.  The native kernel's thread resolution
+    (:func:`repro.aco._native.effective_threads`) reuses the same ladder
+    with ``env_var="REPRO_ACO_THREADS"``.  The result is additionally
+    clamped to *n_tasks* (no point spawning more workers than tasks) and
+    floored at 1.
 
-    Invalid inputs raise: an explicit *requested* below 1, and a
-    ``REPRO_JOBS`` value that is non-integer or below 1, are configuration
-    errors, not something to silently coerce.
+    Invalid inputs raise: an explicit *requested* below 1, and an *env_var*
+    value that is non-integer or below 1, are configuration errors, not
+    something to silently coerce.
     """
     if requested is not None and requested < 1:
         raise ValidationError(f"worker count must be >= 1, got {requested}")
     if requested is None:
-        env = os.environ.get(REPRO_JOBS_ENV, "").strip()
+        env = os.environ.get(env_var, "").strip()
         if env:
             try:
                 requested = int(env)
             except ValueError:
                 raise ValidationError(
-                    f"{REPRO_JOBS_ENV} must be an integer, got {env!r}"
+                    f"{env_var} must be an integer, got {env!r}"
                 ) from None
             if requested < 1:
                 raise ValidationError(
-                    f"{REPRO_JOBS_ENV} must be >= 1, got {requested}"
+                    f"{env_var} must be >= 1, got {requested}"
                 )
     if requested is None:
         requested = os.cpu_count() or 1

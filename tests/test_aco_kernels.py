@@ -266,10 +266,129 @@ class TestEvaluateAssignmentVectorized:
         assert fast.dummy_vertex_count == slow.dummy_vertex_count
 
 
+class TestThreadedBitIdentity:
+    """Thread counts {1, 2, 4} × native on/off × batched/packed.
+
+    The walk axis is embarrassingly parallel — every walk owns its output
+    rows and consumes pre-drawn randomness — so any thread count must be
+    *byte-identical* to the single-threaded serial reference.
+    """
+
+    PARAMS = ACOParams(n_ants=6, n_tours=3, seed=13, q0=0.5)
+
+    @staticmethod
+    def _require_thread_support(native: bool, threads: int):
+        if (
+            native
+            and threads > 1
+            and _native.thread_support() not in ("openmp", "pthreads")
+        ):
+            pytest.skip("native kernel compiled without thread support")
+
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    @pytest.mark.parametrize("native", [True, False], ids=["native", "numpy"])
+    def test_batched_walks_match_python_reference(self, monkeypatch, threads, native):
+        self._require_thread_support(native, threads)
+        if not native:
+            monkeypatch.setenv("REPRO_ACO_NATIVE", "0")
+        monkeypatch.setenv("REPRO_ACO_THREADS", str(threads))
+        graph = att_like_dag(40, seed=21)
+        assert_bit_identical(
+            run_engine(graph, self.PARAMS, "python"),
+            run_engine(graph, self.PARAMS, "vectorized"),
+        )
+
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    @pytest.mark.parametrize("native", [True, False], ids=["native", "numpy"])
+    def test_packed_walks_match_serial_reference(self, monkeypatch, threads, native):
+        self._require_thread_support(native, threads)
+        from repro.aco.problem import PackedProblems
+        from repro.aco.runtime import run_packed_colonies
+
+        problems = [
+            LayeringProblem.from_graph(att_like_dag(n, seed=s))
+            for n, s in ((14, 31), (26, 32), (9, 33))
+        ]
+        seeds = [[5], [7, 8], [9]]
+        monkeypatch.setenv("REPRO_ACO_THREADS", "1")
+        reference = run_packed_colonies(
+            PackedProblems.pack(problems), self.PARAMS, seeds
+        )
+        if not native:
+            monkeypatch.setenv("REPRO_ACO_NATIVE", "0")
+        monkeypatch.setenv("REPRO_ACO_THREADS", str(threads))
+        outcomes = run_packed_colonies(
+            PackedProblems.pack(problems), self.PARAMS, seeds
+        )
+        for ref, got in zip(reference, outcomes):
+            assert [o.score for o in got] == [o.score for o in ref]
+            for mine, theirs in zip(got, ref):
+                assert np.array_equal(mine.assignment, theirs.assignment)
+
+    def test_invalid_thread_env_raises_canonical_error(self, monkeypatch):
+        from repro.utils.exceptions import ValidationError
+
+        monkeypatch.setenv("REPRO_ACO_THREADS", "lots")
+        with pytest.raises(ValidationError, match="REPRO_ACO_THREADS must be an integer"):
+            _native.effective_threads()
+        monkeypatch.setenv("REPRO_ACO_THREADS", "0")
+        with pytest.raises(ValidationError, match="REPRO_ACO_THREADS must be >= 1"):
+            _native.effective_threads()
+
+    def test_explicit_request_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ACO_THREADS", "2")
+        assert _native.effective_threads(3) == 3
+        assert _native.effective_threads(None) == 2
+        # Clamped to the task count, like effective_workers.
+        assert _native.effective_threads(None, n_tasks=1) == 1
+
+
+class TestLazyPaddedStacks:
+    """The quadratic padded stacks must stay lazy: CSR-only runs never build them."""
+
+    @pytest.mark.parametrize("native", [True, False], ids=["native", "numpy"])
+    def test_colony_run_never_materialises_pads(self, monkeypatch, native):
+        if not native:
+            monkeypatch.setenv("REPRO_ACO_NATIVE", "0")
+        problem = LayeringProblem.from_graph(att_like_dag(30, seed=11))
+        AntColony(
+            problem, ACOParams(n_ants=3, n_tours=2, seed=7, engine="vectorized")
+        ).run()
+        assert problem._succ_pad_cache is None
+        assert problem._pred_pad_cache is None
+
+    @pytest.mark.parametrize("native", [True, False], ids=["native", "numpy"])
+    def test_packed_run_never_materialises_pads(self, monkeypatch, native):
+        from repro.aco.problem import PackedProblems
+        from repro.aco.runtime import run_packed_colonies
+
+        if not native:
+            monkeypatch.setenv("REPRO_ACO_NATIVE", "0")
+        problems = [
+            LayeringProblem.from_graph(att_like_dag(n, seed=s))
+            for n, s in ((12, 41), (20, 42))
+        ]
+        packed = PackedProblems.pack(problems)
+        run_packed_colonies(packed, ACOParams(n_ants=2, n_tours=2, seed=3), [[1], [2]])
+        assert packed._succ_pad_cache is None
+        assert packed._pred_pad_cache is None
+        assert all(p._succ_pad_cache is None for p in packed.problems)
+        assert all(p._pred_pad_cache is None for p in packed.problems)
+
+    def test_pad_properties_build_once_and_cache(self):
+        problem = LayeringProblem.from_graph(att_like_dag(25, seed=12))
+        pad = problem.succ_pad
+        assert problem.succ_pad is pad  # cached, not rebuilt
+        assert problem._succ_pad_cache is pad
+
+
 class TestNativeBackend:
     def test_status_is_reported(self):
         _native.load_native()
         assert isinstance(_native.native_status(), str)
+
+    def test_thread_support_is_reported(self):
+        assert _native.thread_support() in ("openmp", "pthreads", "none", "unavailable")
 
     def test_supports_small_integer_exponents_only(self):
         for beta in (0.0, 1.0, 2.0, 3.0, 4.0, 5.0):

@@ -126,6 +126,40 @@ class TestCompareCommand:
         assert code == 0
         assert "AntColony" not in capsys.readouterr().out
 
+    def test_full_announces_thread_count(self, capsys, monkeypatch):
+        # --full is where the walk kernel dominates, so the resolved thread
+        # count is announced up front.  Shrink the corpus so the test stays
+        # fast: the announce path is identical for any corpus size.
+        import repro.cli as cli
+
+        real_corpus = cli.att_like_corpus
+        monkeypatch.setattr(
+            cli,
+            "att_like_corpus",
+            lambda graphs_per_group=None, vertex_counts=None: real_corpus(
+                graphs_per_group=1, vertex_counts=(10,)
+            ),
+        )
+        monkeypatch.setenv("REPRO_ACO_THREADS", "2")
+        assert main(["compare", "--full", "--no-aco"]) == 0
+        assert "walk kernel: 2 thread(s)" in capsys.readouterr().out
+
+    def test_full_rejects_invalid_thread_env(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        real_corpus = cli.att_like_corpus
+        monkeypatch.setattr(
+            cli,
+            "att_like_corpus",
+            lambda graphs_per_group=None, vertex_counts=None: real_corpus(
+                graphs_per_group=1, vertex_counts=(10,)
+            ),
+        )
+        monkeypatch.setenv("REPRO_ACO_THREADS", "bogus")
+        assert main(["compare", "--full", "--no-aco"]) == 2
+        err = capsys.readouterr().err
+        assert "REPRO_ACO_THREADS must be an integer, got 'bogus'" in err
+
 
 class TestFiguresCommand:
     def test_single_figure(self, capsys, monkeypatch):

@@ -148,6 +148,10 @@ class TestSharedMemory:
                 "widths", "initial_assignment",
             ):
                 assert np.array_equal(getattr(problem, name), getattr(attached, name)), name
+            # The kernel path is CSR-only: the quadratic padded stacks are
+            # lazy per-process rebuilds and never travel through the block.
+            assert "succ_pad" not in shared.manifest["arrays"]
+            assert "pred_pad" not in shared.manifest["arrays"]
             assert attached.succ == problem.succ
             assert attached.pred == problem.pred
             assert np.array_equal(attached.edge_dst, problem.edge_dst)

@@ -353,8 +353,13 @@ import numpy as np
 _C_SOURCE = r"""
 void run_walks(
     int64_t n_ants,
+    int64_t n_threads,
     const int64_t *orders,
     const double *uniforms,         /* n_ants, or NULL */
+    const int64_t *succ_indptr,
+    const int64_t *succ_indices,
+    const int64_t *pred_indptr,
+    const int64_t *pred_indices,
     const int64_t *walk_steps,      /* per-walk steps, or NULL */
     double *scores)
 {
@@ -365,8 +370,13 @@ void run_walks(
 def load(lib):
     lib.run_walks.argtypes = [
         ctypes.c_int64,  # n_ants
+        ctypes.c_int64,  # n_threads
         _I64,  # orders
         ctypes.c_void_p,  # uniforms (nullable)
+        _I64,  # succ_indptr
+        _I64,  # succ_indices
+        _I64,  # pred_indptr
+        _I64,  # pred_indices
         ctypes.c_void_p,  # walk_steps (nullable)
         _F64,  # scores
     ]
@@ -376,8 +386,13 @@ def load(lib):
 def run_walks_native(
     lib,
     *,
+    n_threads: int,
     orders: np.ndarray,
     uniforms: np.ndarray | None,
+    succ_indptr: np.ndarray,
+    succ_indices: np.ndarray,
+    pred_indptr: np.ndarray,
+    pred_indices: np.ndarray,
     walk_steps: np.ndarray | None = None,
 ) -> None:
     pass
@@ -387,17 +402,35 @@ KERNELS_OK = """
 from repro.aco import _native
 
 
-def _lockstep_walks(*, orders, uniforms, walk_steps=None):
+def _lockstep_walks(*, succ_indptr, succ_indices, pred_indptr, pred_indices,
+                    orders, uniforms, walk_steps=None):
     pass
 
 
 def run_walks_batch(problem, params, orders, uniforms):
-    return _native.run_walks_native(lib, orders=orders, uniforms=uniforms)
+    return _native.run_walks_native(
+        lib,
+        n_threads=_native.effective_threads(n_tasks=2),
+        orders=orders,
+        uniforms=uniforms,
+        succ_indptr=problem.succ_indptr,
+        succ_indices=problem.succ_indices,
+        pred_indptr=problem.pred_indptr,
+        pred_indices=problem.pred_indices,
+    )
 
 
 def run_walks_packed(packed, params, walk_graph, orders, uniforms):
     return _native.run_walks_native(
-        lib, orders=orders, uniforms=uniforms, walk_steps=walk_graph.steps
+        lib,
+        n_threads=_native.effective_threads(n_tasks=2),
+        orders=orders,
+        uniforms=uniforms,
+        succ_indptr=packed.succ_indptr,
+        succ_indices=packed.succ_indices,
+        pred_indptr=packed.pred_indptr,
+        pred_indices=packed.pred_indices,
+        walk_steps=walk_graph.steps,
     )
 """
 
@@ -419,7 +452,59 @@ class TestKernelContractRule:
         broken = NATIVE_OK.replace("        _F64,  # scores\n", "")
         report = lint_kernel_pair(tmp_path, broken, KERNELS_OK)
         assert "RPL004" in codes(report)
-        assert any("4 entries" in f.message for f in report.findings)
+        assert any("9 entries" in f.message for f in report.findings)
+
+    def test_missing_csr_anchor_flagged(self, tmp_path):
+        # Drop one CSR pointer from prototype, argtypes, wrapper, lockstep
+        # and both call sites consistently — every parity check stays happy,
+        # only the required-anchor check can catch the loss.
+        broken_native = (
+            NATIVE_OK.replace("    const int64_t *pred_indices,\n", "")
+            .replace("        _I64,  # pred_indices\n", "")
+            .replace("    pred_indices: np.ndarray,\n", "")
+        )
+        broken_kernels = KERNELS_OK.replace(
+            "        pred_indices=problem.pred_indices,\n", ""
+        ).replace("        pred_indices=packed.pred_indices,\n", "")
+        broken_kernels = broken_kernels.replace(
+            "def _lockstep_walks(*, succ_indptr, succ_indices, pred_indptr, pred_indices,",
+            "def _lockstep_walks(*, succ_indptr, succ_indices, pred_indptr,",
+        )
+        report = lint_kernel_pair(tmp_path, broken_native, broken_kernels)
+        assert any(
+            f.code == "RPL004" and "'pred_indices'" in f.message and "missing" in f.message
+            for f in report.findings
+        )
+
+    def test_nullable_anchor_flagged(self, tmp_path):
+        # An anchor demoted to nullable (c_void_p + "or NULL") passes the
+        # positional argtype parity but must trip the anchor shape check.
+        broken = NATIVE_OK.replace(
+            "    const int64_t *succ_indptr,",
+            "    const int64_t *succ_indptr,  /* or NULL */",
+        ).replace("        _I64,  # succ_indptr", "        ctypes.c_void_p,  # succ_indptr")
+        broken = broken.replace(
+            "    succ_indptr: np.ndarray,", "    succ_indptr: np.ndarray | None,"
+        )
+        report = lint_kernel_pair(tmp_path, broken, KERNELS_OK)
+        assert any(
+            f.code == "RPL004" and "'succ_indptr'" in f.message and "never-NULL" in f.message
+            for f in report.findings
+        )
+
+    def test_missing_thread_count_flagged(self, tmp_path):
+        broken = (
+            NATIVE_OK.replace("    int64_t n_threads,\n", "")
+            .replace("        ctypes.c_int64,  # n_threads\n", "")
+            .replace("    n_threads: int,\n", "")
+        )
+        broken_kernels = KERNELS_OK.replace(
+            "        n_threads=_native.effective_threads(n_tasks=2),\n", ""
+        )
+        report = lint_kernel_pair(tmp_path, broken, broken_kernels)
+        assert any(
+            f.code == "RPL004" and "'n_threads'" in f.message for f in report.findings
+        )
 
     def test_nullable_position_mismatch_flagged(self, tmp_path):
         # The C prototype says `uniforms` may be NULL; pass it as a strict
@@ -442,10 +527,7 @@ class TestKernelContractRule:
         )
 
     def test_unknown_callsite_keyword_flagged(self, tmp_path):
-        broken = KERNELS_OK.replace(
-            "run_walks_native(lib, orders=orders, uniforms=uniforms)",
-            "run_walks_native(lib, orders=orders, uniform_draws=uniforms)",
-        )
+        broken = KERNELS_OK.replace("uniforms=uniforms,", "uniform_draws=uniforms,")
         report = lint_kernel_pair(tmp_path, NATIVE_OK, broken)
         assert any(
             f.code == "RPL004" and "uniform_draws" in f.message for f in report.findings

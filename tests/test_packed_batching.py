@@ -171,6 +171,9 @@ class TestPackedProblems:
                 assert np.array_equal(
                     getattr(packed, name), getattr(attached, name)
                 ), name
+            # CSR-only block: the lazy padded stacks never cross the boundary.
+            assert "succ_pad" not in shared.manifest["arrays"]
+            assert "pred_pad" not in shared.manifest["arrays"]
             assert attached.max_n_vertices == packed.max_n_vertices
             assert attached.max_n_cols == packed.max_n_cols
             for mine, theirs in zip(attached.problems, packed.problems):

@@ -348,3 +348,16 @@ def _aco_spec():
     from repro.experiments.engine import MethodSpec
 
     return MethodSpec.ant_colony(ACOParams(n_ants=2, n_tours=2, seed=0))
+
+
+class TestThreadEnvResolution:
+    def test_invalid_thread_env_fails_startup(self, monkeypatch):
+        # The walk-kernel thread count is resolved before the socket binds,
+        # so a bad REPRO_ACO_THREADS is a startup error with the canonical
+        # message, not a mid-batch surprise.
+        monkeypatch.setenv("REPRO_ACO_THREADS", "bogus")
+        server = LayoutServer(ServeConfig(prewarm=False, announce=False))
+        with pytest.raises(
+            ValidationError, match="REPRO_ACO_THREADS must be an integer"
+        ):
+            asyncio.run(server.run())
