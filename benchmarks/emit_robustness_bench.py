@@ -15,9 +15,18 @@ batched`` uses):
   checksums the cache and journal now embed, measured directly on a
   representative record and scaled to two writes per cell (one cache entry,
   one journal line) — the worst case of a fully cached + journaled run.
+* ``governance`` — the resource governor's fault-free cost, measured
+  directly (run-to-run scheduler noise dwarfs it as a wall-clock delta):
+  the greedy budget planner timed on full corpus-graph chunks and scaled
+  as if every cell were packed, plus one circuit-breaker
+  ``allow``/``record_success`` pair scaled to a deliberately generous
+  per-cell call ceiling — both upper bounds.  A run with a generous
+  (never-splitting) ``memory_budget`` armed is also executed and asserted
+  bit-identical.  Its ``governance_overhead_pct`` carries its own 5%
+  acceptance bar.
 
-``overhead_pct`` is the sum of both, against the plain batched wall-clock —
-the number the acceptance bar caps at 5%.  Results land in
+``overhead_pct`` is the sum of the first two, against the plain batched
+wall-clock — the number the acceptance bar caps at 5%.  Results land in
 ``BENCH_robustness.json`` at the repository root (refresh with
 ``PYTHONPATH=src python benchmarks/emit_robustness_bench.py``).
 """
@@ -60,6 +69,18 @@ DETERMINISTIC_METRICS = (
 #: A deadline no fault-free cell approaches: the watchdog always arms and
 #: never fires, so the measurement isolates the machinery itself.
 NEVER_FIRING_TIMEOUT_S = 600.0
+
+#: A memory budget no pack in the bench corpus approaches: the cost model
+#: prices every planned pack but never splits one, so the governed run's
+#: delta is pure governance machinery.
+NEVER_SPLITTING_BUDGET = 1 << 34  # 16 GiB
+
+#: Deliberately generous ceiling on breaker ``allow``/``record_success``
+#: pairs billed per cell.  Measured on this workload the batched path makes
+#: ~0.1 ``allow`` calls per cell (kernel/batched/cache/journal checkpoints
+#: are per pack sweep, not per cell), so 8 is close to two orders of
+#: magnitude of headroom — the scaled cost is a firm upper bound.
+BREAKER_PAIRS_PER_CELL = 8
 
 
 def _timed_run(corpus, specs, engine) -> tuple[float, object]:
@@ -113,6 +134,57 @@ def _checksum_cost_s(cells: int) -> float:
     return per_digest * cells * 2
 
 
+def _budget_planning_cost_s(graphs, cells: int) -> float:
+    """Direct cost of pricing packs under an armed memory budget.
+
+    Times one full planner chunk — per-graph :func:`problem_stats` plus the
+    greedy loop's prefix estimates — on real corpus graphs, then scales as
+    if *every* cell were packed (non-ACO cells are never priced, so this is
+    an upper bound, matching the breaker measurement's convention).
+    """
+    from repro.experiments.engine import DEFAULT_BATCH_SIZE
+    from repro.utils import resources
+
+    chunk = [graphs[i % len(graphs)] for i in range(DEFAULT_BATCH_SIZE)]
+    reps = 20
+
+    def plan_one_chunk() -> None:
+        stats = [resources.problem_stats(g) for g in chunk]
+        for k in range(1, len(stats) + 1):
+            resources.pack_cost_from_stats(stats[:k])
+
+    plan_one_chunk()
+    start = time.perf_counter()
+    for _ in range(reps):
+        plan_one_chunk()
+    per_chunk = (time.perf_counter() - start) / reps
+    n_chunks = -(-cells // DEFAULT_BATCH_SIZE)  # ceil
+    return per_chunk * n_chunks
+
+
+def _breaker_cost_s(cells: int) -> float:
+    """Direct cost of the circuit-breaker checkpoints for *cells* cells.
+
+    One ``allow`` + ``record_success`` pair is timed on a private governor
+    (the process-global one must not accumulate bench state) and scaled by
+    :data:`BREAKER_PAIRS_PER_CELL` — an intentional over-count, so the
+    reported governance overhead is an upper bound.
+    """
+    from repro.utils.resources import ResourceGovernor
+
+    governor = ResourceGovernor()
+    reps = 5000
+    for _ in range(100):
+        governor.allow("native-kernel")
+        governor.record_success("native-kernel")
+    start = time.perf_counter()
+    for _ in range(reps):
+        governor.allow("native-kernel")
+        governor.record_success("native-kernel")
+    per_pair = (time.perf_counter() - start) / reps
+    return per_pair * cells * BREAKER_PAIRS_PER_CELL
+
+
 def measure_robustness_overhead(*, graphs_per_group: int | None = None) -> dict:
     """Time the batched workload with hardening off vs. on and summarise."""
     corpus = att_like_corpus(graphs_per_group=graphs_per_group)
@@ -127,6 +199,11 @@ def measure_robustness_overhead(*, graphs_per_group: int | None = None) -> dict:
             executor="batched", cell_timeout=NEVER_FIRING_TIMEOUT_S, retries=2
         )
 
+    def governed_engine():
+        return ExperimentEngine(
+            executor="batched", memory_budget=NEVER_SPLITTING_BUDGET
+        )
+
     # One untimed warmup first — the process's first pass pays allocator and
     # page-fault costs that would otherwise be billed to whichever
     # configuration happens to run first.
@@ -137,19 +214,34 @@ def measure_robustness_overhead(*, graphs_per_group: int | None = None) -> dict:
     # a single bad pass easily swamps it.
     plain_s, plain = _timed_run(corpus, specs, plain_engine())
     hardened_s, hardened = _timed_run(corpus, specs, hardened_engine())
-    for _ in range(2):
+    # Interleaved best-of-five: on a busy 1-CPU box a single noisy pass is
+    # worth several percent, easily swamping the real (sub-1%) delta.
+    for _ in range(4):
         plain_s = min(plain_s, _timed_run(corpus, specs, plain_engine())[0])
         hardened_s = min(
             hardened_s, _timed_run(corpus, specs, hardened_engine())[0]
         )
+    # The governed run is for bit-identity, not timing: run-to-run
+    # scheduler noise on a shared box dwarfs the planner's real cost, so
+    # that cost is measured directly below instead of as a wall-clock
+    # delta.
+    governed_s, governed = _timed_run(corpus, specs, governed_engine())
 
     for metric in DETERMINISTIC_METRICS:
         if hardened.all_series(metric) != plain.all_series(metric):
             raise RuntimeError(f"hardened batched run diverged on {metric}")
+        if governed.all_series(metric) != plain.all_series(metric):
+            raise RuntimeError(f"governed batched run diverged on {metric}")
 
     watchdog_s = max(0.0, hardened_s - plain_s)
     checksum_s = _checksum_cost_s(cells)
     overhead_pct = (watchdog_s + checksum_s) / plain_s * 100.0
+
+    budget_planning_s = _budget_planning_cost_s(
+        [entry.graph for entry in corpus], cells
+    )
+    breaker_s = _breaker_cost_s(cells)
+    governance_overhead_pct = (budget_planning_s + breaker_s) / plain_s * 100.0
 
     return {
         "benchmark": "robustness_overhead",
@@ -173,6 +265,29 @@ def measure_robustness_overhead(*, graphs_per_group: int | None = None) -> dict:
         "overhead_pct": round(overhead_pct, 2),
         "acceptance_max_pct": 5.0,
         "tables_identical": True,
+        "governance": {
+            "description": (
+                "Fault-free cost of the resource governor, measured "
+                "directly: the greedy budget planner timed on full "
+                "corpus-graph chunks and scaled as if every cell were "
+                "packed, plus one breaker allow/record_success pair scaled "
+                "to %d checkpoints per cell — both upper bounds.  A run "
+                "with a never-splitting memory_budget=%d armed is also "
+                "executed and asserted bit-identical to the plain run."
+                % (BREAKER_PAIRS_PER_CELL, NEVER_SPLITTING_BUDGET)
+            ),
+            "governed_batched_s": round(governed_s, 6),
+            "budget_planning_s": round(budget_planning_s, 6),
+            "budget_planning_overhead_pct": round(
+                budget_planning_s / plain_s * 100.0, 2
+            ),
+            "breaker_pairs_per_cell": BREAKER_PAIRS_PER_CELL,
+            "breaker_s": round(breaker_s, 6),
+            "breaker_overhead_pct": round(breaker_s / plain_s * 100.0, 2),
+            "governance_overhead_pct": round(governance_overhead_pct, 2),
+            "acceptance_max_pct": 5.0,
+            "tables_identical": True,
+        },
     }
 
 
@@ -181,6 +296,9 @@ def _history_metrics(record: dict) -> dict | None:
     for key in ("cells", "plain_batched_s", "hardened_batched_s", "overhead_pct"):
         if key in record:
             out[key] = record[key]
+    governance = record.get("governance")
+    if isinstance(governance, dict) and "governance_overhead_pct" in governance:
+        out["governance_overhead_pct"] = governance["governance_overhead_pct"]
     return out or None
 
 
@@ -202,6 +320,11 @@ def main(argv: list[str] | None = None) -> None:
         ),
     )
     args = parser.parse_args(argv)
+    # The smoke corpus finishes in ~0.1s, where scheduler noise alone is
+    # worth several percent; the strict bar is for the checked-in
+    # full-corpus record, the smoke gate only catches order-of-magnitude
+    # regressions.
+    bar_scale = 3.0 if args.smoke else 1.0
     if args.smoke:
         results = measure_robustness_overhead(graphs_per_group=1)
         path = write_bench_json(
@@ -226,10 +349,26 @@ def main(argv: list[str] | None = None) -> None:
         f"  total             {results['overhead_pct']:.2f}% "
         f"(acceptance <= {results['acceptance_max_pct']:.0f}%)"
     )
-    if results["overhead_pct"] > results["acceptance_max_pct"]:
+    governance = results["governance"]
+    print(
+        f"  governance        {governance['governance_overhead_pct']:.2f}% "
+        f"(budget planning {governance['budget_planning_overhead_pct']:.2f}% "
+        f"+ breakers {governance['breaker_overhead_pct']:.2f}%; "
+        f"acceptance <= {governance['acceptance_max_pct']:.0f}%)"
+    )
+    if results["overhead_pct"] > results["acceptance_max_pct"] * bar_scale:
         raise SystemExit(
             f"hardening overhead {results['overhead_pct']:.2f}% exceeds the "
-            f"{results['acceptance_max_pct']:.0f}% acceptance bar"
+            f"{results['acceptance_max_pct'] * bar_scale:.0f}% acceptance bar"
+        )
+    if (
+        governance["governance_overhead_pct"]
+        > governance["acceptance_max_pct"] * bar_scale
+    ):
+        raise SystemExit(
+            f"governance overhead {governance['governance_overhead_pct']:.2f}% "
+            f"exceeds the {governance['acceptance_max_pct'] * bar_scale:.0f}% "
+            "acceptance bar"
         )
 
 

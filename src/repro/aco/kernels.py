@@ -52,6 +52,7 @@ from repro.aco.heuristic import AssignmentScore, LayerWidths, compact_ranks
 from repro.aco.params import ACOParams
 from repro.aco.pheromone import PheromoneMatrix
 from repro.aco.problem import LayeringProblem
+from repro.utils import resources
 
 __all__ = [
     "fused_pow",
@@ -244,6 +245,58 @@ def evaluate_assignment_vectorized(
 # ---------------------------------------------------------------------- #
 
 
+def _native_walks_guarded(
+    native_lib: object,
+    *,
+    n_tasks: int,
+    assignment: np.ndarray,
+    real: np.ndarray,
+    crossing: np.ndarray,
+    occupancy: np.ndarray,
+    **native_kwargs: object,
+) -> np.ndarray | None:
+    """Run the native kernel under the resource governor's breakers.
+
+    Two degradation rungs apply, in order: an open ``native-kernel``
+    breaker skips the native library entirely (the NumPy lockstep is
+    bit-identical, so the fallback is invisible in results); an open
+    ``native-threads`` breaker keeps the native kernel but forces a
+    single-threaded call.  The kernel mutates ``real``/``crossing``/
+    ``occupancy`` in place, so they are snapshotted before the attempt and
+    restored on failure — the NumPy fallback must start from the exact
+    pre-call layer state or bit-identity is lost.
+
+    Returns the assignment array on success, ``None`` when the caller
+    should take the NumPy fallback.
+    """
+    governor = resources.governor()
+    if not governor.allow("native-kernel"):
+        return None
+    n_threads = _native.effective_threads(n_tasks=n_tasks)
+    if n_threads > 1 and not governor.allow("native-threads"):
+        n_threads = 1
+    saved = (real.copy(), crossing.copy(), occupancy.copy())
+    try:
+        _native.run_walks_native(
+            native_lib,
+            n_threads=n_threads,
+            assignment=assignment,
+            real=real,
+            crossing=crossing,
+            occupancy=occupancy,
+            **native_kwargs,
+        )
+    except Exception as exc:  # noqa: BLE001 - any native fault degrades
+        real[:], crossing[:], occupancy[:] = saved
+        rung = "native-threads" if n_threads > 1 else "native-kernel"
+        governor.record_failure(rung, f"{type(exc).__name__}: {exc}")
+        return None
+    governor.record_success("native-kernel")
+    if n_threads > 1:
+        governor.record_success("native-threads")
+    return assignment
+
+
 def run_walks_batch(
     problem: LayeringProblem,
     params: ACOParams,
@@ -288,9 +341,9 @@ def run_walks_batch(
     if native_lib is not None:
         assignment = np.empty((n_ants, n), dtype=np.int64)
         assignment[:] = base_assignment
-        _native.run_walks_native(
+        result = _native_walks_guarded(
             native_lib,
-            n_threads=_native.effective_threads(n_tasks=n_ants),
+            n_tasks=n_ants,
             orders=orders,
             uniforms=uniforms,
             succ_indptr=problem.succ_indptr,
@@ -311,7 +364,8 @@ def run_walks_batch(
             crossing=crossing,
             occupancy=occupancy,
         )
-        return assignment
+        if result is not None:
+            return result
 
     # NumPy fallback: the shared lockstep core with uniform per-walk
     # parameters (every walk is the same graph at offset zero).
@@ -393,9 +447,9 @@ def run_walks_packed(
     if native_lib is not None:
         assignment = np.empty((n_walks, max_n), dtype=np.int64)
         assignment[:] = base_assignment
-        _native.run_walks_native(
+        result = _native_walks_guarded(
             native_lib,
-            n_threads=_native.effective_threads(n_tasks=n_walks),
+            n_tasks=n_walks,
             orders=orders,
             uniforms=uniforms,
             succ_indptr=packed.succ_indptr,
@@ -420,7 +474,8 @@ def run_walks_packed(
             walk_ibase=np.ascontiguousarray(packed.indptr_offset[walk_graph]),
             walk_layers=np.ascontiguousarray(layers_w),
         )
-        return assignment
+        if result is not None:
+            return result
 
     return _lockstep_walks(
         succ_indptr=packed.succ_indptr,

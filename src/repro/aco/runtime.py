@@ -61,7 +61,7 @@ from repro.aco.problem import LayeringProblem, PackedProblems
 from repro.graph.digraph import DiGraph
 from repro.layering.base import Layering
 from repro.layering.metrics import evaluate_layering
-from repro.utils import shm_manifest
+from repro.utils import resources, shm_manifest
 from repro.utils.exceptions import ValidationError
 from repro.utils.pool import effective_workers, map_with_state
 from repro.utils.rng import as_generator
@@ -535,20 +535,30 @@ def _run_sharded(
         if indices:
             tasks.append((indices, [seeds[i] for i in indices]))
 
-    shared = publish_problem(problem)
-    try:
-        shards = map_with_state(
-            _run_shard,
-            tasks,
-            executor="process",
-            max_workers=n_shards,
-            init_fn=_attach_state,
-            payload=(shared.manifest, params.as_dict()),
-        )
-    finally:
-        shared.close()
-        shared.unlink()
-    return [outcome for shard in shards for outcome in shard]
+    governor = resources.governor()
+    if governor.allow("shm-publish"):
+        try:
+            shared = publish_problem(problem)
+        except OSError as exc:
+            # /dev/shm full (ENOSPC) or otherwise unusable: degrade to one
+            # in-process batch — bit-identical, just not process-sharded.
+            governor.record_failure("shm-publish", f"{type(exc).__name__}: {exc}")
+        else:
+            governor.record_success("shm-publish")
+            try:
+                shards = map_with_state(
+                    _run_shard,
+                    tasks,
+                    executor="process",
+                    max_workers=n_shards,
+                    init_fn=_attach_state,
+                    payload=(shared.manifest, params.as_dict()),
+                )
+            finally:
+                shared.close()
+                shared.unlink()
+            return [outcome for shard in shards for outcome in shard]
+    return run_colonies_batch(problem, params, seeds)
 
 
 def colonies_aco_layering(
@@ -1010,7 +1020,17 @@ def run_packed_colonies(
             tasks.append(
                 (graph_ids, {g: list(seeds_per_graph[g]) for g in graph_ids})
             )
-    shared = publish_packed(packed)
+    governor = resources.governor()
+    if not governor.allow("shm-publish"):
+        return _run_packed_range(packed, params, seeds_per_graph, list(range(n_graphs)))
+    try:
+        shared = publish_packed(packed)
+    except OSError as exc:
+        # /dev/shm full (ENOSPC) or otherwise unusable: degrade to one
+        # in-process sweep — bit-identical, just not process-sharded.
+        governor.record_failure("shm-publish", f"{type(exc).__name__}: {exc}")
+        return _run_packed_range(packed, params, seeds_per_graph, list(range(n_graphs)))
+    governor.record_success("shm-publish")
     try:
         shards = map_with_state(
             _run_packed_shard,

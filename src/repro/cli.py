@@ -67,6 +67,7 @@ import argparse
 import contextlib
 import json
 import re
+import shutil
 import signal
 import sys
 import time
@@ -87,7 +88,7 @@ from repro.graph.io import read_edgelist, read_json, write_json
 from repro.layering.metrics import evaluate_layering
 from repro.sugiyama.pipeline import LAYERING_METHODS, sugiyama_layout
 from repro.sugiyama.render import render_ascii, render_svg
-from repro.utils import shm_manifest
+from repro.utils import resources, shm_manifest
 from repro.utils.exceptions import ReproError
 
 __all__ = ["main", "build_parser"]
@@ -350,6 +351,18 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
             "(default 0)"
         ),
     )
+    parser.add_argument(
+        "--memory-budget",
+        default=None,
+        metavar="SIZE",
+        help=(
+            "per-pack working-set budget, e.g. 512M or 2G: the batched "
+            "planner splits megabatches to fit it (results unchanged), and "
+            "process workers run under a matching RLIMIT_AS soft cap so an "
+            "over-budget cell dies as a labelled 'oom' failure instead of "
+            "taking the run down (default: no budget)"
+        ),
+    )
 
 
 class _SignalInterrupt(BaseException):
@@ -398,6 +411,11 @@ def _engine(args: argparse.Namespace):
         batch_size=args.batch_size,
         cell_timeout=args.cell_timeout,
         retries=args.retries,
+        memory_budget=(
+            _parse_size(args.memory_budget)
+            if args.memory_budget is not None
+            else None
+        ),
     )
 
     def _on_signal(signum, frame):
@@ -445,6 +463,13 @@ def _engine(args: argparse.Namespace):
                 )
         if engine.journal is not None:
             engine.journal.close()
+        degraded = resources.governor().degraded()
+        if degraded:
+            sys.stderr.write(
+                "resource governor: run finished with degraded rungs: "
+                + ", ".join(degraded)
+                + " (results are unchanged; see README 'Resource limits')\n"
+            )
 
 
 def _add_aco_options(parser: argparse.ArgumentParser) -> None:
@@ -605,7 +630,14 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     older_than = (
         _parse_duration(args.older_than) if args.older_than is not None else None
     )
-    result = cache.prune(max_size_bytes=max_size, older_than_seconds=older_than)
+    free_below = (
+        _parse_size(args.free_below) if args.free_below is not None else None
+    )
+    result = cache.prune(
+        max_size_bytes=max_size,
+        older_than_seconds=older_than,
+        free_below_bytes=free_below,
+    )
     print(
         f"pruned {result.removed} entries ({_format_bytes(result.freed_bytes)}); "
         f"kept {result.kept} ({_format_bytes(result.kept_bytes)})"
@@ -628,6 +660,23 @@ def _cmd_clean(args: argparse.Namespace) -> int:
     older_than = (
         _parse_duration(args.older_than) if args.older_than is not None else None
     )
+    if args.free_below is not None and older_than is None:
+        # Free-space watermark: when the shm filesystem is below it, a
+        # stale-but-pid-alive manifest is worth more reclaimed than kept
+        # (pids recycle), so escalate to an age-0 sweep-everything pass.
+        watermark = _parse_size(args.free_below)
+        shm_root = Path("/dev/shm")
+        probe = shm_root if shm_root.is_dir() else shm_manifest.manifest_dir()
+        try:
+            free = shutil.disk_usage(probe).free
+        except OSError:
+            free = None
+        if free is not None and free < watermark:
+            print(
+                f"free space under {probe} is {_format_bytes(free)} "
+                f"(< {_format_bytes(watermark)}): sweeping all stale manifests"
+            )
+            older_than = 0.0
     result = shm_manifest.sweep(older_than_seconds=older_than)
     print(
         f"swept {result.manifests_removed} stale run manifests; "
@@ -654,6 +703,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         prewarm=not args.no_prewarm,
         exit_on_drain_timeout=True,
+        memory_budget=(
+            _parse_size(args.memory_budget)
+            if args.memory_budget is not None
+            else None
+        ),
     )
     return serve(config)
 
@@ -768,6 +822,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache_prune.add_argument(
         "--older-than", help="evict entries older than this, e.g. 30s, 45m, 12h, 7d"
     )
+    p_cache_prune.add_argument(
+        "--free-below",
+        help=(
+            "disk-full watermark: evict oldest-first until the cache "
+            "directory's filesystem has at least this much free space, "
+            "e.g. 512M, 2G"
+        ),
+    )
     p_cache_prune.set_defaults(func=_cmd_cache)
 
     p_clean = sub.add_parser(
@@ -780,6 +842,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "also sweep manifests older than this even if a process with "
             "the recorded pid is still alive (pids recycle), e.g. 12h, 7d"
+        ),
+    )
+    p_clean.add_argument(
+        "--free-below",
+        default=None,
+        help=(
+            "shm free-space watermark, e.g. 256M: when /dev/shm has less "
+            "free space than this, sweep every stale manifest regardless "
+            "of pid liveness (implied --older-than 0)"
         ),
     )
     p_clean.set_defaults(func=_cmd_clean)
@@ -827,6 +898,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument("--cache-dir", help="result-cache directory shared with CLI runs")
     p_serve.add_argument("--jobs", type=int, help="engine worker cap (default: REPRO_JOBS/CPUs)")
+    p_serve.add_argument(
+        "--memory-budget",
+        default=None,
+        metavar="SIZE",
+        help=(
+            "per-pack working-set budget, e.g. 512M: requests whose own "
+            "cost estimate exceeds it answer 413, and megabatches are "
+            "split to fit (default: no budget)"
+        ),
+    )
     p_serve.add_argument(
         "--no-prewarm",
         action="store_true",

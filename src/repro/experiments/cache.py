@@ -48,9 +48,11 @@ already treats a missing file as a miss.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
+import shutil
 import tempfile
 import time
 from collections import OrderedDict
@@ -60,7 +62,7 @@ from typing import Any
 
 import repro
 from repro.layering.metrics import LayeringMetrics
-from repro.utils import chaos
+from repro.utils import chaos, resources
 from repro.utils.exceptions import ValidationError
 
 __all__ = [
@@ -317,10 +319,19 @@ class ResultCache:
         that instant); recreate and retry instead of letting the race abort
         a running experiment.
 
-        *chaos_id* opts the write into ``corrupt-cache`` chaos rules (the
-        cell id the rules are matched against): a firing rule garbles the
-        entry's bytes on disk after the atomic write, rehearsing exactly the
-        corruption the checksum verification exists to catch.
+        *chaos_id* opts the write into ``corrupt-cache`` and ``enospc``
+        chaos rules (the cell id the rules are matched against): a firing
+        ``corrupt-cache`` rule garbles the entry's bytes on disk after the
+        atomic write, rehearsing exactly the corruption the checksum
+        verification exists to catch; a firing ``enospc`` rule makes the
+        write fail as a full disk would.
+
+        Disk-full safety: the disk layer is guarded by the resource
+        governor's ``cache-disk`` breaker.  A write that fails with
+        :class:`OSError` (``ENOSPC`` prominently) degrades the cache to
+        memory-only — the entry stays served from the LRU, the failure is
+        logged once, and the disk layer is re-probed after a cooldown —
+        instead of crashing the run over an optimisation.
         """
         corrupting = chaos_id is not None and chaos.should_corrupt(chaos_id, attempt)
         if not corrupting:
@@ -328,6 +339,9 @@ class ResultCache:
             # layer, or the very lookup the chaos rule wants to poison would
             # be served the healthy value.
             self._remember(key, CachedCell(metrics=metrics, running_time=running_time))
+        governor = resources.governor()
+        if not governor.allow("cache-disk"):
+            return  # memory-only: the disk layer is fenced off
         path = self.path_for(key)
         record = {
             "format": CACHE_FORMAT,
@@ -336,25 +350,32 @@ class ResultCache:
             "running_time": running_time,
         }
         record["sha256"] = content_digest(record)
-        for attempt in range(3):
-            path.parent.mkdir(parents=True, exist_ok=True)
-            try:
-                fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-            except FileNotFoundError:
-                if attempt == 2:
-                    raise
-                continue  # shard pruned from under us: re-create it
-            break
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(record, handle)
-            os.replace(tmp_name, path)
-        except BaseException:
+            if chaos_id is not None and chaos.should_enospc(chaos_id, attempt):
+                raise OSError(errno.ENOSPC, os.strerror(errno.ENOSPC), str(path))
+            for retry in range(3):
+                path.parent.mkdir(parents=True, exist_ok=True)
+                try:
+                    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+                except FileNotFoundError:
+                    if retry == 2:
+                        raise
+                    continue  # shard pruned from under us: re-create it
+                break
             try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(record, handle)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError as exc:
+            governor.record_failure("cache-disk", str(exc))
+            return
+        governor.record_success("cache-disk")
         if corrupting:
             self._garble(path)
 
@@ -430,10 +451,20 @@ class ResultCache:
         *,
         max_size_bytes: int | None = None,
         older_than_seconds: float | None = None,
+        free_below_bytes: int | None = None,
         now: float | None = None,
     ) -> PruneResult:
-        """Evict entries: first everything older than the cutoff, then
-        oldest-first until the directory fits the size budget.
+        """Evict entries: everything older than the cutoff first, then
+        oldest-first until the directory fits the size budget, then
+        oldest-first until the filesystem has the requested free space.
+
+        Quarantined files (``corrupt/``) count toward ``max_size_bytes``
+        and are evicted in the same oldest-first order as ordinary entries
+        — bit-rotted bytes kept for post-mortems must not be able to hold a
+        size-capped cache hostage.  ``free_below_bytes`` is the disk-full
+        watermark (CLI: ``--free-below``): when the cache directory's
+        filesystem has less free space than it, entries are evicted
+        oldest-first until the eviction plan covers the deficit.
 
         Safe under concurrent readers and writers: eviction is a plain
         atomic ``unlink`` (readers already treat a missing file as a miss),
@@ -441,8 +472,10 @@ class ResultCache:
         are removed only when they stay empty.  At least one criterion is
         required — a bare prune deleting everything would be a foot-gun.
         """
-        if max_size_bytes is None and older_than_seconds is None:
-            raise ValidationError("prune needs --max-size and/or --older-than")
+        if max_size_bytes is None and older_than_seconds is None and free_below_bytes is None:
+            raise ValidationError(
+                "prune needs --max-size, --older-than and/or --free-below"
+            )
         # The memory layer mirrors the disk store; dropping it wholesale
         # keeps the contract that pruned entries are misses (and pruning is
         # rare maintenance, so a cold LRU afterwards costs nothing).
@@ -453,53 +486,72 @@ class ResultCache:
             raise ValidationError(
                 f"older_than_seconds must be >= 0, got {older_than_seconds}"
             )
+        if free_below_bytes is not None and free_below_bytes < 0:
+            raise ValidationError(
+                f"free_below_bytes must be >= 0, got {free_below_bytes}"
+            )
         now = now if now is not None else time.time()
-        entries = sorted(self._scan(), key=lambda e: (e[2], e[0].name))  # oldest first
-        doomed: list[tuple[Path, int, float]] = []
+        # One oldest-first pool mixing ordinary entries and quarantined
+        # files (tagged), so size/free-space budgets account for both.
+        pool: list[tuple[Path, int, float, bool]] = sorted(
+            [(p, s, m, False) for p, s, m in self._scan()]
+            + [(p, s, m, True) for p, s, m in self._scan_quarantine()],
+            key=lambda e: (e[2], e[0].name),
+        )
+        doomed: list[tuple[Path, int, float, bool]] = []
         if older_than_seconds is not None:
             cutoff = now - older_than_seconds
-            while entries and entries[0][2] < cutoff:
-                doomed.append(entries.pop(0))
+            pool_kept = [e for e in pool if e[2] >= cutoff]
+            doomed.extend(e for e in pool if e[2] < cutoff)
+            pool = pool_kept
         if max_size_bytes is not None:
-            kept_bytes = sum(size for _, size, _ in entries)
-            while entries and kept_bytes > max_size_bytes:
-                entry = entries.pop(0)
+            kept_bytes = sum(size for _, size, _, _ in pool)
+            while pool and kept_bytes > max_size_bytes:
+                entry = pool.pop(0)
                 doomed.append(entry)
                 kept_bytes -= entry[1]
+        if free_below_bytes is not None:
+            try:
+                disk_free = shutil.disk_usage(self.directory).free
+            except OSError:
+                disk_free = None  # directory gone: nothing to evict anyway
+            if disk_free is not None and disk_free < free_below_bytes:
+                planned = sum(size for _, size, _, _ in doomed)
+                deficit = free_below_bytes - disk_free
+                while pool and planned < deficit:
+                    entry = pool.pop(0)
+                    doomed.append(entry)
+                    planned += entry[1]
         removed = 0
         freed = 0
+        quarantine_removed = 0
         touched_shards: set[Path] = set()
-        for path, size, _ in doomed:
+        for path, size, _, quarantined in doomed:
             try:
                 path.unlink()
             except OSError:
                 continue  # already gone: someone else pruned it
-            removed += 1
-            freed += size
-            touched_shards.add(path.parent)
+            if quarantined:
+                quarantine_removed += 1
+            else:
+                removed += 1
+                freed += size
+                touched_shards.add(path.parent)
         for shard in touched_shards:
             try:
                 shard.rmdir()  # only succeeds if the shard is now empty
             except OSError:
                 pass
-        quarantine_removed = 0
-        if older_than_seconds is not None:
-            cutoff = now - older_than_seconds
-            for path, _, mtime in self._scan_quarantine():
-                if mtime < cutoff:
-                    try:
-                        path.unlink()
-                    except OSError:
-                        continue
-                    quarantine_removed += 1
+        if quarantine_removed:
             try:
                 self.quarantine_dir.rmdir()
             except OSError:
                 pass
+        kept_entries = [e for e in pool if not e[3]]
         return PruneResult(
             removed=removed,
             freed_bytes=freed,
-            kept=len(entries),
-            kept_bytes=sum(size for _, size, _ in entries),
+            kept=len(kept_entries),
+            kept_bytes=sum(size for _, size, _, _ in kept_entries),
             quarantine_removed=quarantine_removed,
         )

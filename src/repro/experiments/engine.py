@@ -108,7 +108,7 @@ from repro.layering.longest_path import longest_path_layering
 from repro.layering.metrics import LayeringMetrics, evaluate_layering
 from repro.layering.minwidth import minwidth_layering_sweep
 from repro.layering.promote import promote_layering
-from repro.utils import chaos
+from repro.utils import chaos, resources
 from repro.utils.chaos import FAIL_CELLS_ENV
 from repro.utils.exceptions import ReproError, ValidationError
 from repro.utils.pool import (
@@ -361,8 +361,10 @@ class CellError:
     """A captured per-cell failure: what went wrong, where, and how long it took.
 
     ``kind`` classifies the failure mode: ``"exception"`` (the cell raised),
-    ``"timeout"`` (the per-cell deadline passed) or ``"crash"`` (the worker
-    process running the cell died).
+    ``"timeout"`` (the per-cell deadline passed), ``"crash"`` (the worker
+    process running the cell died) or ``"oom"`` (the cell exceeded a memory
+    budget — a :class:`MemoryError` in place, or a worker death under an
+    armed ``RLIMIT_AS`` cap).
     """
 
     exc_type: str
@@ -510,14 +512,18 @@ def _safe_execute(
                 message=str(exc),
                 traceback=traceback.format_exc(),
                 running_time=time.perf_counter() - start,
+                kind="oom" if isinstance(exc, MemoryError) else "exception",
             ),
         )
 
 
 def _normalize_outcome(outcome: Any) -> CellOutcome:
-    """Fold pool-level failures (crash/timeout) into the CellOutcome shape."""
+    """Fold pool-level failures (crash/timeout/oom) into the CellOutcome shape."""
     if isinstance(outcome, TaskFailure):
-        exc_type = "WorkerCrashed" if outcome.kind == "crash" else "TaskDeadlineExceeded"
+        exc_type = {
+            "crash": "WorkerCrashed",
+            "oom": "MemoryBudgetExceeded",
+        }.get(outcome.kind, "TaskDeadlineExceeded")
         return (
             "error",
             CellError(
@@ -601,6 +607,16 @@ class ExperimentEngine:
         Base seconds of the exponential backoff between attempts; the
         jitter is seeded from the cell's content digest, so the delays — and
         with them the whole retried run — are reproducible.
+    memory_budget:
+        Optional per-worker memory budget in bytes (CLI:
+        ``--memory-budget``).  The batched planner splits any pack whose
+        estimated working set (:func:`repro.utils.resources.estimate_pack_cost`)
+        exceeds it, and process/colonies workers arm an ``RLIMIT_AS`` soft
+        cap so an over-budget cell fails as ``CellError(kind="oom")``
+        instead of OOM-killing the box.  ``oom`` failures are never
+        retried: re-running the same allocation against the same budget
+        cannot succeed, and retrying it *in-parent* (where no cap is
+        armed) could take the whole run down.
     """
 
     executor: str = "serial"
@@ -614,11 +630,13 @@ class ExperimentEngine:
     cell_timeout: float | None = None
     retries: int = 0
     retry_backoff: float = 0.05
+    memory_budget: int | None = None
     _replay: dict[str, CellResult] | None = field(
         default=None, init=False, repr=False, compare=False
     )
     _journal_ready: bool = field(default=False, init=False, repr=False, compare=False)
     _downgrade_noted: bool = field(default=False, init=False, repr=False, compare=False)
+    _split_noted: bool = field(default=False, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.executor not in ENGINE_EXECUTORS:
@@ -635,6 +653,10 @@ class ExperimentEngine:
             raise ValidationError(f"retries must be >= 0, got {self.retries}")
         if self.retry_backoff < 0:
             raise ValidationError(f"retry_backoff must be >= 0, got {self.retry_backoff}")
+        if self.memory_budget is not None and self.memory_budget < 1:
+            raise ValidationError(
+                f"memory_budget must be >= 1 byte, got {self.memory_budget}"
+            )
         if self.resume and self.journal is None:
             raise ValidationError("resume=True needs a journal (run directory)")
 
@@ -652,6 +674,7 @@ class ExperimentEngine:
         batch_size: int | None = None,
         cell_timeout: float | None = None,
         retries: int = 0,
+        memory_budget: int | None = None,
     ) -> "ExperimentEngine":
         """Build an engine from CLI-style options (``None`` means default)."""
         if resume and not run_dir:
@@ -667,6 +690,7 @@ class ExperimentEngine:
             batch_size=batch_size,
             cell_timeout=cell_timeout,
             retries=retries,
+            memory_budget=memory_budget,
         )
 
     def run(self, units: Sequence[WorkUnit]) -> list[CellResult]:
@@ -948,11 +972,20 @@ class ExperimentEngine:
         the executor: the faulted worker may be gone, and one straggler cell
         does not need a pool.  Returns ``(outcome, attempts, timeouts)``
         where *timeouts* counts deadline expiries across all attempts.
+
+        ``oom`` failures are final: the same allocation against the same
+        budget cannot succeed, and the in-parent retry path has no
+        ``RLIMIT_AS`` cap armed — retrying there could OOM the whole run
+        instead of one labelled cell.
         """
         attempts = 1
         timeouts = 1 if outcome[0] == "error" and outcome[1].kind == "timeout" else 0
         token = key if key is not None else unit.cell_id
-        while outcome[0] == "error" and attempts <= self.retries:
+        while (
+            outcome[0] == "error"
+            and outcome[1].kind != "oom"
+            and attempts <= self.retries
+        ):
             delay = self._backoff_delay(token, attempts)
             if delay > 0:
                 time.sleep(delay)
@@ -1016,6 +1049,7 @@ class ExperimentEngine:
                 payload=table,
                 task_timeout=self.cell_timeout,
                 failure_mode="result",
+                memory_limit_bytes=self.memory_budget,
             )
             if tasks
             else iter(())
@@ -1078,8 +1112,9 @@ class ExperimentEngine:
             )
             for start in range(0, len(ordered), batch_size):
                 chunk = ordered[start : start + batch_size]
-                for pos in chunk:
-                    pack_of[pos] = chunk
+                for piece in self._split_chunk_by_budget(chunk, pending):
+                    for pos in piece:
+                        pack_of[pos] = piece
 
         ready: dict[int, CellOutcome] = {}
         for pos, (_, unit) in enumerate(pending):
@@ -1092,6 +1127,58 @@ class ExperimentEngine:
                 yield ready.pop(pos)
             else:
                 yield self._attempt_cell(unit, 1)
+
+    def _split_chunk_by_budget(
+        self, chunk: list[int], pending: Sequence[tuple[int, WorkUnit]]
+    ) -> Iterator[list[int]]:
+        """Split one planned pack so each piece fits the memory budget.
+
+        Greedy in the planner's size order: graphs accumulate into a piece
+        while :func:`repro.utils.resources.estimate_pack_cost` keeps the
+        piece's estimated working set under ``memory_budget``.  A single
+        graph whose own estimate exceeds the budget still runs — as a
+        singleton pack, where the estimate is tightest and an actual
+        :class:`MemoryError` is caught and labelled ``oom`` without
+        touching any pack-mate.  Splitting never changes results: packs are
+        bit-identical to per-graph runs by the packed-runtime contract.
+        """
+        if self.memory_budget is None or len(chunk) <= 1:
+            yield chunk
+            return
+        spec = pending[chunk[0]][1].method
+        params = dict(spec.aco_params or {})
+        kwargs = {
+            "n_colonies": spec.n_colonies,
+            "n_ants": int(params.get("n_ants", 10)),
+            "n_tours": int(params.get("n_tours", 10)),
+            "alpha": float(params.get("alpha", 1.0)),
+        }
+        stats = {
+            pos: resources.problem_stats(pending[pos][1].graph) for pos in chunk
+        }
+        pieces: list[list[int]] = []
+        piece: list[int] = []
+        for pos in chunk:
+            candidate = piece + [pos]
+            estimate = resources.pack_cost_from_stats(
+                [stats[p] for p in candidate], **kwargs
+            )
+            if piece and estimate.bytes > self.memory_budget:
+                pieces.append(piece)
+                piece = [pos]
+            else:
+                piece = candidate
+        if piece:
+            pieces.append(piece)
+        if len(pieces) > 1 and not self._split_noted:
+            self._split_noted = True
+            print(
+                f"note: memory budget {self.memory_budget} bytes splits "
+                f"planned packs (first: {len(chunk)} cells -> "
+                f"{len(pieces)} packs); results are unchanged",
+                file=sys.stderr,
+            )
+        yield from pieces
 
     def _execute_pack(
         self,
@@ -1109,6 +1196,15 @@ class ExperimentEngine:
         """
         from repro.aco.problem import LayeringProblem, PackedProblems
         from repro.aco.runtime import run_packed_colonies
+
+        governor = resources.governor()
+        if not governor.allow("batched"):
+            # The batched breaker is open: the packed runtime failed
+            # repeatedly, so the degraded rung runs every cell through the
+            # (bit-identical) serial path until a probe closes it again.
+            for pos, unit in cells:
+                ready[pos] = self._attempt_cell(unit, 1)
+            return
 
         start = time.perf_counter()
         spec = cells[0][1].method
@@ -1153,6 +1249,7 @@ class ExperimentEngine:
                         message=str(exc),
                         traceback=traceback.format_exc(),
                         running_time=time.perf_counter() - cell_start,
+                        kind="oom" if isinstance(exc, MemoryError) else "exception",
                     ),
                 )
             else:
@@ -1197,6 +1294,9 @@ class ExperimentEngine:
             # The packed path failed wholesale; isolate by running each
             # surviving cell through the ordinary serial path instead — with
             # a note, so the degradation to serial speed is never silent.
+            # The failure also counts against the batched breaker: enough
+            # consecutive ones fence the packed runtime off entirely.
+            governor.record_failure("batched", f"{type(exc).__name__}: {exc}")
             print(
                 f"note: packed execution of {len(survivors)} cells failed "
                 f"({type(exc).__name__}: {exc}); re-running them serially",
@@ -1205,6 +1305,7 @@ class ExperimentEngine:
             for pos, unit in survivors:
                 ready[pos] = self._attempt_cell(unit, 1)
             return
+        governor.record_success("batched")
 
         results: list[tuple[int, CellOutcome]] = []
         for (pos, unit), problem, graph_outcomes in zip(survivors, problems, outcomes):

@@ -22,6 +22,10 @@ Robustness properties:
 * journaled *failures* are recorded (for post-mortems) but never replayed —
   a resumed run retries them, so a transient fault does not poison the
   resumed aggregate;
+* a full disk (``ENOSPC``) or any other append failure degrades the journal
+  to *best-effort*: the run keeps going with journaling disabled (resuming
+  will recompute the unjournaled cells), recorded once on the resource
+  governor's ``journal-disk`` rung rather than crashing mid-experiment;
 * keys embed ``repro.__version__`` (via the cache-key machinery), so a
   journal written by a release with different algorithm behaviour simply
   never matches and the cells are recomputed;
@@ -31,7 +35,9 @@ Robustness properties:
 
 from __future__ import annotations
 
+import errno
 import json
+import os
 from dataclasses import asdict
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Mapping, TextIO
@@ -39,6 +45,7 @@ from typing import TYPE_CHECKING, Any, Mapping, TextIO
 import repro
 from repro.experiments.cache import content_digest
 from repro.layering.metrics import LayeringMetrics
+from repro.utils import chaos, resources
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.experiments.engine import CellResult
@@ -229,10 +236,31 @@ class RunJournal:
         even when the process dies); a per-cell ``fsync`` would make the
         journal power-loss-proof but costs milliseconds per cell at
         full-corpus scale, which is not worth it here.
+
+        Append failures (a full disk, a yanked run directory) never abort
+        the run: the journal is an aid to resumability, not a correctness
+        dependency.  The first ``OSError`` trips the resource governor's
+        ``journal-disk`` breaker, after which appends are skipped until the
+        breaker's half-open probe readmits one; the degradation caveat is
+        that ``--resume`` will recompute whatever went unjournaled.
         """
-        handle = self._open()
-        handle.write(json.dumps(_record_from_cell(key, cell)) + "\n")
-        handle.flush()
+        governor = resources.governor()
+        if not governor.allow("journal-disk"):
+            return
+        try:
+            if chaos.should_enospc(f"{cell.algorithm}:{cell.graph_name}"):
+                raise OSError(errno.ENOSPC, os.strerror(errno.ENOSPC), str(self.path))
+            handle = self._open()
+            handle.write(json.dumps(_record_from_cell(key, cell)) + "\n")
+            handle.flush()
+        except OSError as exc:
+            governor.record_failure(
+                "journal-disk",
+                f"{exc} — journaling is now best-effort; --resume will "
+                "recompute cells finished after this point",
+            )
+            return
+        governor.record_success("journal-disk")
 
     def clear(self) -> None:
         """Drop any previous journal (a fresh, non-resumed run starts clean)."""

@@ -61,7 +61,7 @@ from repro.experiments.engine import (
 )
 from repro.graph.digraph import DiGraph
 from repro.graph.io import from_json_dict
-from repro.utils import shm_manifest
+from repro.utils import resources, shm_manifest
 from repro.utils.exceptions import ReproError, ValidationError
 
 from repro.serving.http import (
@@ -122,6 +122,10 @@ class ServeConfig:
     jobs: int | None = None
     #: Largest accepted request body in bytes.
     max_body_bytes: int = 32 * 1024 * 1024
+    #: Per-pack working-set budget in bytes (``--memory-budget``).  Requests
+    #: whose own cost estimate exceeds it answer ``413`` at admission, and
+    #: the batch engine splits planned megabatches to fit (``None``: off).
+    memory_budget: int | None = None
     #: Print the ``serving on http://...`` line once the socket is bound.
     announce: bool = True
     #: Run the packed-runtime prewarm before reporting ready.
@@ -282,6 +286,7 @@ class _Counters:
 
     accepted: int = 0
     rejected_overload: int = 0
+    rejected_oversize: int = 0
     rejected_draining: int = 0
     bad_requests: int = 0
     batches: int = 0
@@ -519,7 +524,12 @@ class LayoutServer:
             if request.method != "GET":
                 return 405, {"error": "method not allowed"}, {}
             if self._ready and not self._draining:
-                return 200, {"status": "ready"}, {}
+                # Degraded rungs don't fail readiness — every rung serves
+                # bit-identical results — but operators get to see them.
+                return 200, {
+                    "status": "ready",
+                    "degraded": resources.governor().degraded(),
+                }, {}
             return 503, {"status": "draining" if self._draining else "warming"}, {}
         if request.path == "/stats":
             if request.method != "GET":
@@ -533,9 +543,11 @@ class LayoutServer:
 
     def _stats_payload(self) -> dict[str, Any]:
         counters = self.counters
+        governor = resources.governor()
         payload: dict[str, Any] = {
             "accepted": counters.accepted,
             "rejected_overload": counters.rejected_overload,
+            "rejected_oversize": counters.rejected_oversize,
             "rejected_draining": counters.rejected_draining,
             "bad_requests": counters.bad_requests,
             "batches": counters.batches,
@@ -546,6 +558,11 @@ class LayoutServer:
             "inflight": self._inflight,
             "ready": self._ready,
             "draining": self._draining,
+            "resources": {
+                "memory_budget_bytes": self.config.memory_budget,
+                "degraded": governor.degraded(),
+                "breakers": governor.snapshot(),
+            },
         }
         if self._cache is not None:
             hits = self._cache.hit_stats()
@@ -585,6 +602,28 @@ class LayoutServer:
         except ReproError as exc:
             self.counters.bad_requests += 1
             return 400, {"error": "bad request", "detail": str(exc)}, {}
+        if self.config.memory_budget is not None:
+            spec = unit.method
+            aco = dict(spec.aco_params or {})
+            estimate = resources.estimate_pack_cost(
+                [unit.graph],
+                n_colonies=spec.n_colonies,
+                n_ants=int(aco.get("n_ants", 10)),
+                n_tours=int(aco.get("n_tours", 10)),
+                alpha=float(aco.get("alpha", 1.0)),
+            )
+            if estimate.bytes > self.config.memory_budget:
+                self.counters.rejected_oversize += 1
+                return (
+                    413,
+                    {
+                        "error": "request exceeds the server memory budget",
+                        "name": unit.resolved_graph_name,
+                        "memory_budget_bytes": self.config.memory_budget,
+                        "estimate": estimate.as_dict(),
+                    },
+                    {},
+                )
         pending = _Pending(
             unit=unit,
             budget=budget,
@@ -671,6 +710,7 @@ class LayoutServer:
             cache=self._cache,
             cell_timeout=cell_timeout,
             jobs=self.config.jobs,
+            memory_budget=self.config.memory_budget,
         )
         self.counters.batches += 1
         self.counters.batched_cells += len(live)

@@ -26,7 +26,14 @@ against the cell id (``algorithm:graph_name``, the same ids
   and continue normally;
 * ``corrupt-cache[@attempts]:pattern`` — after the cell's result is
   written to the result cache, garble the entry's bytes on disk
-  (exercising checksum verification + quarantine-as-miss).
+  (exercising checksum verification + quarantine-as-miss);
+* ``oom[@bytes[@attempts]]:pattern`` — allocate roughly *bytes* (default
+  128 MiB) and raise :class:`MemoryError`, exercising the ``oom`` failure
+  label and the resource governor's memory budgets (under an armed
+  ``RLIMIT_AS`` cap the allocation itself fails early — same outcome);
+* ``enospc[@attempts]:pattern`` — raise ``OSError(ENOSPC)`` at the cache/
+  journal *write* site for the matching cell (exercising disk-full
+  degradation to memory-only cache / best-effort journal).
 
 *attempts* bounds how many execution attempts of a cell the rule fires on
 (default 1: the fault is transient and a retry succeeds — the shape the
@@ -67,6 +74,7 @@ __all__ = [
     "release_hangs",
     "reset_hangs",
     "should_corrupt",
+    "should_enospc",
 ]
 
 #: The chaos rule environment variable.
@@ -76,11 +84,18 @@ CHAOS_ENV = "REPRO_CHAOS"
 FAIL_CELLS_ENV = "REPRO_ENGINE_FAIL"
 
 #: Recognised rule actions.
-ACTIONS = ("raise", "hang", "kill9", "slow", "corrupt-cache")
+ACTIONS = ("raise", "hang", "kill9", "slow", "corrupt-cache", "oom", "enospc")
 
 #: Default durations (seconds) for the timed actions.
 DEFAULT_HANG_SECONDS = 3600.0
 DEFAULT_SLOW_SECONDS = 0.05
+
+#: Default allocation target (bytes) for the ``oom`` action — big enough to
+#: blow any realistic worker budget, small enough to be instant to allocate.
+DEFAULT_OOM_BYTES = 128 * 1024 * 1024
+
+#: Allocation stride for the ``oom`` action (bytes).
+_OOM_CHUNK_BYTES = 8 * 1024 * 1024
 
 
 @dataclass(frozen=True)
@@ -179,8 +194,14 @@ def _parse_rule(raw: str) -> ChaosRule:
             f"{CHAOS_ENV}: unknown action {action!r} in rule {raw!r}; "
             f"choose from {ACTIONS}"
         )
-    timed = action in ("hang", "slow")
-    seconds = DEFAULT_HANG_SECONDS if action == "hang" else DEFAULT_SLOW_SECONDS
+    # ``oom`` reuses the numeric-argument slot for its byte count.
+    timed = action in ("hang", "slow", "oom")
+    if action == "hang":
+        seconds = DEFAULT_HANG_SECONDS
+    elif action == "oom":
+        seconds = float(DEFAULT_OOM_BYTES)
+    else:
+        seconds = DEFAULT_SLOW_SECONDS
     attempts = 1
     args = [p.strip() for p in parts[1:]]
     if timed:
@@ -264,8 +285,32 @@ def inject(cell_id: str, attempt: int = 1) -> None:
                 f"(degraded to raise outside a supervised worker)"
             )
     for rule in matched:
+        if rule.action == "oom":
+            _exhaust_memory(int(rule.seconds), cell_id)
+    for rule in matched:
         if rule.action == "raise":
             raise RuntimeError(f"injected failure for cell {cell_id!r} ({FAIL_CELLS_ENV})")
+
+
+def _exhaust_memory(target_bytes: int, cell_id: str) -> None:
+    """Allocate ~*target_bytes* then raise :class:`MemoryError`.
+
+    Under an armed ``RLIMIT_AS`` cap the allocation loop itself raises
+    :class:`MemoryError` once the cap is hit — the natural failure the
+    budget machinery must label ``oom``.  Without a cap the loop completes
+    and raises explicitly, so the injection is deterministic either way.
+    The chunks are dropped in a ``finally`` so the memory is returned the
+    moment the error propagates.
+    """
+    chunks: list[bytearray] = []
+    try:
+        allocated = 0
+        while allocated < target_bytes:
+            chunks.append(bytearray(_OOM_CHUNK_BYTES))
+            allocated += _OOM_CHUNK_BYTES
+        raise MemoryError(f"injected oom for cell {cell_id!r} ({CHAOS_ENV})")
+    finally:
+        chunks.clear()
 
 
 def should_corrupt(cell_id: str, attempt: int = 1) -> bool:
@@ -275,4 +320,18 @@ def should_corrupt(cell_id: str, attempt: int = 1) -> bool:
     return any(
         r.action == "corrupt-cache" and r.fires(cell_id, attempt)
         for r in chaos_rules()
+    )
+
+
+def should_enospc(cell_id: str, attempt: int = 1) -> bool:
+    """Whether an ``enospc`` rule fires for this cell's disk write.
+
+    Consulted by the cache/journal writers *before* touching the disk; the
+    caller raises ``OSError(errno.ENOSPC, ...)`` itself so the error comes
+    from the exact code path a genuinely full disk would fail on.
+    """
+    if not active():
+        return False
+    return any(
+        r.action == "enospc" and r.fires(cell_id, attempt) for r in chaos_rules()
     )

@@ -60,7 +60,7 @@ from dataclasses import dataclass
 from multiprocessing import connection
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
-from repro.utils import chaos
+from repro.utils import chaos, resources
 from repro.utils.exceptions import ReproError, ValidationError
 
 __all__ = [
@@ -89,8 +89,10 @@ class TaskFailure:
     """A task that produced no result: its worker crashed or its deadline passed.
 
     Yielded in place of the task's result under ``failure_mode="result"``;
-    ``kind`` is ``"crash"`` (worker process died) or ``"timeout"`` (the
-    per-task deadline passed).
+    ``kind`` is ``"crash"`` (worker process died), ``"timeout"`` (the
+    per-task deadline passed) or ``"oom"`` (the worker died by signal while
+    an ``RLIMIT_AS`` memory budget was armed — the cap is the only thing in
+    the worker configured to kill it that way).
     """
 
     kind: str
@@ -367,7 +369,10 @@ def _run_task(token: int, task_fn: Callable[..., Any], args: Sequence[Any]) -> A
 
 
 def _supervised_worker_main(
-    conn: connection.Connection, init_fn: Callable[[Any], Any], payload: Any
+    conn: connection.Connection,
+    init_fn: Callable[[Any], Any],
+    payload: Any,
+    memory_limit_bytes: int | None = None,
 ) -> None:
     """Worker loop: decode the payload once, then serve tasks until told to stop.
 
@@ -375,8 +380,16 @@ def _supervised_worker_main(
     plus its formatted traceback) so the worker survives to run the next
     task; only process death (crash, kill, deadline SIGKILL) ends the loop
     abnormally — which the parent detects through the process sentinel.
+
+    With *memory_limit_bytes* set, an ``RLIMIT_AS`` soft cap is armed after
+    start-up (see :func:`repro.utils.resources.apply_memory_limit`): a task
+    exceeding its budget sees allocation fail as :class:`MemoryError` —
+    reported as data like any exception — instead of growing until the OS
+    OOM-kills an arbitrary process.
     """
     chaos.mark_worker()  # kill9 chaos rules may really kill this process
+    if memory_limit_bytes is not None:
+        resources.apply_memory_limit(memory_limit_bytes)
     state = init_fn(payload)
     while True:
         try:
@@ -409,11 +422,16 @@ class _SupervisedWorker:
 
     __slots__ = ("conn", "process", "current", "deadline")
 
-    def __init__(self, init_fn: Callable[[Any], Any], payload: Any) -> None:
+    def __init__(
+        self,
+        init_fn: Callable[[Any], Any],
+        payload: Any,
+        memory_limit_bytes: int | None = None,
+    ) -> None:
         parent_conn, child_conn = multiprocessing.Pipe()
         self.process = multiprocessing.Process(
             target=_supervised_worker_main,
-            args=(child_conn, init_fn, payload),
+            args=(child_conn, init_fn, payload, memory_limit_bytes),
             name="repro-pool-worker",
         )
         self.process.start()
@@ -439,6 +457,24 @@ class _SupervisedWorker:
             pass
 
 
+def _death_kind(exitcode: int | None, memory_limit_bytes: int | None) -> str:
+    """Classify a worker death: ``"oom"`` under an armed memory budget.
+
+    ``RLIMIT_AS`` normally surfaces as a polite :class:`MemoryError` (the
+    worker reports it as data), but an allocation failure in a spot that
+    cannot raise — stack growth, the allocator itself, a C extension that
+    ``abort()``\\ s on ``NULL`` — kills the process with a signal.  With a
+    budget armed that signal death is attributed to the budget; without one
+    it stays a generic ``"crash"``.
+    """
+    if memory_limit_bytes is None or exitcode is None or exitcode >= 0:
+        return "crash"
+    fatal = {
+        getattr(signal, name, None) for name in ("SIGKILL", "SIGSEGV", "SIGABRT", "SIGBUS")
+    }
+    return "oom" if -exitcode in {int(s) for s in fatal if s is not None} else "crash"
+
+
 def _supervised_imap(
     task_fn: Callable[..., Any],
     task_list: Sequence[tuple],
@@ -447,16 +483,26 @@ def _supervised_imap(
     init_fn: Callable[[Any], Any],
     payload: Any,
     task_timeout: float | None,
+    memory_limit_bytes: int | None = None,
 ) -> Iterator[Any]:
     """Stream ``("ok", result) | ("exc", exc, tb) | ("fail", TaskFailure)``
-    per task, in submission order, over supervised worker processes."""
+    per task, in submission order, over supervised worker processes.
+
+    Worker deaths feed the resource governor's ``respawn`` breaker: every
+    crash/oom death counts a consecutive failure, every delivered result a
+    success.  While the breaker is open (a crash *storm* — deaths with no
+    successful deliveries in between) dead workers are not replaced;
+    remaining tasks run in the parent serially instead of respawn-looping.
+    """
     n_tasks = len(task_list)
+    governor = resources.governor()
     workers = [
-        _SupervisedWorker(init_fn, payload)
+        _SupervisedWorker(init_fn, payload, memory_limit_bytes)
         for _ in range(min(max_workers, n_tasks))
     ]
     results: dict[int, tuple] = {}
     next_task = 0
+    inline_state: Any = _UNSET
 
     def dispatch(worker: _SupervisedWorker) -> None:
         nonlocal next_task
@@ -484,9 +530,51 @@ def _supervised_imap(
             results[worker.current] = ("fail", failure)
         worker.kill()
         worker.reap(timeout=1.0)
-        replacement = _SupervisedWorker(init_fn, payload)
+        if failure.kind in ("crash", "oom"):
+            # Deadline kills are parent policy, not a faulty backend; only
+            # uncommanded deaths count against the respawn breaker.
+            governor.record_failure("respawn", failure.message)
+            if not governor.allow("respawn"):
+                workers.pop(index)  # storm: fence off instead of respawning
+                return
+        replacement = _SupervisedWorker(init_fn, payload, memory_limit_bytes)
         workers[index] = replacement
         dispatch(replacement)
+
+    def run_remaining_inline() -> None:
+        """Respawn breaker open and no workers left: finish in the parent.
+
+        Exactly the worker loop's semantics — results/exceptions reported
+        as data, deadlines enforced via :func:`run_with_deadline` — so the
+        consumer cannot tell the rungs apart except by wall-clock.  An
+        injected ``kill9`` chaos rule degrades to a raise here (the parent
+        is not a supervised worker), which is what lets a storm converge.
+        """
+        nonlocal next_task, inline_state
+        if inline_state is _UNSET:
+            inline_state = init_fn(payload)
+        while next_task < n_tasks:
+            index = next_task
+            next_task += 1
+            call = lambda i=index: task_fn(inline_state, *task_list[i])  # noqa: E731
+            try:
+                if task_timeout is None:
+                    results[index] = ("ok", call())
+                else:
+                    completed, value = run_with_deadline(call, task_timeout)
+                    if completed:
+                        results[index] = ("ok", value)
+                    else:
+                        results[index] = (
+                            "fail",
+                            TaskFailure(
+                                "timeout",
+                                f"task {index} exceeded the {task_timeout:.6g}s "
+                                "deadline (in-parent serial fallback)",
+                            ),
+                        )
+            except Exception as exc:
+                results[index] = ("exc", exc, traceback.format_exc())
 
     try:
         for worker in workers:
@@ -498,6 +586,11 @@ def _supervised_imap(
                 yield_index += 1
             if yield_index >= n_tasks:
                 break
+            if not workers:
+                # Every worker was fenced off by the respawn breaker; all
+                # missing results are undispatched tasks — run them here.
+                run_remaining_inline()
+                continue
             busy = [w for w in workers if w.current is not None]
             if not busy:
                 # Nothing in flight but results are still missing: tasks
@@ -536,6 +629,7 @@ def _supervised_imap(
                         index, outcome = worker.conn.recv()
                         results[index] = outcome
                         delivered = True
+                        governor.record_success("respawn")
                 except (EOFError, OSError):
                     crashed = True
                 if delivered:
@@ -553,14 +647,17 @@ def _supervised_imap(
                 elif crashed:
                     worker.process.join(0.2)  # let exitcode populate
                     exitcode = worker.process.exitcode
-                    fail_and_respawn(
-                        worker,
-                        TaskFailure(
-                            "crash",
-                            f"worker process died (exit code {exitcode}) "
-                            f"while running task {worker.current}",
-                        ),
+                    kind = _death_kind(exitcode, memory_limit_bytes)
+                    detail = (
+                        f"worker process died (exit code {exitcode}) "
+                        f"while running task {worker.current}"
                     )
+                    if kind == "oom":
+                        detail += (
+                            f"; killed under the armed {memory_limit_bytes}-byte "
+                            "memory budget (RLIMIT_AS)"
+                        )
+                    fail_and_respawn(worker, TaskFailure(kind, detail))
             if task_timeout is not None:
                 now = time.monotonic()
                 for worker in list(workers):
@@ -619,6 +716,7 @@ def imap_with_state(
     shared_state: Any = _UNSET,
     task_timeout: float | None = None,
     failure_mode: str = "raise",
+    memory_limit_bytes: int | None = None,
 ) -> Iterator[Any]:
     """Streaming :func:`map_with_state`: yield results in submission order.
 
@@ -634,6 +732,11 @@ def imap_with_state(
     module docstring for how each back end enforces it); ``failure_mode``
     selects whether crashes/timeouts raise (``"raise"``, default) or are
     yielded in-stream as :class:`TaskFailure` values (``"result"``).
+
+    ``memory_limit_bytes`` arms a per-worker ``RLIMIT_AS`` soft cap on the
+    process back end (over-budget tasks fail as :class:`MemoryError` /
+    ``"oom"`` instead of OOM-killing the box); the in-process back ends
+    share the caller's address space and ignore it.
     """
     if executor not in EXECUTORS:
         raise ValidationError(f"executor must be one of {EXECUTORS}, got {executor!r}")
@@ -682,6 +785,7 @@ def imap_with_state(
             init_fn=init_fn,
             payload=payload,
             task_timeout=task_timeout,
+            memory_limit_bytes=memory_limit_bytes,
         )
         try:
             for outcome in stream:
@@ -744,6 +848,7 @@ def map_with_state(
     shared_state: Any = _UNSET,
     task_timeout: float | None = None,
     failure_mode: str = "raise",
+    memory_limit_bytes: int | None = None,
 ) -> list[Any]:
     """Run ``task_fn(state, *task)`` for every task and return results in task order.
 
@@ -783,5 +888,6 @@ def map_with_state(
             shared_state=shared_state,
             task_timeout=task_timeout,
             failure_mode=failure_mode,
+            memory_limit_bytes=memory_limit_bytes,
         )
     )

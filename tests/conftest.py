@@ -6,6 +6,15 @@ import pytest
 
 from repro.graph.digraph import DiGraph
 from repro.graph.generators import att_like_dag, gnp_dag, random_tree_dag
+from repro.utils import resources
+
+
+@pytest.fixture(autouse=True)
+def _reset_resource_governor():
+    """Breaker state is process-global; no test may leak trips into the next."""
+    resources.governor().reset()
+    yield
+    resources.governor().reset()
 
 
 @pytest.fixture

@@ -1,0 +1,270 @@
+"""The resource governor: breakers, ladder, cost model, memory caps.
+
+Unit-level coverage for :mod:`repro.utils.resources` — the circuit-breaker
+state machine under a fake clock, the governor's once-per-transition
+logging, the pack cost model's monotonicity, and the ``RLIMIT_AS`` arming
+helper (exercised in a real subprocess on Linux).  The integration story
+(chaos-driven degradation with bit-identical results) lives in
+``test_chaos_resources.py``.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.aco.problem import LayeringProblem
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import att_like_dag
+from repro.utils import resources
+from repro.utils.pool import _death_kind
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# --------------------------------------------------------------------------- #
+# the circuit breaker
+# --------------------------------------------------------------------------- #
+
+
+class TestCircuitBreaker:
+    def make(self, threshold: int = 3, cooldown: float = 30.0):
+        clock = FakeClock()
+        breaker = resources.CircuitBreaker(
+            "test", threshold=threshold, cooldown_s=cooldown, clock=clock
+        )
+        return breaker, clock
+
+    def test_starts_closed_and_allows(self):
+        breaker, _ = self.make()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_opens_only_on_threshold_consecutive_failures(self):
+        breaker, _ = self.make(threshold=3)
+        assert breaker.record_failure("one") is False
+        assert breaker.record_failure("two") is False
+        assert breaker.record_failure("three") is True  # the opening call
+        assert breaker.state == "open"
+        assert breaker.trips == 1
+        assert not breaker.allow()
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker, _ = self.make(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # never two *consecutive* failures
+
+    def test_cooldown_admits_exactly_one_half_open_probe(self):
+        breaker, clock = self.make(threshold=1, cooldown=30.0)
+        breaker.record_failure("boom")
+        assert not breaker.allow()
+        clock.advance(29.0)
+        assert not breaker.allow()
+        clock.advance(1.0)
+        assert breaker.allow()  # the probe
+        assert breaker.state == "half-open"
+        assert not breaker.allow()  # a second caller is still fenced off
+
+    def test_probe_success_closes_and_reports_recovery(self):
+        breaker, clock = self.make(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        assert breaker.record_success() is True  # the recovery transition
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_without_a_new_trip(self):
+        breaker, clock = self.make(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        assert breaker.trips == 1
+        clock.advance(10.0)
+        assert breaker.allow()
+        assert breaker.record_failure("still broken") is False
+        assert breaker.state == "open"
+        assert breaker.trips == 1  # no duplicate degradation log
+        assert not breaker.allow()
+        clock.advance(10.0)
+        assert breaker.allow()  # a fresh cooldown grants a fresh probe
+
+    def test_trip_forces_open(self):
+        breaker, _ = self.make(threshold=3)
+        breaker.trip("explicit")
+        assert breaker.state == "open" and not breaker.allow()
+        assert breaker.snapshot()["detail"] == "explicit"
+
+    def test_reset_restores_pristine_state(self):
+        breaker, _ = self.make(threshold=1)
+        breaker.record_failure()
+        breaker.reset()
+        assert breaker.state == "closed" and breaker.trips == 0 and breaker.allow()
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError, match="threshold"):
+            resources.CircuitBreaker("bad", threshold=0)
+
+
+# --------------------------------------------------------------------------- #
+# the governor
+# --------------------------------------------------------------------------- #
+
+
+class TestResourceGovernor:
+    def test_ladder_has_a_breaker_per_rung(self):
+        governor = resources.ResourceGovernor()
+        for name in resources.LADDER:
+            assert governor.allow(name)
+        assert governor.degraded() == []
+
+    def test_degradation_is_logged_exactly_once(self, capsys):
+        governor = resources.ResourceGovernor(clock=FakeClock())
+        for _ in range(resources.LADDER["native-kernel"].threshold):
+            governor.record_failure("native-kernel", "segfault")
+        err = capsys.readouterr().err
+        assert err.count("repro: resource governor:") == 1
+        assert "NumPy lockstep" in err
+        assert governor.degraded() == ["native-kernel"]
+        assert len(governor.events) == 1
+        # Further failures while open stay silent.
+        governor.record_failure("native-kernel", "again")
+        assert capsys.readouterr().err == ""
+        assert len(governor.events) == 1
+
+    def test_recovery_is_logged_once(self, capsys):
+        clock = FakeClock()
+        governor = resources.ResourceGovernor(clock=clock)
+        governor.record_failure("cache-disk", "ENOSPC")
+        clock.advance(resources.LADDER["cache-disk"].cooldown_s)
+        assert governor.allow("cache-disk")  # the probe
+        governor.record_success("cache-disk")
+        err = capsys.readouterr().err
+        assert "restored" in err
+        assert governor.degraded() == []
+        assert [e["state"] for e in governor.events] == ["open", "closed"]
+
+    def test_snapshot_shape(self):
+        governor = resources.ResourceGovernor()
+        snap = governor.snapshot()
+        assert set(snap) == set(resources.LADDER)
+        for entry in snap.values():
+            assert set(entry) == {"state", "consecutive_failures", "trips", "detail"}
+
+    def test_process_global_governor_is_a_singleton(self):
+        assert resources.governor() is resources.governor()
+
+    def test_reset_clears_trips_and_events(self):
+        governor = resources.ResourceGovernor()
+        governor.trip("batched")
+        governor.reset()
+        assert governor.degraded() == [] and governor.events == []
+
+
+# --------------------------------------------------------------------------- #
+# the cost model
+# --------------------------------------------------------------------------- #
+
+
+class TestCostModel:
+    def test_empty_pack_is_free(self):
+        estimate = resources.estimate_pack_cost([])
+        assert estimate.bytes == 0 and estimate.est_wall == 0.0
+
+    def test_costs_grow_with_the_pack(self):
+        graphs = [att_like_dag(20, seed=s) for s in range(4)]
+        one = resources.estimate_pack_cost(graphs[:1])
+        four = resources.estimate_pack_cost(graphs)
+        assert four.bytes > one.bytes
+        assert four.est_wall > one.est_wall
+
+    def test_colonies_and_ants_scale_the_estimate(self):
+        graphs = [att_like_dag(20, seed=0)]
+        base = resources.estimate_pack_cost(graphs)
+        more = resources.estimate_pack_cost(graphs, n_colonies=4, n_ants=20)
+        assert more.bytes > base.bytes and more.est_wall > base.est_wall
+
+    def test_alpha_not_one_prices_the_tau_power_temporary(self):
+        graphs = [att_like_dag(20, seed=0)]
+        plain = resources.estimate_pack_cost(graphs, alpha=1.0)
+        powered = resources.estimate_pack_cost(graphs, alpha=1.5)
+        assert powered.bytes > plain.bytes
+
+    def test_layering_problem_uses_true_layer_count(self):
+        graph = att_like_dag(20, seed=0)
+        problem = LayeringProblem.from_graph(graph)
+        # The built problem knows its real (much smaller) column count, so
+        # its estimate is tighter than the raw graph's V+1 upper bound.
+        from_problem = resources.estimate_pack_cost([problem])
+        from_graph = resources.estimate_pack_cost([graph])
+        assert 0 < from_problem.bytes <= from_graph.bytes
+
+    def test_as_dict_is_json_ready(self):
+        estimate = resources.estimate_pack_cost([DiGraph(edges=[(0, 1)])])
+        payload = estimate.as_dict()
+        assert set(payload) == {"bytes", "est_wall"}
+        assert isinstance(payload["bytes"], int)
+
+
+# --------------------------------------------------------------------------- #
+# RLIMIT_AS arming
+# --------------------------------------------------------------------------- #
+
+
+class TestMemoryLimit:
+    def test_non_positive_budget_is_a_no_op(self):
+        assert resources.apply_memory_limit(0) is None
+        assert resources.apply_memory_limit(-1) is None
+
+    @pytest.mark.skipif(sys.platform != "linux", reason="RLIMIT_AS semantics")
+    def test_armed_limit_turns_overallocation_into_memory_error(self):
+        script = (
+            "from repro.utils import resources\n"
+            "limit = resources.apply_memory_limit(\n"
+            "    64 * 1024 * 1024, slack_bytes=32 * 1024 * 1024)\n"
+            "assert limit is not None\n"
+            "try:\n"
+            "    block = bytearray(512 * 1024 * 1024)\n"
+            "except MemoryError:\n"
+            "    print('OOM-LABELLED')\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "OOM-LABELLED" in proc.stdout
+
+
+class TestDeathKind:
+    """Signal-exit classification for supervised workers."""
+
+    def test_unarmed_budget_never_claims_oom(self):
+        import signal as signal_module
+
+        assert _death_kind(-signal_module.SIGKILL, None) == "crash"
+
+    def test_armed_budget_labels_fatal_signals_oom(self):
+        import signal as signal_module
+
+        budget = 1 << 20
+        assert _death_kind(-signal_module.SIGKILL, budget) == "oom"
+        assert _death_kind(-signal_module.SIGSEGV, budget) == "oom"
+
+    def test_clean_or_unknown_exits_stay_crash(self):
+        assert _death_kind(1, 1 << 20) == "crash"
+        assert _death_kind(None, 1 << 20) == "crash"
+        assert _death_kind(-99, 1 << 20) == "crash"

@@ -151,7 +151,7 @@ class TestEndpoints:
     def test_healthz_and_readyz(self, harness):
         assert harness.request("GET", "/healthz")[0] == 200
         status, body, _ = harness.request("GET", "/readyz")
-        assert status == 200 and body == {"status": "ready"}
+        assert status == 200 and body == {"status": "ready", "degraded": []}
 
     def test_unknown_endpoint_404(self, harness):
         assert harness.request("GET", "/nope")[0] == 404
